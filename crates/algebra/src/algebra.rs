@@ -1,0 +1,203 @@
+//! Type-erased, state-interning wrapper around a [`Property`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{Property, Slot};
+
+/// An interned homomorphism class — the `O(1)`-bit value certificates carry
+/// (the class space `C` of Proposition 2.4 depends only on `ϕ` and `k`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(pub u32);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// An `Algebra` shared between the prover and all verifier invocations.
+pub type SharedAlgebra = Arc<Algebra>;
+
+struct Interner<S> {
+    ids: HashMap<S, u32>,
+    states: Vec<S>,
+}
+
+impl<S: Clone + Eq + std::hash::Hash> Interner<S> {
+    fn intern(&mut self, s: S) -> u32 {
+        if let Some(&id) = self.ids.get(&s) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.states.push(s.clone());
+        self.ids.insert(s, id);
+        id
+    }
+}
+
+trait Erased: Send + Sync {
+    fn name(&self) -> String;
+    fn empty(&self) -> u32;
+    fn add_vertex(&self, s: u32, label: u32) -> u32;
+    fn add_edge(&self, s: u32, a: Slot, b: Slot, marked: bool) -> u32;
+    fn glue(&self, s: u32, a: Slot, b: Slot) -> u32;
+    fn forget(&self, s: u32, a: Slot) -> u32;
+    fn union(&self, s1: u32, s2: u32) -> u32;
+    fn swap(&self, s: u32, a: Slot, b: Slot) -> u32;
+    fn accept(&self, s: u32) -> bool;
+    fn state_count(&self) -> usize;
+}
+
+struct ErasedProperty<P: Property> {
+    prop: P,
+    table: RwLock<Interner<P::State>>,
+}
+
+impl<P: Property> ErasedProperty<P> {
+    fn get(&self, id: u32) -> P::State {
+        self.table.read().states[id as usize].clone()
+    }
+
+    fn put(&self, s: P::State) -> u32 {
+        self.table.write().intern(s)
+    }
+}
+
+impl<P: Property> Erased for ErasedProperty<P> {
+    fn name(&self) -> String {
+        self.prop.name()
+    }
+    fn empty(&self) -> u32 {
+        let s = self.prop.empty();
+        self.put(s)
+    }
+    fn add_vertex(&self, s: u32, label: u32) -> u32 {
+        let s = self.prop.add_vertex(&self.get(s), label);
+        self.put(s)
+    }
+    fn add_edge(&self, s: u32, a: Slot, b: Slot, marked: bool) -> u32 {
+        let s = self.prop.add_edge(&self.get(s), a, b, marked);
+        self.put(s)
+    }
+    fn glue(&self, s: u32, a: Slot, b: Slot) -> u32 {
+        let s = self.prop.glue(&self.get(s), a, b);
+        self.put(s)
+    }
+    fn forget(&self, s: u32, a: Slot) -> u32 {
+        let s = self.prop.forget(&self.get(s), a);
+        self.put(s)
+    }
+    fn union(&self, s1: u32, s2: u32) -> u32 {
+        let s = self.prop.union(&self.get(s1), &self.get(s2));
+        self.put(s)
+    }
+    fn swap(&self, s: u32, a: Slot, b: Slot) -> u32 {
+        let s = self.prop.swap(&self.get(s), a, b);
+        self.put(s)
+    }
+    fn accept(&self, s: u32) -> bool {
+        self.prop.accept(&self.get(s))
+    }
+    fn state_count(&self) -> usize {
+        self.table.read().states.len()
+    }
+}
+
+/// A type-erased homomorphism algebra with interned states.
+///
+/// All methods take `&self`; interior mutability (a [`parking_lot::RwLock`]
+/// around the interner) lets one `Arc<Algebra>` serve the prover and every
+/// simulated verifier concurrently.
+pub struct Algebra {
+    inner: Box<dyn Erased>,
+}
+
+impl Algebra {
+    /// Wraps a property.
+    pub fn new<P: Property>(prop: P) -> Self {
+        Self {
+            inner: Box::new(ErasedProperty {
+                prop,
+                table: RwLock::new(Interner {
+                    ids: HashMap::new(),
+                    states: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Wraps a property into a shareable handle.
+    pub fn shared<P: Property>(prop: P) -> SharedAlgebra {
+        Arc::new(Self::new(prop))
+    }
+
+    /// The property's name.
+    pub fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    /// State of the empty graph.
+    pub fn empty(&self) -> StateId {
+        StateId(self.inner.empty())
+    }
+
+    /// Introduce a labelled vertex as a new trailing slot.
+    pub fn add_vertex(&self, s: StateId, label: u32) -> StateId {
+        StateId(self.inner.add_vertex(s.0, label))
+    }
+
+    /// Introduce an edge between two slots.
+    pub fn add_edge(&self, s: StateId, a: Slot, b: Slot, marked: bool) -> StateId {
+        StateId(self.inner.add_edge(s.0, a, b, marked))
+    }
+
+    /// Identify two slots.
+    pub fn glue(&self, s: StateId, a: Slot, b: Slot) -> StateId {
+        StateId(self.inner.glue(s.0, a, b))
+    }
+
+    /// Retire a slot.
+    pub fn forget(&self, s: StateId, a: Slot) -> StateId {
+        StateId(self.inner.forget(s.0, a))
+    }
+
+    /// Disjoint union (slots of `s2` appended).
+    pub fn union(&self, s1: StateId, s2: StateId) -> StateId {
+        StateId(self.inner.union(s1.0, s2.0))
+    }
+
+    /// Exchanges two slots (pure relabelling).
+    pub fn swap(&self, s: StateId, a: Slot, b: Slot) -> StateId {
+        StateId(self.inner.swap(s.0, a, b))
+    }
+
+    /// Acceptance of the summarized graph.
+    pub fn accept(&self, s: StateId) -> bool {
+        self.inner.accept(s.0)
+    }
+
+    /// Number of distinct states interned so far (diagnostics; the paper's
+    /// `|C|` restricted to reachable classes).
+    pub fn state_count(&self) -> usize {
+        self.inner.state_count()
+    }
+
+    /// Returns `true` if `id` has been interned (verifiers reject
+    /// certificates naming unknown classes).
+    pub fn knows(&self, id: StateId) -> bool {
+        (id.0 as usize) < self.inner.state_count()
+    }
+}
+
+impl fmt::Debug for Algebra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Algebra")
+            .field("property", &self.inner.name())
+            .field("states", &self.inner.state_count())
+            .finish()
+    }
+}

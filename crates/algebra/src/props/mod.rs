@@ -1,0 +1,41 @@
+//! The property library: hand-built homomorphism algebras for the paper's
+//! headline MSO₂ properties (plus two CMSO counting extensions).
+//!
+//! | Type | Property | State sketch |
+//! |---|---|---|
+//! | [`Forest`] | acyclicity | slot partition + cycle flag |
+//! | [`Connected`] | connectivity | slot partition + dead-component counter |
+//! | [`Bipartite`] | 2-colourability | partition + parities + odd flag |
+//! | [`Colorable`] | c-colourability | set of feasible slot colourings |
+//! | [`PerfectMatching`] | perfect matching | set of matched-slot masks |
+//! | [`HamiltonianCycle`] | Hamiltonian cycle | set of path-system profiles |
+//! | [`HamiltonianPath`] | Hamiltonian path | profiles + retired-end counter |
+//! | [`TriangleFree`] | triangle-freeness | adjacency + retired-witness matrices |
+//! | [`VertexCoverAtMost`] | vertex cover ≤ s | cover-mask → min retired cost |
+//! | [`IndependentSetAtLeast`] | independent set ≥ s | set-mask → max retired count |
+//! | [`DominatingSetAtMost`] | dominating set ≤ s | slot statuses → min retired cost |
+//! | [`MaxDegreeAtMost`] | max degree ≤ d | capped slot degrees |
+//! | [`EvenDegrees`] | all degrees even (CMSO) | slot parities |
+//! | [`EdgeCountMod`] | `|E| ≡ r (mod m)` (CMSO) | counter |
+//! | [`VertexCountMod`] | `|V| ≡ r (mod m)` (CMSO) | counter |
+//! | [`And`]/[`Or`]/[`Not`] | boolean combinators | product / product / same |
+
+mod colorable;
+mod combinators;
+mod degree;
+mod hamilton;
+mod hampath;
+mod matching;
+mod partition;
+mod triangle;
+mod weight;
+
+pub use colorable::Colorable;
+pub use combinators::{And, Not, Or};
+pub use degree::{EdgeCountMod, EvenDegrees, MaxDegreeAtMost, VertexCountMod};
+pub use hamilton::HamiltonianCycle;
+pub use hampath::HamiltonianPath;
+pub use matching::PerfectMatching;
+pub use triangle::TriangleFree;
+pub use partition::{Bipartite, Connected, Forest};
+pub use weight::{DominatingSetAtMost, IndependentSetAtLeast, VertexCoverAtMost};

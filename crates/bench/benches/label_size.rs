@@ -1,0 +1,35 @@
+//! Criterion bench: prover label construction across families (T1's heavy path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lanecert::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert::Configuration;
+use lanecert_algebra::props::Connected;
+use lanecert_algebra::Algebra;
+use lanecert_bench::families;
+
+fn bench_prove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prove");
+    for fam in families() {
+        for &n in &[64usize, 256] {
+            let (g, rep) = (fam.make)(n);
+            let cfg = Configuration::with_random_ids(g, 1);
+            group.bench_with_input(
+                BenchmarkId::new(fam.name, n),
+                &(cfg, rep),
+                |b, (cfg, rep)| {
+                    b.iter(|| {
+                        let sch = PathwidthScheme::new(
+                            Algebra::shared(Connected),
+                            SchemeOptions::exact_pathwidth(3),
+                        );
+                        sch.prove(cfg, rep).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prove);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: the Sections 4-5 pipeline (partition, completion,
+//! embedding, hierarchy) and the exact pathwidth solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lanecert_bench::families;
+use lanecert_graph::generators;
+use lanecert_lanes::{pipeline::LaneStrategy, Layout};
+use lanecert_pathwidth::solver;
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    for fam in families() {
+        let (g, rep) = (fam.make)(512);
+        for strategy in [LaneStrategy::Greedy, LaneStrategy::Recursive] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}-{strategy:?}", fam.name), 512),
+                &(g.clone(), rep.clone()),
+                |b, (g, rep)| b.iter(|| Layout::build(g, rep, strategy).lane_count()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathwidth-exact");
+    for n in [12usize, 16] {
+        let g = generators::grid(3, n / 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| solver::pathwidth_exact(g).unwrap().0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout, bench_exact_solver);
+criterion_main!(benches);

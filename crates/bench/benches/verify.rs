@@ -1,0 +1,30 @@
+//! Criterion bench: the full distributed verification pass (T5's heavy path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lanecert::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert::Configuration;
+use lanecert_algebra::props::Connected;
+use lanecert_algebra::Algebra;
+use lanecert_bench::families;
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify-all");
+    for fam in families() {
+        let (g, rep) = (fam.make)(256);
+        let cfg = Configuration::with_random_ids(g, 2);
+        let sch = PathwidthScheme::new(
+            Algebra::shared(Connected),
+            SchemeOptions::exact_pathwidth(3),
+        );
+        let labels = sch.prove(&cfg, &rep).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(fam.name, 256),
+            &(cfg, labels),
+            |b, (cfg, labels)| b.iter(|| sch.run_with_labels(cfg, labels).accepted()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Prints the experiment tables (T1–T9). `--table tN` selects one.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let selected = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    for (name, table) in lanecert_bench::all_tables() {
+        if let Some(sel) = &selected {
+            if sel != name {
+                continue;
+            }
+        }
+        println!("==== {} ====", name.to_uppercase());
+        println!("{}", table());
+    }
+}

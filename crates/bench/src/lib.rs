@@ -1,0 +1,448 @@
+//! Experiment harness regenerating the paper's quantitative claims
+//! (tables T1–T9 of DESIGN.md / EXPERIMENTS.md).
+//!
+//! Run `cargo run -p lanecert-bench --bin experiments` to print every
+//! table; pass `--table tN` for a single one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lanecert::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert::{attacks, baseline, simple, Configuration};
+use lanecert_algebra::props::{Bipartite, Connected, Forest, HamiltonianCycle, PerfectMatching};
+use lanecert_algebra::{mirror::oracles, Algebra, SharedAlgebra};
+use lanecert_graph::{generators, Graph};
+use lanecert_lanes::{bounds, pipeline::LaneStrategy, recursive, Completion, Layout};
+use lanecert_pathwidth::{Interval, IntervalRep};
+
+/// A named benchmark family with a known-width interval representation
+/// (so experiments scale past the exact solver).
+pub struct Family {
+    /// Display name.
+    pub name: &'static str,
+    /// Generator: `n` → (graph, representation).
+    pub make: fn(usize) -> (Graph, IntervalRep),
+}
+
+fn path_family(n: usize) -> (Graph, IntervalRep) {
+    let g = generators::path_graph(n);
+    let rep = IntervalRep::new((0..n as u32).map(|i| Interval::new(i, i + 1)).collect());
+    (g, rep)
+}
+
+fn cycle_family(n: usize) -> (Graph, IntervalRep) {
+    let g = generators::cycle_graph(n);
+    // Figure-1-style representation: v0 spans everything, the rest slide.
+    let mut ivs = vec![Interval::new(0, (n - 2) as u32)];
+    for i in 1..n {
+        let lo = (i - 1) as u32;
+        ivs.push(Interval::new(lo.min((n - 2) as u32), lo.min((n - 2) as u32)));
+    }
+    // Widen so consecutive vertices overlap: v_i covers [i-1, i].
+    for (i, iv) in ivs.iter_mut().enumerate().skip(1) {
+        let lo = (i - 1) as u32;
+        let hi = (i as u32).min((n - 2) as u32);
+        *iv = Interval::new(lo.min(hi), hi);
+    }
+    (g, rep_checked(ivs))
+}
+
+fn caterpillar_family(n: usize) -> (Graph, IntervalRep) {
+    // spine of n/3 vertices with 2 legs each.
+    let spine = (n / 3).max(2);
+    let g = generators::caterpillar(spine, 2);
+    let mut ivs = vec![Interval::new(0, 0); g.vertex_count()];
+    for s in 0..spine {
+        ivs[s] = Interval::new((3 * s) as u32, (3 * s + 3) as u32);
+    }
+    for leg in 0..2 {
+        for s in 0..spine {
+            let v = spine + s * 2 + leg;
+            ivs[v] = Interval::new((3 * s + 1 + leg) as u32, (3 * s + 1 + leg) as u32);
+        }
+    }
+    (g, rep_checked(ivs))
+}
+
+fn ladder_family(n: usize) -> (Graph, IntervalRep) {
+    let cols = (n / 2).max(2);
+    let g = generators::ladder(cols);
+    // Vertex (r, c) at index r*cols + c: interval [2c + r, 2c + r + 2], so
+    // horizontal neighbours overlap at 2c + r + 2 and vertical ones on the
+    // whole middle stretch (width 3 = pathwidth 2).
+    let ivs = (0..g.vertex_count())
+        .map(|v| {
+            let (r, c) = (v / cols, v % cols);
+            let lo = (2 * c + r) as u32;
+            Interval::new(lo, lo + 2)
+        })
+        .collect();
+    (g, rep_checked(ivs))
+}
+
+fn rep_checked(ivs: Vec<Interval>) -> IntervalRep {
+    IntervalRep::new(ivs)
+}
+
+/// The standard families used by T1/T5/T9.
+pub fn families() -> Vec<Family> {
+    vec![
+        Family { name: "path", make: path_family },
+        Family { name: "cycle", make: cycle_family },
+        Family { name: "caterpillar", make: caterpillar_family },
+        Family { name: "ladder", make: ladder_family },
+    ]
+}
+
+fn scheme(alg: SharedAlgebra, max_lanes: usize) -> PathwidthScheme {
+    PathwidthScheme::new(
+        alg,
+        SchemeOptions {
+            strategy: LaneStrategy::Greedy,
+            max_lanes,
+        },
+    )
+}
+
+/// T1: label size (bits) vs n — this paper vs the `O(log² n)` baseline vs
+/// the trivial whole-graph scheme, on the `path` family plus spot rows for
+/// the others.
+pub fn table_t1() -> String {
+    let mut out = String::from(
+        "T1: max label bits vs n (property: connected)\n\
+         family        n     ours  ours/log2(n)  baseline  base/log2^2(n)  trivial\n",
+    );
+    for fam in families() {
+        for &n in &[32usize, 128, 512, 2048] {
+            let (g, rep) = (fam.make)(n);
+            let nn = g.vertex_count() as f64;
+            let cfg = Configuration::with_random_ids(g, 7);
+            let sch = scheme(Algebra::shared(Connected), 64);
+            let labels = sch.prove(&cfg, &rep).expect("connected families");
+            let report = sch.run_with_labels(&cfg, &labels);
+            assert!(report.accepted(), "{}: {:?}", fam.name, report.first_rejection());
+            let base = baseline::run(&cfg, &rep);
+            assert!(base.accepted());
+            let triv = {
+                let labels = simple::prove_whole_graph(&cfg);
+                labels
+                    .iter()
+                    .map(lanecert::bits::bit_len)
+                    .max()
+                    .unwrap_or(0)
+            };
+            let log2 = nn.log2();
+            out += &format!(
+                "{:<12} {:>5}  {:>6}  {:>11.1}  {:>8}  {:>13.1}  {:>7}\n",
+                fam.name,
+                cfg.n(),
+                report.max_label_bits,
+                report.max_label_bits as f64 / log2,
+                base.max_label_bits,
+                base.max_label_bits as f64 / (log2 * log2),
+                triv,
+            );
+        }
+    }
+    out
+}
+
+/// T2: lanes used vs the `f(k)` bound (recursive partition) and the width
+/// (greedy partition).
+pub fn table_t2() -> String {
+    let mut out = String::from("T2: lane counts vs bounds\nfamily        n   width k  greedy w  recursive w  f(k)\n");
+    for fam in families() {
+        let (g, rep) = (fam.make)(60);
+        let k = rep.width();
+        let greedy = lanecert_lanes::partition::greedy_partition(&rep);
+        let rl = recursive::recursive_partition(&g, &rep);
+        out += &format!(
+            "{:<12} {:>4}  {:>7}  {:>8}  {:>11}  {:>4}\n",
+            fam.name,
+            g.vertex_count(),
+            k,
+            greedy.lane_count(),
+            rl.partition.lane_count(),
+            bounds::f(k),
+        );
+    }
+    out
+}
+
+/// T3: measured embedding congestion vs `g(k)`/`h(k)`.
+pub fn table_t3() -> String {
+    let mut out = String::from(
+        "T3: embedding congestion vs bounds (recursive partition)\n\
+         family        n   k  weak  g(k)  full  h(k)\n",
+    );
+    for fam in families() {
+        let (g, rep) = (fam.make)(60);
+        let k = rep.width();
+        let rl = recursive::recursive_partition(&g, &rep);
+        let completion = Completion::build(&g, rl.partition.clone());
+        let emb = recursive::embedding_from_paths(&g, &completion, &rl.e1_paths);
+        let e1: Vec<_> = completion
+            .virtual_edges()
+            .filter(|e| completion.roles[e.index()].lane_step.is_some())
+            .collect();
+        let weak = emb.congestion_of(&g, &e1);
+        let full = emb.congestion(&g);
+        assert!(weak as u64 <= bounds::g(k) && full as u64 <= bounds::h(k));
+        out += &format!(
+            "{:<12} {:>4}  {:>2}  {:>4}  {:>4}  {:>4}  {:>4}\n",
+            fam.name,
+            g.vertex_count(),
+            k,
+            weak,
+            bounds::g(k),
+            full,
+            bounds::h(k),
+        );
+    }
+    out
+}
+
+/// T4: hierarchy depth vs the `2k` bound (Observation 5.5).
+pub fn table_t4() -> String {
+    let mut out =
+        String::from("T4: hierarchical decomposition depth vs 2w\nfamily        n   lanes w  depth  2w\n");
+    for fam in families() {
+        let (g, rep) = (fam.make)(60);
+        let layout = Layout::build(&g, &rep, LaneStrategy::Greedy);
+        let depth = layout.hierarchy.depth();
+        let w = layout.lane_count();
+        assert!(depth <= 2 * w);
+        out += &format!(
+            "{:<12} {:>4}  {:>7}  {:>5}  {:>3}\n",
+            fam.name,
+            g.vertex_count(),
+            w,
+            depth,
+            2 * w,
+        );
+    }
+    out
+}
+
+/// T5: prover/verifier wall-clock scaling (rough, single run per point).
+pub fn table_t5() -> String {
+    let mut out = String::from(
+        "T5: runtime scaling (connected, path family)\n\
+         n      prove(ms)  verify-all(ms)  per-vertex(us)\n",
+    );
+    for &n in &[64usize, 256, 1024, 4096] {
+        let (g, rep) = path_family(n);
+        let cfg = Configuration::with_random_ids(g, 3);
+        let sch = scheme(Algebra::shared(Connected), 64);
+        let t0 = std::time::Instant::now();
+        let labels = sch.prove(&cfg, &rep).unwrap();
+        let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = std::time::Instant::now();
+        let report = sch.run_with_labels(&cfg, &labels);
+        let ver_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(report.accepted());
+        out += &format!(
+            "{:<6} {:>9.2}  {:>14.2}  {:>13.2}\n",
+            n,
+            prove_ms,
+            ver_ms,
+            ver_ms * 1e3 / n as f64,
+        );
+    }
+    out
+}
+
+/// T6: soundness fuzzing — every corruption must be rejected.
+pub fn table_t6() -> String {
+    let mut out = String::from("T6: adversarial label corruption\nfamily        property     attempted  rejected\n");
+    for (fam, alg) in [
+        ("cycle", Algebra::shared(Bipartite)),
+        ("ladder", Algebra::shared(Connected)),
+        ("caterpillar", Algebra::shared(Forest)),
+    ] {
+        let f = families().into_iter().find(|f| f.name == fam).unwrap();
+        let (g, rep) = (f.make)(40);
+        // Bipartite needs an even cycle.
+        let (g, rep) = if fam == "cycle" { cycle_family(40) } else { (g, rep) };
+        let cfg = Configuration::with_random_ids(g, 11);
+        let sch = scheme(alg, 64);
+        let labels = sch.prove(&cfg, &rep).unwrap();
+        let (attempted, rejected) = attacks::fuzz_scheme(&sch, &cfg, &labels, 9, 60);
+        assert_eq!(attempted, rejected, "{fam}: corruption slipped through");
+        out += &format!(
+            "{:<12} {:<12} {:>9}  {:>8}\n",
+            fam,
+            sch.algebra().name(),
+            attempted,
+            rejected,
+        );
+    }
+    out
+}
+
+/// T7: algebra verdict vs brute force vs the naive MSO₂ checker.
+pub fn table_t7() -> String {
+    use lanecert_mso::{eval, props};
+    let mut out = String::from("T7: semantics agreement (algebra == brute force == MSO eval)\nproperty            graphs  agreements\n");
+    let graphs: Vec<Graph> = vec![
+        generators::path_graph(5),
+        generators::cycle_graph(5),
+        generators::cycle_graph(6),
+        generators::star(5),
+        generators::complete_graph(4),
+        generators::complete_bipartite(2, 3),
+    ];
+    type Entry = (
+        &'static str,
+        SharedAlgebra,
+        fn(&Graph) -> bool,
+        lanecert_mso::Formula,
+    );
+    let cases: Vec<Entry> = vec![
+        ("bipartite", Algebra::shared(Bipartite), oracles::bipartite, props::bipartite()),
+        ("forest", Algebra::shared(Forest), oracles::forest, props::acyclic()),
+        ("connected", Algebra::shared(Connected), oracles::connected, props::connected()),
+        (
+            "perfect-matching",
+            Algebra::shared(PerfectMatching),
+            oracles::perfect_matching,
+            props::perfect_matching(),
+        ),
+        (
+            "hamiltonian",
+            Algebra::shared(HamiltonianCycle),
+            oracles::hamiltonian_cycle,
+            props::hamiltonian_cycle(),
+        ),
+    ];
+    for (name, alg, oracle, formula) in cases {
+        let mut agree = 0;
+        for g in &graphs {
+            // Evaluate the algebra by a linear build of the whole graph.
+            let mut s = alg.empty();
+            for _ in g.vertices() {
+                s = alg.add_vertex(s, 0);
+            }
+            for (_, e) in g.edges() {
+                s = alg.add_edge(s, e.u.index(), e.v.index(), true);
+            }
+            let a = alg.accept(s);
+            let b = oracle(g);
+            let c = eval::check(g, &formula);
+            assert_eq!(a, b, "{name}: algebra vs brute force");
+            assert_eq!(b, c, "{name}: brute force vs MSO");
+            agree += 1;
+        }
+        out += &format!("{:<18} {:>7}  {:>10}\n", name, graphs.len(), agree);
+    }
+    out
+}
+
+/// T8: the `Ω(log n)` cut-and-splice attack — smallest label width where
+/// no accepted cycle can be spliced.
+pub fn table_t8() -> String {
+    let mut out = String::from("T8: pigeonhole splice attack on b-bit path certificates\nn     bits  spliced-cycle\n");
+    for &n in &[40usize, 100] {
+        for bits in 2..=8u8 {
+            let res = attacks::splice_attack(n, bits);
+            out += &format!(
+                "{:<5} {:>4}  {}\n",
+                n,
+                bits,
+                res.map(|c| c.to_string()).unwrap_or_else(|| "none".into()),
+            );
+        }
+    }
+    out += "(attack succeeds exactly while 2^bits < n - 1: labels below log2 n bits are unsound)\n";
+    out
+}
+
+/// T9 (ablation): greedy vs recursive lane strategy.
+pub fn table_t9() -> String {
+    let mut out = String::from(
+        "T9: lane strategy ablation (connected)\n\
+         family        n   strategy   lanes  congestion  max-label-bits\n",
+    );
+    for fam in families() {
+        for strategy in [LaneStrategy::Greedy, LaneStrategy::Recursive] {
+            let (g, rep) = (fam.make)(120);
+            let cfg = Configuration::with_random_ids(g, 13);
+            let layout = Layout::build(cfg.graph(), &rep, strategy);
+            let congestion = layout.embedding.congestion(cfg.graph());
+            let sch = PathwidthScheme::new(
+                Algebra::shared(Connected),
+                SchemeOptions {
+                    strategy,
+                    max_lanes: 64,
+                },
+            );
+            let labels = sch.prove(&cfg, &rep).unwrap();
+            let report = sch.run_with_labels(&cfg, &labels);
+            assert!(report.accepted(), "{:?}", report.first_rejection());
+            out += &format!(
+                "{:<12} {:>4}  {:<9}  {:>5}  {:>10}  {:>14}\n",
+                fam.name,
+                cfg.n(),
+                format!("{strategy:?}"),
+                layout.lane_count(),
+                congestion,
+                report.max_label_bits,
+            );
+        }
+    }
+    out
+}
+
+/// All tables in order.
+pub fn all_tables() -> Vec<(&'static str, fn() -> String)> {
+    vec![
+        ("t1", table_t1),
+        ("t2", table_t2),
+        ("t3", table_t3),
+        ("t4", table_t4),
+        ("t5", table_t5),
+        ("t6", table_t6),
+        ("t7", table_t7),
+        ("t8", table_t8),
+        ("t9", table_t9),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_pathwidth::solver;
+
+    #[test]
+    fn families_are_valid() {
+        for fam in families() {
+            for n in [20usize, 61] {
+                let (g, rep) = (fam.make)(n);
+                rep.validate(&g).unwrap_or_else(|e| panic!("{}: {e}", fam.name));
+                assert!(lanecert_graph::components::is_connected(&g));
+                // Widths match the known pathwidths of the families (≤ 3).
+                assert!(rep.width() <= 3, "{}", fam.name);
+            }
+        }
+    }
+
+    #[test]
+    fn family_widths_match_exact_solver() {
+        for fam in families() {
+            let (g, rep) = (fam.make)(18);
+            let (pw, _) = solver::pathwidth_exact(&g).unwrap();
+            assert!(rep.width() >= pw + 1, "{}", fam.name);
+        }
+    }
+
+    #[test]
+    fn small_tables_run() {
+        // The cheap tables execute end to end (their asserts are the test).
+        for (name, f) in all_tables() {
+            if ["t2", "t3", "t4", "t7"].contains(&name) {
+                let s = f();
+                assert!(!s.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Bit-exact label encoding.
+//!
+//! Label *size in bits* is the complexity measure of the model, so labels
+//! are serialized through a real bit stream: booleans cost one bit, numbers
+//! are nibble-varints (`4` data bits + `1` continuation bit per group), and
+//! containers are length-prefixed. The experiment tables report
+//! `BitWriter::bit_len` of the honest labels.
+
+/// A growable bit sink.
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finishes and returns the raw bytes (last byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Writes a single bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        let pos = self.bit_len % 8;
+        if pos == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            *self.bytes.last_mut().unwrap() |= 1 << pos;
+        }
+        self.bit_len += 1;
+    }
+
+    /// Writes the low `width` bits of `value`.
+    pub fn put_bits(&mut self, value: u64, width: usize) {
+        for i in 0..width {
+            self.put_bit(value >> i & 1 == 1);
+        }
+    }
+
+    /// Writes a nibble-varint (unsigned LEB-style, 4 bits per group).
+    pub fn put_varint(&mut self, mut value: u64) {
+        loop {
+            let group = value & 0xF;
+            value >>= 4;
+            self.put_bit(value != 0);
+            self.put_bits(group, 4);
+            if value == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// A bit-stream reader over bytes produced by [`BitWriter`].
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit, or `None` past the end.
+    pub fn get_bit(&mut self) -> Option<bool> {
+        let byte = self.bytes.get(self.pos / 8)?;
+        let bit = byte >> (self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `width` bits.
+    pub fn get_bits(&mut self, width: usize) -> Option<u64> {
+        let mut out = 0u64;
+        for i in 0..width {
+            if self.get_bit()? {
+                out |= 1 << i;
+            }
+        }
+        Some(out)
+    }
+
+    /// Reads a nibble-varint.
+    pub fn get_varint(&mut self) -> Option<u64> {
+        let mut out = 0u64;
+        let mut shift = 0;
+        loop {
+            let more = self.get_bit()?;
+            let group = self.get_bits(4)?;
+            out |= group << shift;
+            shift += 4;
+            if !more {
+                return Some(out);
+            }
+            if shift > 64 {
+                return None;
+            }
+        }
+    }
+}
+
+/// Types serializable to/from the bit stream.
+pub trait Enc: Sized {
+    /// Appends this value to the stream.
+    fn enc(&self, w: &mut BitWriter);
+    /// Parses a value; `None` on malformed input.
+    fn dec(r: &mut BitReader<'_>) -> Option<Self>;
+}
+
+macro_rules! enc_uint {
+    ($($t:ty),*) => {$(
+        impl Enc for $t {
+            fn enc(&self, w: &mut BitWriter) {
+                w.put_varint(*self as u64);
+            }
+            fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+                <$t>::try_from(r.get_varint()?).ok()
+            }
+        }
+    )*};
+}
+enc_uint!(u8, u16, u32, u64, usize);
+
+impl Enc for bool {
+    fn enc(&self, w: &mut BitWriter) {
+        w.put_bit(*self);
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        r.get_bit()
+    }
+}
+
+impl<T: Enc> Enc for Vec<T> {
+    fn enc(&self, w: &mut BitWriter) {
+        w.put_varint(self.len() as u64);
+        for item in self {
+            item.enc(w);
+        }
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        let len = r.get_varint()? as usize;
+        if len > 1 << 24 {
+            return None; // malformed length guard
+        }
+        (0..len).map(|_| T::dec(r)).collect()
+    }
+}
+
+impl<A: Enc, B: Enc> Enc for (A, B) {
+    fn enc(&self, w: &mut BitWriter) {
+        self.0.enc(w);
+        self.1.enc(w);
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        Some((A::dec(r)?, B::dec(r)?))
+    }
+}
+
+impl<T: Enc> Enc for Option<T> {
+    fn enc(&self, w: &mut BitWriter) {
+        match self {
+            None => w.put_bit(false),
+            Some(x) => {
+                w.put_bit(true);
+                x.enc(w);
+            }
+        }
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        Some(if r.get_bit()? { Some(T::dec(r)?) } else { None })
+    }
+}
+
+/// Encodes a value and returns `(bytes, bit length)`.
+pub fn encode<T: Enc>(value: &T) -> (Vec<u8>, usize) {
+    let mut w = BitWriter::new();
+    value.enc(&mut w);
+    let bits = w.bit_len();
+    (w.into_bytes(), bits)
+}
+
+/// Decodes a value from bytes.
+pub fn decode<T: Enc>(bytes: &[u8]) -> Option<T> {
+    let mut r = BitReader::new(bytes);
+    T::dec(&mut r)
+}
+
+/// Bit length of a value's encoding.
+pub fn bit_len<T: Enc>(value: &T) -> usize {
+    encode(value).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Enc + PartialEq + std::fmt::Debug>(v: T) {
+        let (bytes, bits) = encode(&v);
+        assert!(bits <= bytes.len() * 8);
+        assert_eq!(decode::<T>(&bytes), Some(v));
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(15u64);
+        roundtrip(16u64);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(42u8);
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip::<Vec<u32>>(vec![]);
+        roundtrip(vec![1u32, 2, 3, 1 << 30]);
+        roundtrip(Some(7u16));
+        roundtrip::<Option<u16>>(None);
+        roundtrip((5u8, vec![true, false]));
+    }
+
+    #[test]
+    fn varint_is_compact() {
+        // Small numbers: one 5-bit group.
+        assert_eq!(bit_len(&7u64), 5);
+        // A ~log n bit id costs O(log n) bits.
+        assert!(bit_len(&(1u64 << 20)) <= 35);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let (bytes, _) = encode(&vec![1u64 << 40; 3]);
+        assert_eq!(decode::<Vec<u64>>(&bytes[..1]), None);
+    }
+
+    #[test]
+    fn bogus_length_fails_cleanly() {
+        let mut w = BitWriter::new();
+        w.put_varint(u64::MAX); // absurd vector length
+        let bytes = w.into_bytes();
+        assert_eq!(decode::<Vec<u8>>(&bytes), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Network configurations: a connected graph plus distinct vertex
+//! identifiers (the state assignment of Section 1.1).
+
+use std::collections::HashMap;
+
+use lanecert_graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A configuration `(G, s)`: the communication graph together with each
+/// processor's `O(log n)`-bit distinct identifier.
+#[derive(Clone, Debug)]
+pub struct Configuration {
+    graph: Graph,
+    ids: Vec<u64>,
+    by_id: HashMap<u64, VertexId>,
+}
+
+impl Configuration {
+    /// Wraps a graph with explicit identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` has the wrong length or repeats a value.
+    pub fn new(graph: Graph, ids: Vec<u64>) -> Self {
+        assert_eq!(ids.len(), graph.vertex_count(), "one id per vertex");
+        let mut by_id = HashMap::with_capacity(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let prev = by_id.insert(id, VertexId::new(i));
+            assert!(prev.is_none(), "duplicate identifier {id}");
+        }
+        Self { graph, ids, by_id }
+    }
+
+    /// Sequential identifiers `0..n` (the minimal `O(log n)`-bit choice).
+    pub fn with_sequential_ids(graph: Graph) -> Self {
+        let ids = (0..graph.vertex_count() as u64).collect();
+        Self::new(graph, ids)
+    }
+
+    /// Random distinct identifiers drawn from `[0, n²)` — `2 log n` bits,
+    /// the realistic regime for the experiments.
+    pub fn with_random_ids(graph: Graph, seed: u64) -> Self {
+        let n = graph.vertex_count() as u64;
+        let bound = (n * n).max(16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut used = std::collections::HashSet::new();
+        let ids = (0..n)
+            .map(|_| loop {
+                let id = rng.random_range(0..bound);
+                if used.insert(id) {
+                    break id;
+                }
+            })
+            .collect();
+        Self::new(graph, ids)
+    }
+
+    /// The communication graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The identifier of vertex `v`.
+    pub fn id_of(&self, v: VertexId) -> u64 {
+        self.ids[v.index()]
+    }
+
+    /// The vertex carrying identifier `id`, if any.
+    pub fn vertex_of(&self, id: u64) -> Option<VertexId> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.graph.vertex_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_graph::generators;
+
+    #[test]
+    fn sequential_ids() {
+        let cfg = Configuration::with_sequential_ids(generators::path_graph(4));
+        assert_eq!(cfg.id_of(VertexId(2)), 2);
+        assert_eq!(cfg.vertex_of(3), Some(VertexId(3)));
+        assert_eq!(cfg.vertex_of(9), None);
+    }
+
+    #[test]
+    fn random_ids_are_distinct() {
+        let cfg = Configuration::with_random_ids(generators::cycle_graph(20), 1);
+        let mut seen = std::collections::HashSet::new();
+        for v in cfg.graph().vertices() {
+            assert!(seen.insert(cfg.id_of(v)));
+            assert_eq!(cfg.vertex_of(cfg.id_of(v)), Some(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate identifier")]
+    fn rejects_duplicates() {
+        let _ = Configuration::new(generators::path_graph(2), vec![5, 5]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Proof labeling schemes for MSO₂ properties on graphs of bounded
+//! pathwidth — the main contribution of Baterisna & Chang (PODC 2025),
+//! with optimal `O(log n)`-bit labels (Theorem 1).
+//!
+//! # Model
+//!
+//! A [`Configuration`] is a connected network: a graph whose vertices carry
+//! distinct `O(log n)`-bit identifiers. A *prover* assigns a label to every
+//! edge (or vertex); a *verifier* runs at each vertex, seeing only its own
+//! state and the labels on its incident edges, and outputs accept/reject.
+//! The scheme is correct when honest labelings are accepted everywhere
+//! (completeness) and no labeling of a violating configuration is accepted
+//! everywhere (soundness). Label sizes are measured in bits of the actual
+//! wire encoding ([`bits`]).
+//!
+//! # Contents
+//!
+//! * [`theorem1`] — the paper's scheme: certify `ϕ ∧ (pathwidth ≤ k)` with
+//!   `O(log n)`-bit labels, for any property `ϕ` given as a homomorphism
+//!   algebra (`lanecert-algebra`).
+//! * [`pointer`] — Proposition 2.2 (certify that a vertex with a given
+//!   identifier exists), via distance labels.
+//! * [`transform`] — Proposition 2.1 (edge labels → vertex labels along a
+//!   bounded-outdegree orientation, port-numbering model).
+//! * [`simple`] — the 1-bit bipartiteness scheme from the introduction and
+//!   the trivial whole-graph scheme.
+//! * [`baseline`] — an FMR+24-style `O(log² n)` baseline for label-size
+//!   comparison.
+//! * [`attacks`] — soundness fuzzing and the classic `Ω(log n)`
+//!   cut-and-splice lower-bound demonstration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod config;
+pub use config::Configuration;
+
+pub mod scheme;
+pub use scheme::{RunReport, Verdict, VertexView};
+
+pub mod pointer;
+pub mod simple;
+pub mod transform;
+
+pub mod theorem1;
+pub use theorem1::{PathwidthScheme, ProveError, SchemeOptions};
+
+pub mod baseline;
+
+pub mod attacks;

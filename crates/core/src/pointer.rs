@@ -1,0 +1,176 @@
+//! Proposition 2.2: certify that a vertex with a given identifier exists,
+//! with `O(log n)`-bit edge labels.
+//!
+//! Our variant stores, on each edge, the target identifier plus the BFS
+//! distances of *both* endpoints from the target. Soundness follows from
+//! the decreasing-distance argument: if every vertex at distance `d > 0`
+//! has an incident edge whose far side is at distance `d − 1`, then chains
+//! of strictly decreasing distances terminate at a vertex claiming distance
+//! 0, which must carry the target identifier — and identifiers are unique,
+//! so every connected region containing such labels contains *the* target.
+//! The same sub-labels anchor the `T`-node frames of the Theorem 1 scheme.
+
+use lanecert_graph::{traversal, VertexId};
+
+use crate::bits::{BitReader, BitWriter, Enc};
+use crate::scheme::{Verdict, VertexView};
+use crate::Configuration;
+
+/// The per-edge label: target id plus endpoint distances, stored in
+/// ascending-endpoint-id order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointerLabel {
+    /// The identifier whose existence is certified.
+    pub target: u64,
+    /// Identifier of the smaller-id endpoint.
+    pub id_lo: u64,
+    /// Distance of `id_lo` from the target.
+    pub d_lo: u32,
+    /// Identifier of the larger-id endpoint.
+    pub id_hi: u64,
+    /// Distance of `id_hi` from the target.
+    pub d_hi: u32,
+}
+
+impl Enc for PointerLabel {
+    fn enc(&self, w: &mut BitWriter) {
+        self.target.enc(w);
+        self.id_lo.enc(w);
+        self.d_lo.enc(w);
+        self.id_hi.enc(w);
+        self.d_hi.enc(w);
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        Some(PointerLabel {
+            target: u64::dec(r)?,
+            id_lo: u64::dec(r)?,
+            d_lo: u32::dec(r)?,
+            id_hi: u64::dec(r)?,
+            d_hi: u32::dec(r)?,
+        })
+    }
+}
+
+/// Honest prover: BFS distances from `target`.
+///
+/// # Panics
+///
+/// Panics if the target vertex does not exist or the graph is
+/// disconnected (the prover refuses such instances upstream).
+pub fn prove(cfg: &Configuration, target: u64) -> Vec<PointerLabel> {
+    let v = cfg.vertex_of(target).expect("target must exist");
+    let tree = traversal::bfs(cfg.graph(), v);
+    cfg.graph()
+        .edges()
+        .map(|(_, e)| {
+            let (mut a, mut b) = (e.u, e.v);
+            if cfg.id_of(a) > cfg.id_of(b) {
+                std::mem::swap(&mut a, &mut b);
+            }
+            assert!(tree.reached(a) && tree.reached(b), "graph must be connected");
+            PointerLabel {
+                target,
+                id_lo: cfg.id_of(a),
+                d_lo: tree.dist[a.index()],
+                id_hi: cfg.id_of(b),
+                d_hi: tree.dist[b.index()],
+            }
+        })
+        .collect()
+}
+
+/// Local verification at one vertex.
+pub fn verify_at(_cfg: &Configuration, _v: VertexId, view: &VertexView<PointerLabel>) -> Verdict {
+    let mut my_dist: Option<u32> = None;
+    let mut target: Option<u64> = None;
+    let mut has_parent = false;
+    for label in &view.incident {
+        let Some(l) = label else {
+            return Verdict::reject("undecodable pointer label");
+        };
+        if *target.get_or_insert(l.target) != l.target {
+            return Verdict::reject("inconsistent target id");
+        }
+        let (mine, other) = if l.id_lo == view.id {
+            (l.d_lo, l.d_hi)
+        } else if l.id_hi == view.id {
+            (l.d_hi, l.d_lo)
+        } else {
+            return Verdict::reject("edge label does not mention me");
+        };
+        if *my_dist.get_or_insert(mine) != mine {
+            return Verdict::reject("inconsistent own distance");
+        }
+        if other + 1 == mine {
+            has_parent = true;
+        }
+        if mine.abs_diff(other) > 1 {
+            return Verdict::reject("distance jump across an edge");
+        }
+    }
+    match (my_dist, target) {
+        (Some(0), Some(t)) if t != view.id => Verdict::reject("claims distance 0 but wrong id"),
+        (Some(d), Some(_)) if d > 0 && !has_parent => Verdict::reject("no decreasing neighbour"),
+        _ => Verdict::Accept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::run_edge_scheme;
+    use lanecert_graph::generators;
+
+    #[test]
+    fn completeness_on_families() {
+        for g in [
+            generators::path_graph(8),
+            generators::cycle_graph(7),
+            generators::star(6),
+            generators::grid(3, 3),
+        ] {
+            let cfg = Configuration::with_random_ids(g, 3);
+            let target = cfg.id_of(VertexId(2));
+            let labels = prove(&cfg, target);
+            let report = run_edge_scheme(&cfg, &labels, verify_at);
+            assert!(report.accepted(), "{:?}", report.first_rejection());
+        }
+    }
+
+    #[test]
+    fn soundness_nonexistent_target() {
+        // Claim an id that exists nowhere: shift all labels' target.
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(6));
+        let mut labels = prove(&cfg, 0);
+        for l in &mut labels {
+            l.target = 999; // nobody has this id; distance-0 vertex lies
+        }
+        let report = run_edge_scheme(&cfg, &labels, verify_at);
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn soundness_broken_gradient() {
+        let cfg = Configuration::with_sequential_ids(generators::path_graph(6));
+        let mut labels = prove(&cfg, 0);
+        // Lift every distance by 1: no vertex has distance 0... but then
+        // someone lacks a decreasing neighbour.
+        for l in &mut labels {
+            l.d_lo += 1;
+            l.d_hi += 1;
+        }
+        let report = run_edge_scheme(&cfg, &labels, verify_at);
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn label_size_is_logarithmic() {
+        let g = generators::path_graph(1024);
+        let cfg = Configuration::with_sequential_ids(g);
+        let labels = prove(&cfg, 0);
+        let report = run_edge_scheme(&cfg, &labels, verify_at);
+        assert!(report.accepted());
+        // ids ≤ n, distances ≤ n: a handful of varints.
+        assert!(report.max_label_bits < 200);
+    }
+}

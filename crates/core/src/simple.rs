@@ -1,0 +1,213 @@
+//! Small classic schemes: the paper's 1-bit bipartiteness example and the
+//! trivial whole-graph scheme (both used as reference points in the
+//! experiment tables).
+
+use lanecert_graph::VertexId;
+
+use crate::bits::{BitReader, BitWriter, Enc};
+use crate::scheme::{run_edge_scheme, RunReport, Verdict, VertexView};
+use crate::Configuration;
+
+/// The 1-bit bipartiteness label: the colour of the edge's smaller-id
+/// endpoint (the other endpoint's colour is its negation on a properly
+/// coloured edge, so one bit plus the endpoint ids suffices — we keep just
+/// the two colours to stay at two bits and avoid id overhead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BipartiteLabel {
+    /// Colour of endpoint `u` (insertion order).
+    pub cu: bool,
+    /// Colour of endpoint `v`.
+    pub cv: bool,
+}
+
+impl Enc for BipartiteLabel {
+    fn enc(&self, w: &mut BitWriter) {
+        self.cu.enc(w);
+        self.cv.enc(w);
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        Some(Self {
+            cu: Enc::dec(r)?,
+            cv: Enc::dec(r)?,
+        })
+    }
+}
+
+/// Honest bipartiteness prover: BFS 2-colouring.
+///
+/// Returns `None` when the graph is not bipartite (prover refuses).
+pub fn prove_bipartite(cfg: &Configuration) -> Option<Vec<BipartiteLabel>> {
+    let g = cfg.graph();
+    let mut color = vec![None::<bool>; g.vertex_count()];
+    for s in g.vertices() {
+        if color[s.index()].is_some() {
+            continue;
+        }
+        color[s.index()] = Some(false);
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            let cv = color[v.index()].unwrap();
+            for w in g.neighbors(v) {
+                match color[w.index()] {
+                    None => {
+                        color[w.index()] = Some(!cv);
+                        queue.push_back(w);
+                    }
+                    Some(cw) if cw == cv => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(
+        g.edges()
+            .map(|(_, e)| BipartiteLabel {
+                cu: color[e.u.index()].unwrap(),
+                cv: color[e.v.index()].unwrap(),
+            })
+            .collect(),
+    )
+}
+
+/// Verifies bipartiteness labels at a vertex: every incident edge must
+/// carry two distinct colours, and the colour on my side must be the same
+/// across my edges. (Which side is "mine" is resolved by consistency: there
+/// must exist a colour `c` such that every incident edge has one endpoint
+/// coloured `c` and the other `!c`.)
+pub fn verify_bipartite_at(
+    _cfg: &Configuration,
+    _v: VertexId,
+    view: &VertexView<BipartiteLabel>,
+) -> Verdict {
+    for c in [false, true] {
+        let ok = view.incident.iter().all(|l| match l {
+            Some(l) => l.cu != l.cv && (l.cu == c || l.cv == c),
+            None => false,
+        });
+        if ok {
+            return Verdict::Accept;
+        }
+    }
+    if view.incident.is_empty() {
+        return Verdict::Accept;
+    }
+    Verdict::reject("no consistent 2-colouring locally")
+}
+
+/// Runs the bipartite scheme end to end (test/experiment helper).
+///
+/// Returns `None` if the prover refuses.
+pub fn run_bipartite(cfg: &Configuration) -> Option<RunReport> {
+    let labels = prove_bipartite(cfg)?;
+    Some(run_edge_scheme(cfg, &labels, verify_bipartite_at))
+}
+
+/// The trivial scheme: every edge carries the entire configuration
+/// (vertex ids + edge list), `O((n + m) log n)` bits. Sound and complete
+/// for *any* decidable property; used as the size yardstick in T1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WholeGraphLabel {
+    /// All vertex identifiers.
+    pub ids: Vec<u64>,
+    /// All edges as id pairs.
+    pub edges: Vec<(u64, u64)>,
+}
+
+impl Enc for WholeGraphLabel {
+    fn enc(&self, w: &mut BitWriter) {
+        self.ids.enc(w);
+        self.edges.enc(w);
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        Some(Self {
+            ids: Enc::dec(r)?,
+            edges: Enc::dec(r)?,
+        })
+    }
+}
+
+/// Builds the whole-graph labels.
+pub fn prove_whole_graph(cfg: &Configuration) -> Vec<WholeGraphLabel> {
+    let g = cfg.graph();
+    let label = WholeGraphLabel {
+        ids: g.vertices().map(|v| cfg.id_of(v)).collect(),
+        edges: g
+            .edges()
+            .map(|(_, e)| (cfg.id_of(e.u), cfg.id_of(e.v)))
+            .collect(),
+    };
+    vec![label; g.edge_count()]
+}
+
+/// Verifies the whole-graph labels at a vertex, checking a caller-supplied
+/// global predicate on the claimed graph plus local consistency (all
+/// incident labels equal; my incident edges match the claim).
+pub fn verify_whole_graph_at(
+    cfg: &Configuration,
+    v: VertexId,
+    view: &VertexView<WholeGraphLabel>,
+    predicate: &dyn Fn(&WholeGraphLabel) -> bool,
+) -> Verdict {
+    let Some(Some(first)) = view.incident.first().cloned() else {
+        return Verdict::Accept; // isolated vertex: K1
+    };
+    for l in &view.incident {
+        match l {
+            Some(l) if *l == first => {}
+            _ => return Verdict::reject("inconsistent whole-graph labels"),
+        }
+    }
+    let my_deg_claimed = first
+        .edges
+        .iter()
+        .filter(|&&(a, b)| a == view.id || b == view.id)
+        .count();
+    if my_deg_claimed != cfg.graph().degree(v) {
+        return Verdict::reject("claimed degree mismatch");
+    }
+    if !predicate(&first) {
+        return Verdict::reject("global predicate fails on claimed graph");
+    }
+    Verdict::Accept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_graph::generators;
+
+    #[test]
+    fn bipartite_scheme_completeness_and_size() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(8));
+        let report = run_bipartite(&cfg).unwrap();
+        assert!(report.accepted());
+        assert_eq!(report.max_label_bits, 2); // the paper's "one bit" scheme
+    }
+
+    #[test]
+    fn bipartite_prover_refuses_odd_cycle() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
+        assert!(prove_bipartite(&cfg).is_none());
+    }
+
+    #[test]
+    fn bipartite_soundness_under_corruption() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(8));
+        let mut labels = prove_bipartite(&cfg).unwrap();
+        labels[0].cu = labels[0].cv; // monochromatic edge
+        let report = run_edge_scheme(&cfg, &labels, verify_bipartite_at);
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn whole_graph_scheme_works() {
+        let cfg = Configuration::with_sequential_ids(generators::star(6));
+        let labels = prove_whole_graph(&cfg);
+        let report = run_edge_scheme(&cfg, &labels, |c, v, view| {
+            verify_whole_graph_at(c, v, view, &|l| l.edges.len() == 5)
+        });
+        assert!(report.accepted());
+        // Size grows with the graph: Θ((n + m) log n).
+        assert!(report.max_label_bits > 50);
+    }
+}

@@ -1,0 +1,358 @@
+//! The Theorem 1 scheme: an `O(log n)`-bit proof labeling scheme for
+//! `ϕ ∧ (pathwidth ≤ k)`, for any property `ϕ` given as a homomorphism
+//! algebra.
+//!
+//! The prover runs the Sections 4–5 pipeline (`lanecert-lanes`): interval
+//! representation → lane partition → completion → embedding → lanewidth
+//! construction → hierarchical decomposition, evaluates the algebra over
+//! the hierarchy (Proposition 6.1), and emits per-edge certificates
+//! ([`labels`]). The verifier ([`verifier`]) checks everything locally.
+//!
+//! An accepted labeling certifies `ϕ` on the real edge set **and**
+//! `pathwidth ≤ w − 1` where `w` is the number of lanes: with the greedy
+//! partition `w = width(I) ≤ k + 1`, so the certified bound is exactly
+//! `pathwidth ≤ k`; with the Proposition 4.6 partition it is the constant
+//! relaxation `f(k + 1) − 1` (see DESIGN.md).
+
+pub mod labels;
+mod prover;
+pub mod summary;
+mod verifier;
+
+use std::error::Error;
+use std::fmt;
+
+use lanecert_algebra::SharedAlgebra;
+use lanecert_lanes::{LaneStrategy, Layout};
+use lanecert_pathwidth::{solver, IntervalRep};
+
+pub use labels::EdgeLabel;
+
+use crate::scheme::{run_edge_scheme, RunReport, Verdict, VertexView};
+use crate::Configuration;
+
+/// Scheme parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct SchemeOptions {
+    /// Lane-partition strategy (the T9 ablation).
+    pub strategy: LaneStrategy,
+    /// Maximum number of lanes `w` the verifier accepts. An accepted
+    /// labeling certifies `pathwidth ≤ max_lanes − 1`.
+    pub max_lanes: usize,
+}
+
+impl SchemeOptions {
+    /// Options certifying `pathwidth ≤ k` exactly (greedy partition, whose
+    /// lane count equals the representation width `k + 1`).
+    pub fn exact_pathwidth(k: usize) -> Self {
+        Self {
+            strategy: LaneStrategy::Greedy,
+            max_lanes: k + 1,
+        }
+    }
+}
+
+/// Reasons the honest prover refuses to certify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProveError {
+    /// The network is disconnected (the model requires connectivity).
+    Disconnected,
+    /// The configuration does not satisfy the property `ϕ` — per the
+    /// completeness contract, the prover only labels yes-instances.
+    PropertyViolated,
+    /// The layout needs more lanes than `max_lanes` (the pathwidth bound
+    /// fails, or the recursive partition overshot the verifier's bound).
+    TooManyLanes {
+        /// Lanes required by the layout.
+        needed: usize,
+        /// The verifier's bound.
+        bound: usize,
+    },
+    /// No interval representation was supplied and the graph is too large
+    /// for the exact pathwidth solver.
+    NeedRepresentation,
+    /// Internal pipeline failure (a bug; surfaced for diagnosis).
+    Internal(String),
+}
+
+impl fmt::Display for ProveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProveError::Disconnected => write!(f, "network must be connected"),
+            ProveError::PropertyViolated => write!(f, "configuration violates the property"),
+            ProveError::TooManyLanes { needed, bound } => {
+                write!(f, "layout needs {needed} lanes, verifier bound is {bound}")
+            }
+            ProveError::NeedRepresentation => {
+                write!(f, "graph too large for the exact solver; supply a representation")
+            }
+            ProveError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl Error for ProveError {}
+
+/// The Theorem 1 proof labeling scheme for one `(ϕ, k)` pair.
+pub struct PathwidthScheme {
+    algebra: SharedAlgebra,
+    opts: SchemeOptions,
+}
+
+impl PathwidthScheme {
+    /// Creates the scheme for a property algebra and options.
+    pub fn new(algebra: SharedAlgebra, opts: SchemeOptions) -> Self {
+        Self { algebra, opts }
+    }
+
+    /// The algebra (shared "global knowledge").
+    pub fn algebra(&self) -> &SharedAlgebra {
+        &self.algebra
+    }
+
+    /// The options.
+    pub fn options(&self) -> SchemeOptions {
+        self.opts
+    }
+
+    /// Honest certificate assignment given an interval representation of
+    /// the network (e.g. from a known decomposition).
+    ///
+    /// # Errors
+    ///
+    /// See [`ProveError`].
+    pub fn prove(
+        &self,
+        cfg: &Configuration,
+        rep: &IntervalRep,
+    ) -> Result<Vec<EdgeLabel>, ProveError> {
+        let g = cfg.graph();
+        if g.vertex_count() == 0 {
+            return Ok(Vec::new());
+        }
+        if !lanecert_graph::components::is_connected(g) {
+            return Err(ProveError::Disconnected);
+        }
+        if g.vertex_count() == 1 {
+            // K1: no edges, no labels; the verifier special-cases it.
+            let s = self.algebra.add_vertex(self.algebra.empty(), 0);
+            return if self.algebra.accept(s) {
+                Ok(Vec::new())
+            } else {
+                Err(ProveError::PropertyViolated)
+            };
+        }
+        rep.validate(g)
+            .map_err(|e| ProveError::Internal(format!("bad representation: {e}")))?;
+        let layout = Layout::build(g, rep, self.opts.strategy);
+        if layout.lane_count() > self.opts.max_lanes {
+            return Err(ProveError::TooManyLanes {
+                needed: layout.lane_count(),
+                bound: self.opts.max_lanes,
+            });
+        }
+        prover::build_labels(&self.algebra, cfg, &layout).map(|o| o.labels)
+    }
+
+    /// Honest certificate assignment, computing an optimal interval
+    /// representation with the exact solver.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProveError`]; in particular [`ProveError::NeedRepresentation`]
+    /// for graphs beyond the exact-solver limit.
+    pub fn prove_auto(&self, cfg: &Configuration) -> Result<Vec<EdgeLabel>, ProveError> {
+        if cfg.n() <= 1 {
+            let rep = IntervalRep::new(vec![
+                lanecert_pathwidth::Interval::new(0, 0);
+                cfg.n()
+            ]);
+            return self.prove(cfg, &rep);
+        }
+        let (_, pd) =
+            solver::pathwidth_exact(cfg.graph()).map_err(|_| ProveError::NeedRepresentation)?;
+        let rep = IntervalRep::from_decomposition(&pd, cfg.n());
+        self.prove(cfg, &rep)
+    }
+
+    /// The local verification algorithm at one vertex.
+    pub fn verify_at(
+        &self,
+        _cfg: &Configuration,
+        _v: lanecert_graph::VertexId,
+        view: &VertexView<EdgeLabel>,
+    ) -> Verdict {
+        let ctx = verifier::Ctx {
+            alg: &self.algebra,
+            max_lanes: self.opts.max_lanes,
+            my_id: view.id,
+        };
+        verifier::verify(&ctx, view)
+    }
+
+    /// Convenience: run the full scheme (prove + everywhere-verify).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prover refusals.
+    pub fn run(&self, cfg: &Configuration, rep: &IntervalRep) -> Result<RunReport, ProveError> {
+        let labels = self.prove(cfg, rep)?;
+        Ok(self.run_with_labels(cfg, &labels))
+    }
+
+    /// Runs the verifier against externally supplied (possibly adversarial)
+    /// labels.
+    pub fn run_with_labels(&self, cfg: &Configuration, labels: &[EdgeLabel]) -> RunReport {
+        run_edge_scheme(cfg, labels, |c, v, view| self.verify_at(c, v, view))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_algebra::props::{And, Bipartite, Connected, Forest, HamiltonianCycle};
+    use lanecert_algebra::Algebra;
+    use lanecert_graph::{generators, Graph};
+    use lanecert_pathwidth::solver::pathwidth_exact;
+
+    fn rep_of(g: &Graph) -> IntervalRep {
+        let (_, pd) = pathwidth_exact(g).unwrap();
+        IntervalRep::from_decomposition(&pd, g.vertex_count())
+    }
+
+    fn run_case(
+        scheme: &PathwidthScheme,
+        g: Graph,
+        expect_prove: bool,
+    ) -> Option<RunReport> {
+        let rep = rep_of(&g);
+        let cfg = Configuration::with_random_ids(g, 99);
+        match scheme.prove(&cfg, &rep) {
+            Ok(labels) => {
+                assert!(expect_prove, "prover should have refused");
+                let report = scheme.run_with_labels(&cfg, &labels);
+                assert!(
+                    report.accepted(),
+                    "completeness failed: {:?}",
+                    report.first_rejection()
+                );
+                Some(report)
+            }
+            Err(ProveError::PropertyViolated) => {
+                assert!(!expect_prove, "prover refused a yes-instance");
+                None
+            }
+            Err(e) => panic!("unexpected prover error: {e}"),
+        }
+    }
+
+    #[test]
+    fn bipartite_on_even_cycles() {
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(Bipartite),
+            SchemeOptions::exact_pathwidth(2),
+        );
+        run_case(&scheme, generators::cycle_graph(6), true);
+        run_case(&scheme, generators::cycle_graph(7), false);
+        run_case(&scheme, generators::path_graph(9), true);
+    }
+
+    #[test]
+    fn hamiltonicity_on_cycles_and_ladders() {
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(HamiltonianCycle),
+            SchemeOptions::exact_pathwidth(2),
+        );
+        run_case(&scheme, generators::cycle_graph(8), true);
+        run_case(&scheme, generators::ladder(4), true);
+        run_case(&scheme, generators::path_graph(6), false);
+    }
+
+    #[test]
+    fn spanning_tree_like_property() {
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(And(Connected, Forest)),
+            SchemeOptions::exact_pathwidth(1),
+        );
+        run_case(&scheme, generators::caterpillar(4, 2), true);
+        run_case(&scheme, generators::star(7), true);
+    }
+
+    #[test]
+    fn pathwidth_bound_is_enforced_by_prover() {
+        // A ladder has pathwidth 2: with bound k = 1 the prover must refuse.
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(Connected),
+            SchemeOptions::exact_pathwidth(1),
+        );
+        let g = generators::ladder(4);
+        let rep = rep_of(&g);
+        let cfg = Configuration::with_sequential_ids(g);
+        assert!(matches!(
+            scheme.prove(&cfg, &rep),
+            Err(ProveError::TooManyLanes { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_is_refused() {
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(Connected),
+            SchemeOptions::exact_pathwidth(2),
+        );
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let cfg = Configuration::with_sequential_ids(g);
+        let rep = IntervalRep::new(vec![
+            lanecert_pathwidth::Interval::new(0, 1),
+            lanecert_pathwidth::Interval::new(1, 2),
+            lanecert_pathwidth::Interval::new(4, 5),
+            lanecert_pathwidth::Interval::new(5, 6),
+        ]);
+        assert_eq!(scheme.prove(&cfg, &rep), Err(ProveError::Disconnected));
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let yes = PathwidthScheme::new(
+            Algebra::shared(Forest),
+            SchemeOptions::exact_pathwidth(1),
+        );
+        let cfg = Configuration::with_sequential_ids(Graph::new(1));
+        let labels = yes.prove_auto(&cfg).unwrap();
+        assert!(labels.is_empty());
+        assert!(yes.run_with_labels(&cfg, &labels).accepted());
+    }
+
+    #[test]
+    fn both_strategies_complete() {
+        for strategy in [LaneStrategy::Greedy, LaneStrategy::Recursive] {
+            let scheme = PathwidthScheme::new(
+                Algebra::shared(Bipartite),
+                SchemeOptions {
+                    strategy,
+                    max_lanes: 64,
+                },
+            );
+            let g = generators::caterpillar(3, 2);
+            let rep = rep_of(&g);
+            let cfg = Configuration::with_random_ids(g, 5);
+            let labels = scheme.prove(&cfg, &rep).unwrap();
+            let report = scheme.run_with_labels(&cfg, &labels);
+            assert!(report.accepted(), "{strategy:?}: {:?}", report.first_rejection());
+        }
+    }
+
+    #[test]
+    fn random_graphs_complete() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(Connected),
+            SchemeOptions::exact_pathwidth(2),
+        );
+        for _ in 0..6 {
+            let (g, _) = generators::random_pathwidth_graph(14, 2, 0.4, &mut rng);
+            run_case(&scheme, g, true);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The certificate assignment (the centralized prover of Theorem 1).
+
+use std::collections::HashMap;
+
+use lanecert_algebra::Algebra;
+use lanecert_graph::{EdgeId, VertexId};
+use lanecert_lanes::{Layout, NodeId, NodeKind};
+
+use super::labels::*;
+use super::summary::{self, Summary};
+use super::ProveError;
+use crate::Configuration;
+
+/// Per-edge frame templates plus the global summaries — everything needed
+/// to materialize [`EdgeLabel`]s.
+pub(super) struct ProverOutput {
+    /// One label per edge of the *network* graph.
+    pub labels: Vec<EdgeLabel>,
+}
+
+struct Frames<'a> {
+    alg: &'a Algebra,
+    cfg: &'a Configuration,
+    layout: &'a Layout,
+    marked: Vec<bool>,                       // per built-graph edge
+    node_summary: Vec<Option<Summary>>,      // per hierarchy node
+    member_subtree: HashMap<(NodeId, usize), Summary>,
+    t_root_vertex: HashMap<NodeId, VertexId>,
+    t_dist: HashMap<NodeId, Vec<u32>>,       // per vertex, u32::MAX outside
+    edge_frames: Vec<Vec<FrameLbl>>,         // per built-graph edge (d_* = 0 placeholders)
+}
+
+pub(super) fn build_labels(
+    alg: &Algebra,
+    cfg: &Configuration,
+    layout: &Layout,
+) -> Result<ProverOutput, ProveError> {
+    let bg = &layout.construction.graph;
+    let n_nodes = layout.hierarchy.nodes.len();
+    // Mark flags: an edge of the built (completion) graph is marked iff it
+    // is an original edge of the network graph.
+    let marked: Vec<bool> = bg
+        .edges()
+        .map(|(_, e)| cfg.graph().has_edge(e.u, e.v))
+        .collect();
+    let mut fr = Frames {
+        alg,
+        cfg,
+        layout,
+        marked,
+        node_summary: vec![None; n_nodes],
+        member_subtree: HashMap::new(),
+        t_root_vertex: HashMap::new(),
+        t_dist: HashMap::new(),
+        edge_frames: vec![Vec::new(); bg.edge_count()],
+    };
+    let root = fr
+        .summarize(layout.hierarchy.root)
+        .map_err(ProveError::Internal)?;
+    if !alg.accept(root.class) {
+        return Err(ProveError::PropertyViolated);
+    }
+    fr.pointers();
+    let mut chain = Vec::new();
+    fr.walk(layout.hierarchy.root, &mut chain);
+    debug_assert!(fr.edge_frames.iter().all(|f| !f.is_empty()));
+
+    // Materialize completion-edge certificates.
+    let certs: Vec<EdgeCertLbl> = bg
+        .edges()
+        .map(|(eid, e)| fr.materialize(eid, e.u, e.v))
+        .collect();
+
+    // Per network edge: own certificate + transits of virtual edges.
+    let mut labels: Vec<EdgeLabel> = cfg
+        .graph()
+        .edges()
+        .map(|(_, e)| {
+            let built = bg
+                .edge_between(e.u, e.v)
+                .expect("every network edge is a completion edge");
+            EdgeLabel {
+                own: certs[built.index()].clone(),
+                transits: Vec::new(),
+            }
+        })
+        .collect();
+    let completion = &layout.completion;
+    for ve in completion.virtual_edges() {
+        let (u, v) = completion.graph.endpoints(ve);
+        let built = bg.edge_between(u, v).expect("virtual edge exists in built graph");
+        let cert = certs[built.index()].clone();
+        let path = layout
+            .embedding
+            .path(ve)
+            .expect("embedding covers all virtual edges");
+        // Orient the path from the smaller-id endpoint (cert.a).
+        let path: Vec<VertexId> = if cfg.id_of(path[0]) == cert.a {
+            path.to_vec()
+        } else {
+            path.iter().rev().copied().collect()
+        };
+        let hops = path.len() - 1;
+        for (idx, w) in path.windows(2).enumerate() {
+            let real = cfg
+                .graph()
+                .edge_between(w[0], w[1])
+                .expect("embedding paths follow network edges");
+            labels[real.index()].transits.push(TransitLbl {
+                rank_fwd: (idx + 1) as u32,
+                rank_bwd: (hops - idx) as u32,
+                cert: cert.clone(),
+            });
+        }
+    }
+    Ok(ProverOutput { labels })
+}
+
+impl<'a> Frames<'a> {
+    fn id(&self, v: VertexId) -> u64 {
+        self.cfg.id_of(v)
+    }
+
+    /// Full realized summary of a hierarchy node.
+    fn summarize(&mut self, node: NodeId) -> Result<Summary, String> {
+        if let Some(s) = &self.node_summary[node] {
+            return Ok(s.clone());
+        }
+        let h = &self.layout.hierarchy;
+        let out = match h.nodes[node].kind.clone() {
+            NodeKind::V { lane, vertex } => summary::base_v(self.alg, lane, self.id(vertex)),
+            NodeKind::E {
+                lane,
+                tin,
+                tout,
+                edge,
+            } => summary::base_e(
+                self.alg,
+                lane,
+                self.id(tin),
+                self.id(tout),
+                self.marked[edge.index()],
+            )?,
+            NodeKind::P { vertices, edges } => {
+                let ids: Vec<u64> = vertices.iter().map(|&v| self.id(v)).collect();
+                let marks: Vec<bool> = edges.iter().map(|e| self.marked[e.index()]).collect();
+                summary::base_p(self.alg, &ids, &marks)?
+            }
+            NodeKind::B {
+                i,
+                j,
+                left,
+                right,
+                bridge,
+            } => {
+                let l = self.summarize(left)?;
+                let r = self.summarize(right)?;
+                summary::bridge(self.alg, &l, &r, i, j, self.marked[bridge.index()])?
+            }
+            NodeKind::T { .. } => self.subtree(node, 0)?,
+        };
+        self.node_summary[node] = Some(out.clone());
+        Ok(out)
+    }
+
+    /// Summary of `Tree-merge(T_m)` for member index `m_idx` of T-node `t`.
+    fn subtree(&mut self, t: NodeId, m_idx: usize) -> Result<Summary, String> {
+        if let Some(s) = self.member_subtree.get(&(t, m_idx)) {
+            return Ok(s.clone());
+        }
+        let NodeKind::T {
+            members,
+            member_parent,
+        } = self.layout.hierarchy.nodes[t].kind.clone()
+        else {
+            return Err("subtree on non-T node".into());
+        };
+        let mut acc = self.summarize(members[m_idx])?;
+        // Children sorted by lane mask (deterministic, label-independent).
+        let mut kids: Vec<usize> = (0..members.len())
+            .filter(|&c| member_parent[c] == Some(m_idx))
+            .collect();
+        kids.sort_by_key(|&c| self.layout.hierarchy.nodes[members[c]].lanes.0);
+        for c in kids {
+            let sub = self.subtree(t, c)?;
+            acc = summary::parent(self.alg, &sub, &acc)?;
+        }
+        self.member_subtree.insert((t, m_idx), acc.clone());
+        Ok(acc)
+    }
+
+    /// Chooses pointer roots and computes BFS distances inside each
+    /// T-node's realized subgraph.
+    fn pointers(&mut self) {
+        let h = &self.layout.hierarchy;
+        let realized = h.realized();
+        let bg = &self.layout.construction.graph;
+        for (id, node) in h.nodes.iter().enumerate() {
+            let NodeKind::T { members, .. } = &node.kind else {
+                continue;
+            };
+            let (rv, _) = &realized[members[0]];
+            let root = *rv.iter().next().expect("root member has a vertex");
+            self.t_root_vertex.insert(id, root);
+            let (_, edges) = &realized[id];
+            let allowed: std::collections::HashSet<EdgeId> = edges.iter().copied().collect();
+            let tree =
+                lanecert_graph::traversal::bfs_restricted(bg, root, |e| allowed.contains(&e));
+            self.t_dist.insert(id, tree.dist);
+        }
+    }
+
+    /// DFS assigning frame templates to owned edges.
+    fn walk(&mut self, node: NodeId, chain: &mut Vec<FrameLbl>) {
+        let h = &self.layout.hierarchy;
+        match h.nodes[node].kind.clone() {
+            NodeKind::V { .. } => {}
+            NodeKind::E {
+                lane,
+                tin,
+                tout,
+                edge,
+            } => {
+                let mut frames = chain.clone();
+                frames.push(FrameLbl::E(EFrameLbl {
+                    node: node as u32,
+                    lane: lane as u8,
+                    tin: self.id(tin),
+                    tout: self.id(tout),
+                }));
+                self.edge_frames[edge.index()] = frames;
+            }
+            NodeKind::P { vertices, edges } => {
+                let ids: Vec<u64> = vertices.iter().map(|&v| self.id(v)).collect();
+                let marks: Vec<bool> = edges.iter().map(|e| self.marked[e.index()]).collect();
+                for (pos, e) in edges.iter().enumerate() {
+                    let mut frames = chain.clone();
+                    frames.push(FrameLbl::P(PFrameLbl {
+                        node: node as u32,
+                        ids: ids.clone(),
+                        marks: marks.clone(),
+                        pos: pos as u16,
+                    }));
+                    self.edge_frames[e.index()] = frames;
+                }
+            }
+            NodeKind::B {
+                i,
+                j,
+                left,
+                right,
+                bridge,
+            } => {
+                let info = |fr: &mut Self, side: NodeId| -> BasicInfoLbl {
+                    let s = fr.summarize(side).expect("summaries precomputed");
+                    BasicInfoLbl {
+                        node: side as u32,
+                        class: s.class.0,
+                        iface: s.iface.to_lbl(),
+                    }
+                };
+                let left_info = info(self, left);
+                let right_info = info(self, right);
+                let bridge_marked = self.marked[bridge.index()];
+                let template = |side: u8| {
+                    FrameLbl::B(BFrameLbl {
+                        node: node as u32,
+                        i: i as u8,
+                        j: j as u8,
+                        left_is_v: matches!(h.nodes[left].kind, NodeKind::V { .. }),
+                        right_is_v: matches!(h.nodes[right].kind, NodeKind::V { .. }),
+                        left: left_info.clone(),
+                        right: right_info.clone(),
+                        bridge_marked,
+                        side,
+                    })
+                };
+                let mut frames = chain.clone();
+                frames.push(template(0));
+                self.edge_frames[bridge.index()] = frames;
+                for (side_no, child) in [(1u8, left), (2u8, right)] {
+                    if matches!(h.nodes[child].kind, NodeKind::V { .. }) {
+                        continue;
+                    }
+                    chain.push(template(side_no));
+                    self.walk(child, chain);
+                    chain.pop();
+                }
+            }
+            NodeKind::T {
+                members,
+                member_parent,
+            } => {
+                let root_vertex = self.id(self.t_root_vertex[&node]);
+                for (idx, &m) in members.iter().enumerate() {
+                    let sub = self.subtree(node, idx).expect("summaries precomputed");
+                    let mut kids: Vec<usize> = (0..members.len())
+                        .filter(|&c| member_parent[c] == Some(idx))
+                        .collect();
+                    kids.sort_by_key(|&c| self.layout.hierarchy.nodes[members[c]].lanes.0);
+                    let children: Vec<BasicInfoLbl> = kids
+                        .iter()
+                        .map(|&c| {
+                            let s = self.subtree(node, c).expect("summaries precomputed");
+                            BasicInfoLbl {
+                                node: members[c] as u32,
+                                class: s.class.0,
+                                iface: s.iface.to_lbl(),
+                            }
+                        })
+                        .collect();
+                    chain.push(FrameLbl::T(TFrameLbl {
+                        t_node: node as u32,
+                        member: m as u32,
+                        subtree: BasicInfoLbl {
+                            node: m as u32,
+                            class: sub.class.0,
+                            iface: sub.iface.to_lbl(),
+                        },
+                        children,
+                        is_root_member: idx == 0,
+                        root_vertex,
+                        d_a: 0,
+                        d_b: 0,
+                    }));
+                    self.walk(m, chain);
+                    chain.pop();
+                }
+            }
+        }
+    }
+
+    /// Fills per-edge fields (endpoint ids ordered, pointer distances).
+    fn materialize(&self, edge: EdgeId, u: VertexId, v: VertexId) -> EdgeCertLbl {
+        let (mut a, mut b) = (u, v);
+        if self.id(a) > self.id(b) {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut frames = self.edge_frames[edge.index()].clone();
+        for f in frames.iter_mut() {
+            if let FrameLbl::T(t) = f {
+                let dist = &self.t_dist[&(t.t_node as usize)];
+                t.d_a = dist[a.index()];
+                t.d_b = dist[b.index()];
+            }
+        }
+        EdgeCertLbl {
+            a: self.id(a),
+            b: self.id(b),
+            marked: self.marked[edge.index()],
+            frames,
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The local verification algorithm of Theorem 1 (Section 6.2).
+//!
+//! Each vertex sees the labels of its incident edges, reconstructs its
+//! incident virtual edges from the transit records, and then checks the
+//! frame stacks: grouped by hierarchy node, every basic-information claim
+//! is recomputed from the level below via `f_B`/`f_P`, terminal identifiers
+//! are matched against actual endpoint identifiers, junctions between
+//! members are cross-checked on both sides, and decreasing-distance
+//! pointers anchor every `T`-node to a unique root vertex (which forces
+//! each claimed node to be one connected subgraph). The vertices of the
+//! outermost root member finally check that the root homomorphism class is
+//! accepting.
+
+use std::collections::HashMap;
+
+use lanecert_algebra::{Algebra, StateId};
+use lanecert_lanes::LaneSet;
+
+use super::labels::*;
+use super::summary::{self, Iface, Summary};
+use crate::scheme::{Verdict, VertexView};
+
+/// Verification context.
+pub(super) struct Ctx<'a> {
+    pub alg: &'a Algebra,
+    pub max_lanes: usize,
+    pub my_id: u64,
+}
+
+type VResult<T> = Result<T, String>;
+
+/// Entry point: full per-vertex verification.
+pub(super) fn verify(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> Verdict {
+    match verify_inner(ctx, view) {
+        Ok(()) => Verdict::Accept,
+        Err(reason) => Verdict::Reject(reason),
+    }
+}
+
+fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
+    if view.incident.is_empty() {
+        // A connected network with an isolated vertex is K1: evaluate the
+        // property on the single-vertex graph directly.
+        let s = ctx.alg.add_vertex(ctx.alg.empty(), 0);
+        return if ctx.alg.accept(s) {
+            Ok(())
+        } else {
+            Err("single-vertex graph violates the property".into())
+        };
+    }
+    let mut certs: Vec<&EdgeCertLbl> = Vec::new();
+    let mut transits: HashMap<(u64, u64), Vec<&TransitLbl>> = HashMap::new();
+    for label in &view.incident {
+        let Some(label) = label else {
+            return Err("undecodable label".into());
+        };
+        let own = &label.own;
+        if !own.marked {
+            return Err("real edge claims to be unmarked".into());
+        }
+        check_cert_shape(ctx, own)?;
+        certs.push(own);
+        for t in &label.transits {
+            transits.entry((t.cert.a, t.cert.b)).or_default().push(t);
+        }
+    }
+    // Reconstruct incident virtual edges (Section 6.2, embedding checks).
+    for ((a, b), entries) in &transits {
+        let cert = &entries[0].cert;
+        if cert.marked {
+            return Err("virtual edge claims to be marked".into());
+        }
+        check_cert_shape_basics(cert)?;
+        let total = entries[0].rank_fwd + entries[0].rank_bwd;
+        for e in entries {
+            if e.cert != *cert {
+                return Err("inconsistent transit certificates".into());
+            }
+            if e.rank_fwd + e.rank_bwd != total {
+                return Err("inconsistent path length".into());
+            }
+        }
+        if ctx.my_id == *a || ctx.my_id == *b {
+            if entries.len() != 1 {
+                return Err("virtual endpoint sees multiple path edges".into());
+            }
+            let e = entries[0];
+            let ok = (e.rank_fwd == 1 && ctx.my_id == *a) || (e.rank_bwd == 1 && ctx.my_id == *b);
+            if !ok {
+                return Err("virtual endpoint not at a path end".into());
+            }
+            check_cert_shape(ctx, cert)?;
+            certs.push(cert);
+        } else {
+            if entries.len() != 2 {
+                return Err("path transit without two consecutive edges".into());
+            }
+            if entries[0].rank_fwd.abs_diff(entries[1].rank_fwd) != 1 {
+                return Err("non-consecutive path ranks".into());
+            }
+        }
+    }
+    check_tnode(ctx, &certs, 0, None, true)
+}
+
+fn check_cert_shape_basics(cert: &EdgeCertLbl) -> VResult<()> {
+    if cert.a >= cert.b {
+        return Err("certificate endpoints not ordered".into());
+    }
+    if cert.frames.is_empty() || cert.frames.len() > 160 {
+        return Err("bad frame stack length".into());
+    }
+    Ok(())
+}
+
+fn check_cert_shape(ctx: &Ctx<'_>, cert: &EdgeCertLbl) -> VResult<()> {
+    check_cert_shape_basics(cert)?;
+    if ctx.my_id != cert.a && ctx.my_id != cert.b {
+        return Err("incident certificate does not mention me".into());
+    }
+    Ok(())
+}
+
+/// Parses a basic-information label into a [`Summary`] with validation.
+fn parse_info(ctx: &Ctx<'_>, info: &BasicInfoLbl) -> VResult<Summary> {
+    let iface = Iface::from_lbl(&info.iface)?;
+    if !iface.lanes.is_subset_of(LaneSet::full(ctx.max_lanes)) {
+        return Err(format!("lane set exceeds the {}-lane bound", ctx.max_lanes));
+    }
+    let class = StateId(info.class);
+    if !ctx.alg.knows(class) {
+        return Err("unknown homomorphism class".into());
+    }
+    Ok(Summary { class, iface })
+}
+
+fn same_info(a: &BasicInfoLbl, b: &BasicInfoLbl) -> bool {
+    a == b
+}
+
+/// Per-member bookkeeping inside one T-node group.
+struct MemberCheck<'a> {
+    frame: &'a TFrameLbl,
+    own: Summary,
+}
+
+/// Verifies a group of certificates that all lie inside one `T`-node at
+/// stack depth `depth`. `expect` is the interface claimed for this `T`-node
+/// by the enclosing `B`-frame (nested case); `outermost` marks the root.
+fn check_tnode(
+    ctx: &Ctx<'_>,
+    certs: &[&EdgeCertLbl],
+    depth: usize,
+    expect: Option<&BasicInfoLbl>,
+    outermost: bool,
+) -> VResult<()> {
+    if certs.is_empty() {
+        return Err("empty T-node group".into());
+    }
+    fn tf_at(c: &EdgeCertLbl, depth: usize) -> VResult<&TFrameLbl> {
+        match c.frames.get(depth) {
+            Some(FrameLbl::T(t)) => Ok(t),
+            _ => Err("expected a T frame".into()),
+        }
+    }
+    let first = tf_at(certs[0], depth)?;
+    let (t_node, root_vertex) = (first.t_node, first.root_vertex);
+    // Pointer consistency (Proposition 2.2 within this T-node).
+    let mut my_d: Option<u32> = None;
+    let mut has_parent = false;
+    for c in certs {
+        let t = tf_at(c, depth)?;
+        if t.t_node != t_node || t.root_vertex != root_vertex {
+            return Err("inconsistent T-node context".into());
+        }
+        let (mine, other) = if ctx.my_id == c.a {
+            (t.d_a, t.d_b)
+        } else {
+            (t.d_b, t.d_a)
+        };
+        if *my_d.get_or_insert(mine) != mine {
+            return Err("inconsistent pointer distance".into());
+        }
+        if mine.abs_diff(other) > 1 {
+            return Err("pointer distance jump".into());
+        }
+        if other + 1 == mine {
+            has_parent = true;
+        }
+    }
+    let d = my_d.unwrap();
+    if d == 0 && ctx.my_id != root_vertex {
+        return Err("claims pointer distance 0 with wrong id".into());
+    }
+    if d > 0 && !has_parent {
+        return Err("no decreasing pointer neighbour".into());
+    }
+
+    // Group by member.
+    let mut groups: HashMap<u32, Vec<&EdgeCertLbl>> = HashMap::new();
+    for c in certs {
+        groups.entry(tf_at(c, depth)?.member).or_default().push(c);
+    }
+    let mut checked: HashMap<u32, MemberCheck<'_>> = HashMap::new();
+    for (&member, group) in &groups {
+        let frame = tf_at(group[0], depth)?;
+        for c in group.iter().skip(1) {
+            let t = tf_at(c, depth)?;
+            if t.subtree != frame.subtree
+                || t.children != frame.children
+                || t.is_root_member != frame.is_root_member
+            {
+                return Err("inconsistent member frames".into());
+            }
+        }
+        if frame.subtree.node != member {
+            return Err("subtree info names the wrong node".into());
+        }
+        let sub_claim = parse_info(ctx, &frame.subtree)?;
+        // Children: parse, disjoint lanes.
+        let mut kids: Vec<(Summary, &BasicInfoLbl)> = Vec::new();
+        for entry in &frame.children {
+            kids.push((parse_info(ctx, entry)?, entry));
+        }
+        for x in 0..kids.len() {
+            for y in (x + 1)..kids.len() {
+                if !kids[x].0.iface.lanes.is_disjoint(kids[y].0.iface.lanes) {
+                    return Err("children lanes overlap".into());
+                }
+            }
+        }
+        // Member's own summary from the deeper frame.
+        let own = check_member_own(ctx, group, depth + 1, member)?;
+        // Children attach to the member's own out-terminals.
+        for (kid, _) in &kids {
+            if !kid.iface.lanes.is_subset_of(own.iface.lanes) {
+                return Err("child lanes exceed member lanes".into());
+            }
+            for lane in kid.iface.lanes.iter() {
+                if kid.iface.tin[&lane] != own.iface.tout[&lane] {
+                    return Err("child junction id mismatch".into());
+                }
+            }
+        }
+        // Recompute the subtree fold (f_P over children, lane-mask order).
+        let mut acc = own.clone();
+        let mut order: Vec<usize> = (0..kids.len()).collect();
+        order.sort_by_key(|&x| kids[x].0.iface.lanes.0);
+        for x in order {
+            acc = summary::parent(ctx.alg, &kids[x].0, &acc)?;
+        }
+        if acc != sub_claim {
+            return Err("subtree class/interface recomputation mismatch".into());
+        }
+        if frame.is_root_member {
+            if let Some(exp) = expect {
+                let exp_sum = parse_info(ctx, exp)?;
+                if exp_sum != sub_claim {
+                    return Err("nested T-node interface mismatch".into());
+                }
+            }
+            if outermost && !ctx.alg.accept(sub_claim.class) {
+                return Err("root homomorphism class rejects the property".into());
+            }
+        }
+        checked.insert(member, MemberCheck { frame, own });
+    }
+
+    // Junction / attachment rules.
+    let mut roots = 0;
+    for mc in checked.values() {
+        if mc.frame.is_root_member {
+            roots += 1;
+        }
+    }
+    if roots > 1 {
+        return Err("two root members at one vertex".into());
+    }
+    if ctx.my_id == root_vertex && roots == 0 {
+        return Err("pointer root vertex is not in the root member".into());
+    }
+    for (&member, mc) in &checked {
+        // R2: if I am a glue point (an in-terminal) of a non-root member,
+        // my parent member must be present and list this member.
+        let is_tin = mc.own.iface.tin.values().any(|&x| x == ctx.my_id);
+        if is_tin && !mc.frame.is_root_member {
+            let listed = checked.values().any(|p| {
+                p.frame
+                    .children
+                    .iter()
+                    .any(|e| e.node == member && same_info(e, &mc.frame.subtree))
+            });
+            if !listed {
+                return Err("dangling member: no parent lists it here".into());
+            }
+        }
+        // R1: every child hanging at one of my out-terminals must be
+        // physically present here.
+        for entry in &mc.frame.children {
+            let lanes = LaneSet(entry.iface.lanes);
+            let attaches_here = lanes
+                .iter()
+                .any(|l| mc.own.iface.tout.get(&l) == Some(&ctx.my_id));
+            if attaches_here {
+                let present = checked
+                    .get(&entry.node)
+                    .map(|c| same_info(&c.frame.subtree, entry))
+                    .unwrap_or(false);
+                if !present {
+                    return Err("listed child member is absent at its junction".into());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes the member's own summary from its owning frame at `depth`
+/// (an `E`, `P`, or `B` frame whose node id must equal `member`).
+fn check_member_own(
+    ctx: &Ctx<'_>,
+    group: &[&EdgeCertLbl],
+    depth: usize,
+    member: u32,
+) -> VResult<Summary> {
+    let kind_of = |c: &EdgeCertLbl| -> VResult<u8> {
+        match c.frames.get(depth) {
+            Some(FrameLbl::E(_)) => Ok(0),
+            Some(FrameLbl::P(_)) => Ok(1),
+            Some(FrameLbl::B(_)) => Ok(2),
+            _ => Err("member frame missing or of wrong kind".into()),
+        }
+    };
+    let kind = kind_of(group[0])?;
+    for c in group.iter().skip(1) {
+        if kind_of(c)? != kind {
+            return Err("mixed member frame kinds".into());
+        }
+    }
+    match kind {
+        0 => {
+            if group.len() != 1 {
+                return Err("an E-node owns exactly one edge".into());
+            }
+            let c = group[0];
+            let Some(FrameLbl::E(f)) = c.frames.get(depth) else {
+                unreachable!()
+            };
+            if f.node != member {
+                return Err("E frame names the wrong node".into());
+            }
+            if c.frames.len() != depth + 1 {
+                return Err("frames continue past an E-node".into());
+            }
+            let (lo, hi) = if f.tin < f.tout {
+                (f.tin, f.tout)
+            } else {
+                (f.tout, f.tin)
+            };
+            if (lo, hi) != (c.a, c.b) {
+                return Err("E-node terminals do not match the physical edge".into());
+            }
+            summary::base_e(ctx.alg, f.lane as usize, f.tin, f.tout, c.marked)
+        }
+        1 => {
+            let Some(FrameLbl::P(f0)) = group[0].frames.get(depth) else {
+                unreachable!()
+            };
+            if f0.node != member {
+                return Err("P frame names the wrong node".into());
+            }
+            let t = f0
+                .ids
+                .iter()
+                .position(|&x| x == ctx.my_id)
+                .ok_or("I am not on the claimed P-node path")?;
+            let mut expected: Vec<u16> = Vec::new();
+            if t > 0 {
+                expected.push((t - 1) as u16);
+            }
+            if t + 1 < f0.ids.len() {
+                expected.push(t as u16);
+            }
+            let mut seen: Vec<u16> = Vec::new();
+            for c in group.iter() {
+                let Some(FrameLbl::P(f)) = c.frames.get(depth) else {
+                    unreachable!()
+                };
+                if f.ids != f0.ids || f.marks != f0.marks {
+                    return Err("inconsistent P-node frames".into());
+                }
+                if c.frames.len() != depth + 1 {
+                    return Err("frames continue past the P-node".into());
+                }
+                let pos = f.pos as usize;
+                if pos + 1 >= f.ids.len() {
+                    return Err("P edge position out of range".into());
+                }
+                let (u, v) = (f.ids[pos], f.ids[pos + 1]);
+                let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+                if (lo, hi) != (c.a, c.b) || c.marked != f.marks[pos] {
+                    return Err("P edge does not match its position".into());
+                }
+                seen.push(f.pos);
+            }
+            seen.sort_unstable();
+            expected.sort_unstable();
+            if seen != expected {
+                return Err("incident P edges do not match my path position".into());
+            }
+            summary::base_p(ctx.alg, &f0.ids, &f0.marks)
+        }
+        _ => check_bnode(ctx, group, depth, member),
+    }
+}
+
+/// Verifies a `B`-node group and returns its recomputed summary (`f_B`).
+fn check_bnode(
+    ctx: &Ctx<'_>,
+    group: &[&EdgeCertLbl],
+    depth: usize,
+    member: u32,
+) -> VResult<Summary> {
+    fn bf_at(c: &EdgeCertLbl, depth: usize) -> VResult<&BFrameLbl> {
+        match c.frames.get(depth) {
+            Some(FrameLbl::B(b)) => Ok(b),
+            _ => Err("expected a B frame".into()),
+        }
+    }
+    let f0 = bf_at(group[0], depth)?;
+    if f0.node != member {
+        return Err("B frame names the wrong node".into());
+    }
+    for c in group.iter().skip(1) {
+        let f = bf_at(c, depth)?;
+        if (f.node, f.i, f.j, f.left_is_v, f.right_is_v, f.bridge_marked)
+            != (f0.node, f0.i, f0.j, f0.left_is_v, f0.right_is_v, f0.bridge_marked)
+            || f.left != f0.left
+            || f.right != f0.right
+        {
+            return Err("inconsistent B frames".into());
+        }
+    }
+    let left = parse_info(ctx, &f0.left)?;
+    let right = parse_info(ctx, &f0.right)?;
+    let (i, j) = (f0.i as usize, f0.j as usize);
+    if !left.iface.lanes.contains(i) || !right.iface.lanes.contains(j) {
+        return Err("bridge lane not in the respective side".into());
+    }
+    if !left.iface.lanes.is_disjoint(right.iface.lanes) {
+        return Err("B sides share lanes".into());
+    }
+    for (is_v, info, lane) in [(f0.left_is_v, &left, i), (f0.right_is_v, &right, j)] {
+        if is_v {
+            if info.iface.lanes.len() != 1 || info.iface.tin != info.iface.tout {
+                return Err("V-node side with a non-V interface".into());
+            }
+            let recomputed = summary::base_v(ctx.alg, lane, info.iface.tin[&lane]);
+            if recomputed.class != info.class {
+                return Err("V-node class mismatch".into());
+            }
+        }
+    }
+    let u = left.iface.tout[&i];
+    let w = right.iface.tout[&j];
+    // Partition into sides.
+    let mut sides: [Vec<&EdgeCertLbl>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for c in group {
+        let f = bf_at(c, depth)?;
+        if f.side > 2 {
+            return Err("invalid B side".into());
+        }
+        sides[f.side as usize].push(c);
+    }
+    // The bridge edge.
+    if ctx.my_id == u || ctx.my_id == w {
+        if sides[0].len() != 1 {
+            return Err("bridge endpoint must see exactly one bridge edge".into());
+        }
+        let c = sides[0][0];
+        let (lo, hi) = if u < w { (u, w) } else { (w, u) };
+        if (lo, hi) != (c.a, c.b) || c.marked != f0.bridge_marked {
+            return Err("bridge edge endpoints or mark mismatch".into());
+        }
+        if c.frames.len() != depth + 1 {
+            return Err("frames continue past the bridge edge".into());
+        }
+    } else if !sides[0].is_empty() {
+        return Err("bridge edge at a non-endpoint vertex".into());
+    }
+    // The two sides.
+    for (side_no, is_v, info, endpoint) in [(1usize, f0.left_is_v, &f0.left, u), (2, f0.right_is_v, &f0.right, w)]
+    {
+        let side = &sides[side_no];
+        if is_v {
+            if !side.is_empty() {
+                return Err("edges claimed inside a V-node".into());
+            }
+            continue;
+        }
+        if ctx.my_id == endpoint && side.is_empty() {
+            return Err("T-node side missing at its bridge endpoint".into());
+        }
+        if !side.is_empty() {
+            check_tnode(ctx, side, depth + 1, Some(info), false)?;
+        }
+    }
+    summary::bridge(ctx.alg, &left, &right, i, j, f0.bridge_marked)
+}

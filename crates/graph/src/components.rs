@@ -1,0 +1,82 @@
+//! Connectivity queries: components, connectivity, forests.
+
+use crate::{traversal, Graph, UnionFind, VertexId};
+
+/// Returns the connected components as vertex lists (each sorted by index).
+pub fn connected_components(g: &Graph) -> Vec<Vec<VertexId>> {
+    let n = g.vertex_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in g.vertices() {
+        if comp[s.index()] != usize::MAX {
+            continue;
+        }
+        let tree = traversal::bfs(g, s);
+        for v in &tree.order {
+            comp[v.index()] = count;
+        }
+        count += 1;
+    }
+    let mut out = vec![Vec::new(); count];
+    for v in g.vertices() {
+        out[comp[v.index()]].push(v);
+    }
+    out
+}
+
+/// Returns the number of connected components.
+pub fn component_count(g: &Graph) -> usize {
+    connected_components(g).len()
+}
+
+/// Returns `true` if the graph is connected (the empty graph counts as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    component_count(g) <= 1
+}
+
+/// Returns `true` if the graph has no cycle.
+pub fn is_forest(g: &Graph) -> bool {
+    let mut uf = UnionFind::new(g.vertex_count());
+    for (_, e) in g.edges() {
+        if !uf.union(e.u.index(), e.v.index()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns `true` if the graph is a tree (connected and acyclic).
+pub fn is_tree(g: &Graph) -> bool {
+    is_connected(g) && is_forest(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn component_structure() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn forests_and_trees() {
+        assert!(is_tree(&generators::path_graph(5)));
+        assert!(is_forest(&Graph::new(3)));
+        assert!(!is_forest(&generators::cycle_graph(3)));
+        assert!(!is_tree(&Graph::from_edges(3, [(0, 1)]).unwrap()));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+}

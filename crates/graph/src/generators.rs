@@ -1,0 +1,245 @@
+//! Graph families used across tests, examples, and the experiment harness.
+//!
+//! Deterministic generators take explicit sizes; randomized ones take a
+//! caller-provided RNG so experiments are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Graph, VertexId};
+
+/// The path `v0 – v1 – … – v(n-1)`. Pathwidth 1 for `n ≥ 2`.
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(VertexId::new(i - 1), VertexId::new(i)).unwrap();
+    }
+    g
+}
+
+/// The cycle `C_n` (requires `n ≥ 3`). Pathwidth 2.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycles need at least 3 vertices");
+    let mut g = path_graph(n);
+    g.add_edge(VertexId::new(n - 1), VertexId::new(0)).unwrap();
+    g
+}
+
+/// The star `K_{1,n-1}`: vertex 0 is the hub. Pathwidth 1 for `n ≥ 3`.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(VertexId::new(0), VertexId::new(i)).unwrap();
+    }
+    g
+}
+
+/// The complete graph `K_n`. Pathwidth `n − 1`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(VertexId::new(i), VertexId::new(j)).unwrap();
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` (sides `0..a` and `a..a+b`).
+/// Pathwidth `min(a, b)`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            g.add_edge(VertexId::new(i), VertexId::new(a + j)).unwrap();
+        }
+    }
+    g
+}
+
+/// A caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves. Caterpillar forests are exactly the graphs of pathwidth ≤ 1.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let mut g = path_graph(spine);
+    for s in 0..spine {
+        for _ in 0..legs {
+            let leaf = g.add_vertex();
+            g.add_edge(VertexId::new(s), leaf).unwrap();
+        }
+    }
+    g
+}
+
+/// The ladder `P_n × K_2` (`2n` vertices). Pathwidth 2 for `n ≥ 2`.
+pub fn ladder(n: usize) -> Graph {
+    grid(2, n)
+}
+
+/// The `h × w` grid. Pathwidth `min(h, w)` (for a non-degenerate grid).
+pub fn grid(h: usize, w: usize) -> Graph {
+    let mut g = Graph::new(h * w);
+    let at = |r: usize, c: usize| VertexId::new(r * w + c);
+    for r in 0..h {
+        for c in 0..w {
+            if c + 1 < w {
+                g.add_edge(at(r, c), at(r, c + 1)).unwrap();
+            }
+            if r + 1 < h {
+                g.add_edge(at(r, c), at(r + 1, c)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// The complete binary tree with `depth` full levels (`2^depth − 1`
+/// vertices). Pathwidth `Θ(depth)` — useful as a *negative* instance for
+/// `pathwidth ≤ k` once `depth` is large.
+pub fn binary_tree(depth: u32) -> Graph {
+    let n = (1usize << depth) - 1;
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(VertexId::new((i - 1) / 2), VertexId::new(i)).unwrap();
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` vertices (random attachment).
+pub fn random_tree(n: usize, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        let p = rng.random_range(0..i);
+        g.add_edge(VertexId::new(p), VertexId::new(i)).unwrap();
+    }
+    g
+}
+
+/// An Erdős–Rényi graph `G(n, p)`.
+pub fn gnp(n: usize, p: f64, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < p {
+                g.add_edge(VertexId::new(i), VertexId::new(j)).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// A random connected graph of pathwidth at most `k`, built by walking a
+/// width-(k+1) bag sequence left to right and randomly swapping one vertex
+/// per step; every edge inside a bag is added with probability `density`.
+/// Consecutive-bag overlap keeps the graph connected.
+///
+/// Returns the graph together with the bag sequence that witnesses
+/// `pathwidth ≤ k` (each bag as a vertex list), so callers never need to
+/// re-solve pathwidth.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `n < k + 1`.
+pub fn random_pathwidth_graph(
+    n: usize,
+    k: usize,
+    density: f64,
+    rng: &mut StdRng,
+) -> (Graph, Vec<Vec<VertexId>>) {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(n >= k + 1, "need at least k + 1 vertices");
+    let mut g = Graph::new(n);
+    let mut bag: Vec<VertexId> = (0..=k).map(VertexId::new).collect();
+    let mut bags = Vec::new();
+    // The initial bag must itself be connected: join it as a path first.
+    for w in bag.windows(2) {
+        let _ = g.ensure_edge(w[0], w[1]);
+    }
+    let connect_bag = |g: &mut Graph, bag: &[VertexId], rng: &mut StdRng| {
+        // Ensure the newest vertex is attached, then sprinkle extra edges.
+        let newest = *bag.last().unwrap();
+        let anchor = bag[rng.random_range(0..bag.len() - 1)];
+        let _ = g.ensure_edge(anchor, newest);
+        for i in 0..bag.len() {
+            for j in (i + 1)..bag.len() {
+                if rng.random::<f64>() < density {
+                    let _ = g.ensure_edge(bag[i], bag[j]);
+                }
+            }
+        }
+    };
+    connect_bag(&mut g, &bag, rng);
+    bags.push(bag.clone());
+    for next in (k + 1)..n {
+        let out = rng.random_range(0..bag.len());
+        bag.remove(out);
+        bag.push(VertexId::new(next));
+        connect_bag(&mut g, &bag, rng);
+        bags.push(bag.clone());
+    }
+    (g, bags)
+}
+
+/// A convenience deterministic RNG for examples and tests.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components;
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(path_graph(5).edge_count(), 4);
+        assert_eq!(cycle_graph(5).edge_count(), 5);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(complete_graph(5).edge_count(), 10);
+        assert_eq!(complete_bipartite(2, 3).edge_count(), 6);
+        assert_eq!(caterpillar(3, 2).vertex_count(), 9);
+        assert_eq!(ladder(4).vertex_count(), 8);
+        assert_eq!(grid(3, 3).edge_count(), 12);
+        assert_eq!(binary_tree(3).vertex_count(), 7);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = seeded_rng(1);
+        for n in [1, 2, 5, 20] {
+            let t = random_tree(n, &mut rng);
+            assert!(components::is_tree(&t), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn random_pathwidth_graph_is_connected_with_valid_bags() {
+        let mut rng = seeded_rng(7);
+        for k in 1..=3 {
+            let (g, bags) = random_pathwidth_graph(20, k, 0.5, &mut rng);
+            assert!(components::is_connected(&g), "k = {k}");
+            // Every edge must live inside some bag.
+            for (_, e) in g.edges() {
+                assert!(
+                    bags.iter()
+                        .any(|b| b.contains(&e.u) && b.contains(&e.v)),
+                    "edge ({}, {}) not covered",
+                    e.u,
+                    e.v
+                );
+            }
+            // Bag width bound.
+            assert!(bags.iter().all(|b| b.len() <= k + 1));
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = seeded_rng(3);
+        assert_eq!(gnp(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+}

@@ -1,0 +1,71 @@
+//! Typed handles for vertices and edges.
+
+use std::fmt;
+
+/// A handle to a vertex of a [`Graph`](crate::Graph).
+///
+/// Vertex handles are dense indices `0..n`; they are *structural* indices, not
+/// the `O(log n)`-bit network identifiers of the proof-labeling-scheme model
+/// (those live in `lanecert::Configuration`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VertexId(pub u32);
+
+/// A handle to an edge of a [`Graph`](crate::Graph).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(pub u32);
+
+impl VertexId {
+    /// Creates a handle from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("vertex index overflow"))
+    }
+
+    /// Returns the dense index of this vertex.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates a handle from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("edge index overflow"))
+    }
+
+    /// Returns the dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}

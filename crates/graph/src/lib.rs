@@ -1,0 +1,46 @@
+//! Graph substrate for the `lanecert` workspace.
+//!
+//! This crate provides the simple undirected graph representation used by
+//! every other crate in the workspace, together with the classical algorithms
+//! the paper's constructions rely on:
+//!
+//! * [`Graph`] — an adjacency-list simple undirected graph with stable
+//!   [`VertexId`]/[`EdgeId`] handles.
+//! * traversal: BFS trees, shortest paths, DFS orders ([`traversal`]).
+//! * connectivity: components, connectivity tests ([`components`]).
+//! * [`degeneracy`] — degeneracy orderings and bounded-outdegree acyclic
+//!   orientations (Proposition 2.1 of the paper moves edge labels to vertex
+//!   labels along such an orientation).
+//! * [`generators`] — the graph families used throughout the test suite and
+//!   the experiment harness (paths, cycles, caterpillars, ladders, grids,
+//!   random trees, `G(n,p)`, ...).
+//! * [`minor`] — brute-force minor testing for small graphs, used as a test
+//!   oracle for minor-closed properties.
+//!
+//! # Example
+//!
+//! ```
+//! use lanecert_graph::{Graph, generators};
+//!
+//! let g = generators::cycle_graph(6);
+//! assert_eq!(g.vertex_count(), 6);
+//! assert_eq!(g.edge_count(), 6);
+//! assert!(lanecert_graph::components::is_connected(&g));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+pub use ids::{EdgeId, VertexId};
+
+mod graph;
+pub use graph::{Edge, Graph, GraphError, Half};
+
+pub mod components;
+pub mod degeneracy;
+pub mod generators;
+pub mod minor;
+pub mod traversal;
+pub mod union_find;
+pub use union_find::UnionFind;

@@ -1,0 +1,193 @@
+//! Brute-force minor testing for small graphs.
+//!
+//! `H` is a minor of `G` iff the vertices of `H` can be mapped to pairwise
+//! disjoint, connected *branch sets* in `G` such that every edge of `H` has a
+//! `G`-edge between the corresponding branch sets. This module enumerates
+//! branch sets one `H`-vertex at a time over vertex bitmasks, pruning on
+//! `H`-edge feasibility as soon as both endpoints are placed. It is
+//! exponential and intended purely as a **test oracle** for the minor-closed
+//! properties the paper discusses (e.g. the pathwidth-1 obstruction set,
+//! `F`-minor-freeness in Corollary 1.2).
+
+use crate::{Graph, VertexId};
+
+/// Returns `true` if `h` is a minor of `g`.
+///
+/// Intended for `g.vertex_count() ≤ 20` or so.
+///
+/// # Panics
+///
+/// Panics if `g` has more than 30 vertices (bitmask limit).
+pub fn has_minor(g: &Graph, h: &Graph) -> bool {
+    let n = g.vertex_count();
+    assert!(n <= 30, "minor oracle is limited to 30 vertices");
+    let nh = h.vertex_count();
+    if nh == 0 {
+        return true;
+    }
+    if nh > n || h.edge_count() > g.edge_count() {
+        return false;
+    }
+    // adjacency bitmasks of G
+    let adj: Vec<u32> = (0..n)
+        .map(|v| {
+            let mut m = 0u32;
+            for w in g.neighbors(VertexId::new(v)) {
+                m |= 1 << w.index();
+            }
+            m
+        })
+        .collect();
+    // H-edges among already-placed vertices, per level.
+    let h_edges: Vec<Vec<usize>> = (0..nh)
+        .map(|i| {
+            h.neighbors(VertexId::new(i))
+                .map(VertexId::index)
+                .filter(|&j| j < i)
+                .collect()
+        })
+        .collect();
+    let mut sets = vec![0u32; nh];
+    place(&adj, &h_edges, n, nh, 0, 0, &mut sets)
+}
+
+/// Checks whether the vertex set `mask` induces a connected subgraph.
+fn connected_mask(adj: &[u32], mask: u32) -> bool {
+    if mask == 0 {
+        return false;
+    }
+    let start = mask.trailing_zeros() as usize;
+    let mut seen = 1u32 << start;
+    let mut frontier = seen;
+    while frontier != 0 {
+        let mut next = 0u32;
+        let mut f = frontier;
+        while f != 0 {
+            let v = f.trailing_zeros() as usize;
+            f &= f - 1;
+            next |= adj[v] & mask & !seen;
+        }
+        seen |= next;
+        frontier = next;
+    }
+    seen == mask
+}
+
+/// Bitmask of vertices adjacent to any member of `mask`.
+fn neighborhood(adj: &[u32], mask: u32) -> u32 {
+    let mut out = 0u32;
+    let mut m = mask;
+    while m != 0 {
+        let v = m.trailing_zeros() as usize;
+        m &= m - 1;
+        out |= adj[v];
+    }
+    out
+}
+
+fn place(
+    adj: &[u32],
+    h_edges: &[Vec<usize>],
+    n: usize,
+    nh: usize,
+    level: usize,
+    used: u32,
+    sets: &mut Vec<u32>,
+) -> bool {
+    if level == nh {
+        return true;
+    }
+    let free = !used & ((1u32 << n) - 1);
+    if (free.count_ones() as usize) < nh - level {
+        return false;
+    }
+    // Enumerate non-empty subsets of `free` (by increasing mask) and keep the
+    // connected ones that satisfy every H-edge to already-placed sets.
+    let mut sub = free;
+    // Iterate all submasks of `free`.
+    loop {
+        if sub != 0 && connected_mask(adj, sub) {
+            let ok = h_edges[level]
+                .iter()
+                .all(|&j| neighborhood(adj, sub) & sets[j] != 0);
+            if ok {
+                sets[level] = sub;
+                if place(adj, h_edges, n, nh, level + 1, used | sub, sets) {
+                    return true;
+                }
+            }
+        }
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & free;
+    }
+    false
+}
+
+/// The 3-leg spider with legs of length 2 — together with `K_3` it is the
+/// obstruction set for pathwidth ≤ 1 (caterpillar forests).
+pub fn spider_s222() -> Graph {
+    // center 0; legs (1,2), (3,4), (5,6)
+    Graph::from_edges(7, [(0, 1), (1, 2), (0, 3), (3, 4), (0, 5), (5, 6)]).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn k3_minor_iff_cycle() {
+        let k3 = generators::complete_graph(3);
+        assert!(has_minor(&generators::cycle_graph(6), &k3));
+        assert!(!has_minor(&generators::path_graph(6), &k3));
+        assert!(!has_minor(&generators::caterpillar(4, 2), &k3));
+    }
+
+    #[test]
+    fn k4_minor() {
+        let k4 = generators::complete_graph(4);
+        assert!(has_minor(&generators::complete_graph(5), &k4));
+        // Series-parallel-ish: cycle has no K4 minor.
+        assert!(!has_minor(&generators::cycle_graph(8), &k4));
+        // The 3x3 grid contains a K4 minor.
+        assert!(has_minor(&generators::grid(3, 3), &k4));
+    }
+
+    #[test]
+    fn pathwidth_one_obstructions() {
+        let spider = spider_s222();
+        // Caterpillars avoid both obstructions.
+        let cat = generators::caterpillar(4, 1);
+        assert!(!has_minor(&cat, &generators::complete_graph(3)));
+        assert!(!has_minor(&cat, &spider));
+        // A binary tree with four levels contains the spider (three paths of
+        // length two out of an internal vertex).
+        assert!(has_minor(&generators::binary_tree(4), &spider));
+        // ... but a depth-3 binary tree does not (no vertex has three
+        // disjoint legs of length 2).
+        assert!(!has_minor(&generators::binary_tree(3), &spider));
+    }
+
+    #[test]
+    fn every_graph_has_single_vertex_minor() {
+        let k1 = generators::complete_graph(1);
+        assert!(has_minor(&generators::path_graph(3), &k1));
+    }
+
+    #[test]
+    fn minor_needs_enough_vertices() {
+        assert!(!has_minor(
+            &generators::path_graph(2),
+            &generators::path_graph(3)
+        ));
+    }
+
+    #[test]
+    fn k23_minor() {
+        let k23 = generators::complete_bipartite(2, 3);
+        assert!(has_minor(&generators::grid(3, 3), &k23));
+        assert!(!has_minor(&generators::cycle_graph(9), &k23));
+    }
+}

@@ -1,0 +1,181 @@
+//! Breadth-first and depth-first traversal utilities.
+
+use std::collections::VecDeque;
+
+use crate::{EdgeId, Graph, VertexId};
+
+/// A BFS tree rooted at some vertex: parent pointers and hop distances.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// The root the tree was grown from.
+    pub root: VertexId,
+    /// `parent[v]` is the BFS parent of `v` (`None` for the root and for
+    /// vertices unreachable from the root).
+    pub parent: Vec<Option<VertexId>>,
+    /// `parent_edge[v]` is the edge to the parent.
+    pub parent_edge: Vec<Option<EdgeId>>,
+    /// `dist[v]` is the hop distance from the root (`u32::MAX` if
+    /// unreachable).
+    pub dist: Vec<u32>,
+    /// Vertices in visit order (only reachable ones).
+    pub order: Vec<VertexId>,
+}
+
+impl BfsTree {
+    /// Returns `true` if `v` was reached from the root.
+    pub fn reached(&self, v: VertexId) -> bool {
+        self.dist[v.index()] != u32::MAX
+    }
+
+    /// Reconstructs the root-to-`v` vertex path, or `None` if unreachable.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs BFS from `root` over the whole graph.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn bfs(g: &Graph, root: VertexId) -> BfsTree {
+    bfs_restricted(g, root, |_| true)
+}
+
+/// Runs BFS from `root`, traversing only edges for which `allow` returns
+/// `true`. Used to grow spanning structures inside certified subgraphs.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn bfs_restricted<F>(g: &Graph, root: VertexId, mut allow: F) -> BfsTree
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    let n = g.vertex_count();
+    assert!(root.index() < n, "root out of range");
+    let mut tree = BfsTree {
+        root,
+        parent: vec![None; n],
+        parent_edge: vec![None; n],
+        dist: vec![u32::MAX; n],
+        order: Vec::new(),
+    };
+    let mut queue = VecDeque::new();
+    tree.dist[root.index()] = 0;
+    queue.push_back(root);
+    while let Some(v) = queue.pop_front() {
+        tree.order.push(v);
+        for h in g.incident(v) {
+            if !allow(h.edge) {
+                continue;
+            }
+            let w = h.to;
+            if tree.dist[w.index()] == u32::MAX {
+                tree.dist[w.index()] = tree.dist[v.index()] + 1;
+                tree.parent[w.index()] = Some(v);
+                tree.parent_edge[w.index()] = Some(h.edge);
+                queue.push_back(w);
+            }
+        }
+    }
+    tree
+}
+
+/// Returns a shortest `u`–`v` path as a vertex sequence, or `None` if `v` is
+/// unreachable from `u`.
+pub fn shortest_path(g: &Graph, u: VertexId, v: VertexId) -> Option<Vec<VertexId>> {
+    bfs(g, u).path_to(v)
+}
+
+/// Converts a vertex path into the edge handles along it.
+///
+/// # Panics
+///
+/// Panics if consecutive vertices are not adjacent.
+pub fn path_edges(g: &Graph, path: &[VertexId]) -> Vec<EdgeId> {
+    path.windows(2)
+        .map(|w| {
+            g.edge_between(w[0], w[1])
+                .unwrap_or_else(|| panic!("no edge between {} and {}", w[0], w[1]))
+        })
+        .collect()
+}
+
+/// Returns the vertices reachable from `root` in DFS preorder.
+pub fn dfs_preorder(g: &Graph, root: VertexId) -> Vec<VertexId> {
+    let n = g.vertex_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        if seen[v.index()] {
+            continue;
+        }
+        seen[v.index()] = true;
+        order.push(v);
+        // Push in reverse so lower-index neighbours are visited first.
+        for h in g.incident(v).iter().rev() {
+            if !seen[h.to.index()] {
+                stack.push(h.to);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path_graph(5);
+        let tree = bfs(&g, VertexId(0));
+        assert_eq!(tree.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(tree.path_to(VertexId(4)).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn bfs_unreachable_component() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let tree = bfs(&g, VertexId(0));
+        assert!(tree.reached(VertexId(1)));
+        assert!(!tree.reached(VertexId(3)));
+        assert_eq!(tree.path_to(VertexId(3)), None);
+    }
+
+    #[test]
+    fn shortest_path_on_cycle() {
+        let g = generators::cycle_graph(8);
+        let p = shortest_path(&g, VertexId(0), VertexId(4)).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(path_edges(&g, &p).len(), 4);
+    }
+
+    #[test]
+    fn restricted_bfs_ignores_forbidden_edges() {
+        let g = generators::cycle_graph(4);
+        // Forbid edge 0 (between v0 and v1): distances wrap the other way.
+        let tree = bfs_restricted(&g, VertexId(0), |e| e.index() != 0);
+        assert_eq!(tree.dist[1], 3);
+    }
+
+    #[test]
+    fn dfs_visits_everything_connected() {
+        let g = generators::ladder(4);
+        let order = dfs_preorder(&g, VertexId(0));
+        assert_eq!(order.len(), 8);
+    }
+}

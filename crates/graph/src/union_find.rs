@@ -1,0 +1,100 @@
+//! A classic disjoint-set forest with path compression and union by size.
+
+/// Disjoint-set forest over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use lanecert_graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.same(0, 1));
+/// assert_eq!(uf.components(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Finds the representative of `x` (with path compression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= n`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Joins the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_reduce_component_count() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert_eq!(uf.components(), 3);
+        uf.union(1, 3);
+        assert_eq!(uf.components(), 2);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 4));
+        assert_eq!(uf.size_of(3), 4);
+    }
+}

@@ -1,0 +1,67 @@
+//! The bound functions `f`, `g`, `h` of Proposition 4.6.
+//!
+//! * `f(k)` bounds the number of lanes the recursive partition produces,
+//! * `g(k)` bounds the congestion of embedding the *weak completion*,
+//! * `h(k) = g(k) + f(k) − 1` bounds the congestion of the full completion.
+
+/// Lane bound `f(k)`: `f(1) = 1`, `f(k) = 2 + 2(k−1)·f(k−1)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the value overflows `u64` (k ≳ 20).
+pub fn f(k: usize) -> u64 {
+    assert!(k >= 1, "f is defined for k >= 1");
+    if k == 1 {
+        1
+    } else {
+        2 + 2 * (k as u64 - 1) * f(k - 1)
+    }
+}
+
+/// Weak-completion congestion bound `g(k)`: `g(1) = 0`,
+/// `g(k) = 2 + g(k−1) + 2k·f(k−1)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the value overflows.
+pub fn g(k: usize) -> u64 {
+    assert!(k >= 1, "g is defined for k >= 1");
+    if k == 1 {
+        0
+    } else {
+        2 + g(k - 1) + 2 * (k as u64) * f(k - 1)
+    }
+}
+
+/// Completion congestion bound `h(k) = g(k) + f(k) − 1`.
+pub fn h(k: usize) -> u64 {
+    g(k) + f(k) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(f(1), 1);
+        assert_eq!(f(2), 4);
+        assert_eq!(f(3), 18);
+        assert_eq!(f(4), 110);
+        assert_eq!(g(1), 0);
+        assert_eq!(g(2), 6); // 2 + 0 + 4*1
+        assert_eq!(g(3), 32); // 2 + 6 + 6*4
+        assert_eq!(h(1), 0);
+        assert_eq!(h(2), 9);
+        assert_eq!(h(3), 49);
+    }
+
+    #[test]
+    fn monotone() {
+        for k in 1..8 {
+            assert!(f(k + 1) > f(k));
+            assert!(g(k + 1) > g(k));
+            assert!(h(k + 1) > h(k));
+        }
+    }
+}

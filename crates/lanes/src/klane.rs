@@ -1,0 +1,327 @@
+//! k-lane graphs and the merge operations (Definition 5.3, `Bridge-merge`,
+//! `Parent-merge`, `Tree-merge` — Figures 8 and 9 of the paper).
+//!
+//! This module gives the merge operations an explicit, executable semantics
+//! over *named* vertices. The hierarchical decomposition
+//! ([`crate::hierarchy`]) uses the same semantics with original vertex ids;
+//! this standalone form exists so the operations themselves can be tested
+//! (and the paper's figures regenerated) independently of the pipeline.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{Lane, LaneSet};
+
+/// A vertex name (opaque; merges identify names).
+pub type Name = u64;
+
+/// A k-lane graph over named vertices: a graph plus a non-empty lane set and
+/// injective in-/out-terminal assignments (Definition 5.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KLaneGraph {
+    /// Vertex names.
+    pub vertices: BTreeSet<Name>,
+    /// Undirected edges as ordered name pairs (`u < v`).
+    pub edges: BTreeSet<(Name, Name)>,
+    /// The lanes used, `T(G)`.
+    pub lanes: LaneSet,
+    /// In-terminal per lane.
+    pub tin: BTreeMap<Lane, Name>,
+    /// Out-terminal per lane.
+    pub tout: BTreeMap<Lane, Name>,
+}
+
+fn norm(u: Name, v: Name) -> (Name, Name) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl KLaneGraph {
+    /// A single-vertex k-lane graph on lane `lane` (a `V`-node).
+    pub fn vertex(lane: Lane, name: Name) -> Self {
+        Self {
+            vertices: [name].into(),
+            edges: BTreeSet::new(),
+            lanes: LaneSet::singleton(lane),
+            tin: [(lane, name)].into(),
+            tout: [(lane, name)].into(),
+        }
+    }
+
+    /// A single-edge k-lane graph on lane `lane` with `tin != tout`
+    /// (an `E`-node).
+    pub fn edge(lane: Lane, tin: Name, tout: Name) -> Self {
+        assert_ne!(tin, tout, "E-node terminals must differ");
+        Self {
+            vertices: [tin, tout].into(),
+            edges: [norm(tin, tout)].into(),
+            lanes: LaneSet::singleton(lane),
+            tin: [(lane, tin)].into(),
+            tout: [(lane, tout)].into(),
+        }
+    }
+
+    /// A `k`-vertex path with `T(G) = {0, …, k−1}` and `τin_i = τout_i`
+    /// being the `i`-th vertex (a `P`-node).
+    pub fn path(names: &[Name]) -> Self {
+        assert!(!names.is_empty(), "P-node needs at least one vertex");
+        let mut edges = BTreeSet::new();
+        for w in names.windows(2) {
+            edges.insert(norm(w[0], w[1]));
+        }
+        Self {
+            vertices: names.iter().copied().collect(),
+            edges,
+            lanes: LaneSet::full(names.len()),
+            tin: names.iter().copied().enumerate().collect(),
+            tout: names.iter().copied().enumerate().collect(),
+        }
+    }
+
+    /// Checks the Definition 5.3 invariants: non-empty lanes, terminals
+    /// exist, injectivity of the terminal assignments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on violation (test helper).
+    pub fn check_invariants(&self) {
+        assert!(!self.lanes.is_empty(), "lane set must be non-empty");
+        for map in [&self.tin, &self.tout] {
+            let mut seen = BTreeSet::new();
+            for (&lane, name) in map {
+                assert!(self.lanes.contains(lane), "terminal on unused lane {lane}");
+                assert!(self.vertices.contains(name), "terminal {name} not a vertex");
+                assert!(seen.insert(*name), "terminal map not injective at {name}");
+            }
+            assert_eq!(map.len(), self.lanes.len(), "terminal per lane");
+        }
+    }
+
+    /// `Bridge-merge(self, other, i, j)`: disjoint union plus the bridge edge
+    /// `{τout_i(self), τout_j(other)}` (Section 5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lane sets intersect, vertex names collide, or `i`/`j` are
+    /// not lanes of the respective graphs.
+    pub fn bridge_merge(&self, other: &KLaneGraph, i: Lane, j: Lane) -> KLaneGraph {
+        assert!(
+            self.lanes.is_disjoint(other.lanes),
+            "Bridge-merge needs disjoint lane sets"
+        );
+        assert!(self.lanes.contains(i), "lane {i} not in left graph");
+        assert!(other.lanes.contains(j), "lane {j} not in right graph");
+        assert!(
+            self.vertices.is_disjoint(&other.vertices),
+            "Bridge-merge needs disjoint vertex sets"
+        );
+        let mut vertices = self.vertices.clone();
+        vertices.extend(other.vertices.iter().copied());
+        let mut edges = self.edges.clone();
+        edges.extend(other.edges.iter().copied());
+        edges.insert(norm(self.tout[&i], other.tout[&j]));
+        let mut tin = self.tin.clone();
+        tin.extend(other.tin.iter().map(|(&l, &n)| (l, n)));
+        let mut tout = self.tout.clone();
+        tout.extend(other.tout.iter().map(|(&l, &n)| (l, n)));
+        KLaneGraph {
+            vertices,
+            edges,
+            lanes: self.lanes.union(other.lanes),
+            tin,
+            tout,
+        }
+    }
+
+    /// `Parent-merge(child, parent)` with `T(child) ⊆ T(parent)`: for each
+    /// lane of the child, identify `τin(child)` with `τout(parent)`.
+    /// Vertex-name identification renames the child's in-terminal to the
+    /// parent's out-terminal name. Edge sets must stay disjoint (the paper's
+    /// requirement that no two edges get identified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane-subset requirement fails or edges collide.
+    pub fn parent_merge(child: &KLaneGraph, parent: &KLaneGraph) -> KLaneGraph {
+        assert!(
+            child.lanes.is_subset_of(parent.lanes),
+            "Parent-merge needs T(child) ⊆ T(parent)"
+        );
+        // Rename child's in-terminals to the parent's out-terminal names.
+        let mut rename: BTreeMap<Name, Name> = BTreeMap::new();
+        for lane in child.lanes.iter() {
+            rename.insert(child.tin[&lane], parent.tout[&lane]);
+        }
+        let map = |n: Name| -> Name { rename.get(&n).copied().unwrap_or(n) };
+        let mut vertices: BTreeSet<Name> = parent.vertices.clone();
+        vertices.extend(child.vertices.iter().map(|&n| map(n)));
+        let mut edges = parent.edges.clone();
+        for &(u, v) in &child.edges {
+            let e = norm(map(u), map(v));
+            assert!(e.0 != e.1, "Parent-merge created a self-loop");
+            assert!(edges.insert(e), "Parent-merge identified two edges: {e:?}");
+        }
+        let tin = parent.tin.clone();
+        let mut tout = parent.tout.clone();
+        for lane in child.lanes.iter() {
+            tout.insert(lane, map(child.tout[&lane]));
+        }
+        KLaneGraph {
+            vertices,
+            edges,
+            lanes: parent.lanes,
+            tin,
+            tout,
+        }
+    }
+
+    /// `Tree-merge(T)`: folds a rooted tree of k-lane graphs by repeated
+    /// `Parent-merge` (children into parents). `tree[i]` is the parent index
+    /// of node `i` (`None` for the root); `graphs[i]` is node `i`'s graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree conditions of Section 5.3 fail (child lanes not a
+    /// subset of parent lanes, or sibling lanes not disjoint).
+    pub fn tree_merge(graphs: &[KLaneGraph], parent: &[Option<usize>]) -> KLaneGraph {
+        assert_eq!(graphs.len(), parent.len());
+        let n = graphs.len();
+        let root = parent
+            .iter()
+            .position(Option::is_none)
+            .expect("tree needs a root");
+        // Check sibling disjointness and child-subset conditions.
+        for i in 0..n {
+            if let Some(p) = parent[i] {
+                assert!(
+                    graphs[i].lanes.is_subset_of(graphs[p].lanes),
+                    "child lanes must be subset of parent lanes"
+                );
+                for j in 0..n {
+                    if j != i && parent[j] == Some(p) {
+                        assert!(
+                            graphs[i].lanes.is_disjoint(graphs[j].lanes),
+                            "sibling lanes must be disjoint"
+                        );
+                    }
+                }
+            }
+        }
+        // Fold bottom-up (Parent-merge is associative per Section 5.3).
+        fn fold(graphs: &[KLaneGraph], parent: &[Option<usize>], node: usize) -> KLaneGraph {
+            let mut acc = graphs[node].clone();
+            for (child, p) in parent.iter().enumerate() {
+                if *p == Some(node) {
+                    let sub = fold(graphs, parent, child);
+                    acc = KLaneGraph::parent_merge(&sub, &acc);
+                }
+            }
+            acc
+        }
+        fold(graphs, parent, root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_satisfy_invariants() {
+        KLaneGraph::vertex(2, 10).check_invariants();
+        KLaneGraph::edge(1, 5, 6).check_invariants();
+        KLaneGraph::path(&[1, 2, 3, 4]).check_invariants();
+    }
+
+    /// Figure 8 (left): bridging two 2-lane graphs over disjoint lanes.
+    #[test]
+    fn bridge_merge_adds_one_edge() {
+        let g1 = KLaneGraph::edge(0, 1, 2); // lane 0
+        let g2 = KLaneGraph::edge(1, 3, 4); // lane 1
+        let m = g1.bridge_merge(&g2, 0, 1);
+        m.check_invariants();
+        assert_eq!(m.vertices.len(), 4);
+        assert_eq!(m.edges.len(), 3); // two edges + bridge
+        assert!(m.edges.contains(&(2, 4))); // τout(g1,0)=2, τout(g2,1)=4
+        assert_eq!(m.lanes, LaneSet::full(2));
+        assert_eq!(m.tin[&0], 1);
+        assert_eq!(m.tout[&1], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint lane sets")]
+    fn bridge_merge_rejects_shared_lane() {
+        let g1 = KLaneGraph::edge(0, 1, 2);
+        let g2 = KLaneGraph::edge(0, 3, 4);
+        let _ = g1.bridge_merge(&g2, 0, 0);
+    }
+
+    /// Figure 8 (right): parent-merging glues child in-terminals onto parent
+    /// out-terminals.
+    #[test]
+    fn parent_merge_glues_terminals() {
+        let parent = KLaneGraph::path(&[1, 2]); // lanes {0,1}
+        let child = KLaneGraph::edge(0, 10, 11); // lane 0 — tin 10 glued onto 1
+        let m = KLaneGraph::parent_merge(&child, &parent);
+        m.check_invariants();
+        assert_eq!(m.vertices, [1, 2, 11].into());
+        assert!(m.edges.contains(&(1, 11))); // child's edge, renamed
+        assert_eq!(m.tout[&0], 11); // out-terminal moved to child's
+        assert_eq!(m.tout[&1], 2); // untouched lane
+        assert_eq!(m.tin[&0], 1);
+    }
+
+    #[test]
+    fn parent_merge_preserves_identity_when_tin_eq_tout() {
+        // Child is a single vertex: gluing does not move the out-terminal to
+        // a new vertex name (V-node semantics).
+        let parent = KLaneGraph::path(&[1, 2]);
+        let child = KLaneGraph::vertex(1, 50);
+        let m = KLaneGraph::parent_merge(&child, &parent);
+        assert_eq!(m.tout[&1], 2); // 50 renamed to 2
+        assert_eq!(m.vertices, [1, 2].into());
+    }
+
+    /// Figure 9: a Tree-merge over a 2-level tree equals iterated
+    /// Parent-merge in any order.
+    #[test]
+    fn tree_merge_matches_manual_folding() {
+        let root = KLaneGraph::path(&[1, 2, 3]); // lanes {0,1,2}
+        let a = KLaneGraph::edge(0, 10, 11);
+        let b = KLaneGraph::edge(2, 20, 21);
+        let merged = KLaneGraph::tree_merge(
+            &[root.clone(), a.clone(), b.clone()],
+            &[None, Some(0), Some(0)],
+        );
+        merged.check_invariants();
+        let manual = KLaneGraph::parent_merge(&b, &KLaneGraph::parent_merge(&a, &root));
+        assert_eq!(merged, manual);
+        assert_eq!(merged.tout[&0], 11);
+        assert_eq!(merged.tout[&1], 2);
+        assert_eq!(merged.tout[&2], 21);
+        assert_eq!(merged.edges.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "sibling lanes must be disjoint")]
+    fn tree_merge_rejects_overlapping_siblings() {
+        let root = KLaneGraph::path(&[1, 2]);
+        let a = KLaneGraph::edge(0, 10, 11);
+        let b = KLaneGraph::edge(0, 20, 21);
+        let _ = KLaneGraph::tree_merge(&[root, a, b], &[None, Some(0), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identified two edges")]
+    fn parent_merge_rejects_edge_identification() {
+        // Parent path 1-2 on lanes {0,1}; child edge on lane 0 from 10 to 2?
+        // Build a child whose glued edge coincides with the parent's.
+        let parent = KLaneGraph::path(&[1, 2]);
+        // child: edge between tin=10 (→1) and tout=2... tout must be a child
+        // vertex; choosing name 2 makes the glued edge (1,2) collide.
+        let child = KLaneGraph::edge(0, 10, 2);
+        let _ = KLaneGraph::parent_merge(&child, &parent);
+    }
+}

@@ -1,0 +1,427 @@
+//! Lanewidth constructions (Definition 5.1) and their equivalence with
+//! completions (Proposition 5.2).
+//!
+//! A graph has lanewidth `k` if it can be grown from a `k`-vertex path
+//! `(τ_1, …, τ_k)` by `V-insert(i)` (add a vertex pendant on the designated
+//! vertex `τ_i` and redesignate) and `E-insert(i, j)` (add the edge
+//! `{τ_i, τ_j}`). [`Construction::build`] replays a sequence;
+//! [`Construction::from_completion`] recovers a sequence from a completion
+//! (the `Item 2 ⇒ Item 1` direction of Proposition 5.2).
+
+use std::error::Error;
+use std::fmt;
+
+use lanecert_graph::{EdgeId, Graph, VertexId};
+use lanecert_pathwidth::{Interval, IntervalRep};
+
+use crate::{Completion, Lane};
+
+/// One construction operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Add `vertex` adjacent to the current `τ_lane` and redesignate
+    /// `τ_lane := vertex`.
+    VInsert {
+        /// The lane whose designated vertex is extended.
+        lane: Lane,
+        /// The (explicit, caller-chosen) id of the new vertex.
+        vertex: VertexId,
+    },
+    /// Add the edge `{τ_i, τ_j}`.
+    EInsert {
+        /// First lane.
+        i: Lane,
+        /// Second lane.
+        j: Lane,
+    },
+}
+
+/// A lanewidth-`k` construction sequence with explicit vertex ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Construction {
+    /// Number of lanes `k` (the initial path has `k` vertices).
+    pub k: usize,
+    /// The initial path `τ_1, …, τ_k` (distinct vertex ids).
+    pub initial: Vec<VertexId>,
+    /// The operations, in order.
+    pub ops: Vec<Op>,
+}
+
+/// Errors raised while replaying a construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConstructionError {
+    /// A lane index was `≥ k`.
+    BadLane(Lane),
+    /// `E-insert(i, i)` would create a self-loop.
+    SelfLoop(Lane),
+    /// An `E-insert` duplicates an existing edge.
+    DuplicateEdge(VertexId, VertexId),
+    /// Vertex ids are not exactly `0..n` across initial path and inserts.
+    BadVertexIds,
+    /// The initial path is empty.
+    Empty,
+}
+
+impl fmt::Display for ConstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ConstructionError::*;
+        match self {
+            BadLane(l) => write!(f, "lane {l} out of range"),
+            SelfLoop(l) => write!(f, "E-insert({l}, {l}) would create a self-loop"),
+            DuplicateEdge(u, v) => write!(f, "E-insert duplicates edge ({u}, {v})"),
+            BadVertexIds => write!(f, "vertex ids must be exactly 0..n"),
+            Empty => write!(f, "initial path is empty"),
+        }
+    }
+}
+
+impl Error for ConstructionError {}
+
+/// The result of replaying a [`Construction`].
+#[derive(Clone, Debug)]
+pub struct BuiltConstruction {
+    /// The construction that was replayed.
+    pub construction: Construction,
+    /// The resulting graph (the paper's bounded-lanewidth graph; in the
+    /// pipeline this equals the completion graph).
+    pub graph: Graph,
+    /// `lane_of[v]`: the lane a vertex belongs to.
+    pub lane_of: Vec<Lane>,
+    /// Designation-time intervals (the proof of Proposition 5.2): `I_v` is
+    /// the operation-time range during which `v` was designated.
+    pub intervals: IntervalRep,
+    /// For each op, the edge it created (`V-insert` pendant edge or
+    /// `E-insert` edge).
+    pub op_edge: Vec<EdgeId>,
+    /// The `k − 1` edges of the initial path, in lane order.
+    pub initial_path_edges: Vec<EdgeId>,
+    /// Final designated vertex per lane.
+    pub final_designated: Vec<VertexId>,
+}
+
+impl Construction {
+    /// Replays the sequence and returns the built graph plus bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstructionError`] if the sequence is malformed.
+    pub fn build(&self) -> Result<BuiltConstruction, ConstructionError> {
+        use ConstructionError::*;
+        let k = self.k;
+        if k == 0 || self.initial.len() != k {
+            return Err(Empty);
+        }
+        // Vertex ids must be a permutation of 0..n.
+        let n = k + self
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::VInsert { .. }))
+            .count();
+        let mut seen = vec![false; n];
+        let mut mark = |v: VertexId| -> Result<(), ConstructionError> {
+            if v.index() >= n || seen[v.index()] {
+                return Err(BadVertexIds);
+            }
+            seen[v.index()] = true;
+            Ok(())
+        };
+        for &v in &self.initial {
+            mark(v)?;
+        }
+        for op in &self.ops {
+            if let Op::VInsert { vertex, .. } = op {
+                mark(*vertex)?;
+            }
+        }
+
+        let mut graph = Graph::new(n);
+        let mut designated = self.initial.clone();
+        let mut lane_of = vec![usize::MAX; n];
+        let mut lo = vec![0u32; n];
+        let mut hi = vec![0u32; n];
+        for (l, &v) in self.initial.iter().enumerate() {
+            lane_of[v.index()] = l;
+        }
+        let mut initial_path_edges = Vec::with_capacity(k.saturating_sub(1));
+        for w in self.initial.windows(2) {
+            let e = graph
+                .add_edge(w[0], w[1])
+                .map_err(|_| DuplicateEdge(w[0], w[1]))?;
+            initial_path_edges.push(e);
+        }
+        let mut op_edge = Vec::with_capacity(self.ops.len());
+        for (step, op) in self.ops.iter().enumerate() {
+            let time = (step + 1) as u32;
+            match *op {
+                Op::VInsert { lane, vertex } => {
+                    if lane >= k {
+                        return Err(BadLane(lane));
+                    }
+                    let old = designated[lane];
+                    let e = graph
+                        .add_edge(old, vertex)
+                        .map_err(|_| DuplicateEdge(old, vertex))?;
+                    op_edge.push(e);
+                    hi[old.index()] = time - 1;
+                    lo[vertex.index()] = time;
+                    lane_of[vertex.index()] = lane;
+                    designated[lane] = vertex;
+                }
+                Op::EInsert { i, j } => {
+                    if i >= k {
+                        return Err(BadLane(i));
+                    }
+                    if j >= k {
+                        return Err(BadLane(j));
+                    }
+                    if i == j {
+                        return Err(SelfLoop(i));
+                    }
+                    let (u, v) = (designated[i], designated[j]);
+                    let e = graph.add_edge(u, v).map_err(|_| DuplicateEdge(u, v))?;
+                    op_edge.push(e);
+                }
+            }
+        }
+        let end = self.ops.len() as u32;
+        for &v in &designated {
+            hi[v.index()] = end;
+        }
+        let intervals = IntervalRep::new(
+            (0..n)
+                .map(|v| Interval::new(lo[v], hi[v].max(lo[v])))
+                .collect(),
+        );
+        Ok(BuiltConstruction {
+            construction: self.clone(),
+            graph,
+            lane_of,
+            intervals,
+            op_edge,
+            initial_path_edges,
+            final_designated: designated,
+        })
+    }
+
+    /// Recovers a construction from a completion (Proposition 5.2,
+    /// Item 2 ⇒ Item 1): the initial path is the lane heads; the remaining
+    /// vertices are `V-insert`ed in order of their left endpoints; the
+    /// non-`E1`/`E2` edges are `E-insert`ed at `max(L_u, L_v)`, with
+    /// vertices processed before edges on ties.
+    ///
+    /// The returned construction's [`Construction::build`] reproduces the
+    /// completion graph exactly (same vertex ids; edge ids may differ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion's partition and representation are
+    /// inconsistent (callers validate upstream).
+    pub fn from_completion(completion: &Completion, rep: &IntervalRep) -> Construction {
+        let partition = &completion.partition;
+        let k = partition.lane_count();
+        let initial = partition.heads();
+        let lane_of = partition.lane_of(completion.graph.vertex_count());
+        let head_set: std::collections::HashSet<VertexId> = initial.iter().copied().collect();
+
+        #[derive(Debug)]
+        enum Item {
+            Vertex(VertexId),
+            Edge(VertexId, VertexId),
+        }
+        let mut items: Vec<(u32, u8, Item)> = Vec::new();
+        for v in completion.graph.vertices() {
+            if !head_set.contains(&v) {
+                items.push((rep.interval(v).lo, 0, Item::Vertex(v)));
+            }
+        }
+        for (id, e) in completion.graph.edges() {
+            let role = &completion.roles[id.index()];
+            // E1/E2 edges are created by V-inserts / the initial path.
+            if role.lane_step.is_some() || role.head_link.is_some() {
+                continue;
+            }
+            let key = rep.interval(e.u).lo.max(rep.interval(e.v).lo);
+            items.push((key, 1, Item::Edge(e.u, e.v)));
+        }
+        items.sort_by_key(|(key, tie, item)| {
+            (
+                *key,
+                *tie,
+                match item {
+                    Item::Vertex(v) => v.0,
+                    Item::Edge(u, v) => u.0.max(v.0),
+                },
+            )
+        });
+        let ops = items
+            .into_iter()
+            .map(|(_, _, item)| match item {
+                Item::Vertex(v) => Op::VInsert {
+                    lane: lane_of[v.index()],
+                    vertex: v,
+                },
+                Item::Edge(u, v) => Op::EInsert {
+                    i: lane_of[u.index()],
+                    j: lane_of[v.index()],
+                },
+            })
+            .collect();
+        Construction { k, initial, ops }
+    }
+}
+
+/// Renders a construction as one line per operation (used to regenerate the
+/// paper's Figure 7/10 trace in `examples/paper_figures.rs`).
+pub fn trace(c: &Construction) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "initial path ({} lanes): {}",
+        c.k,
+        c.initial
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ── ")
+    );
+    for (i, op) in c.ops.iter().enumerate() {
+        match op {
+            Op::VInsert { lane, vertex } => {
+                let _ = writeln!(out, "{:>3}. V-insert(lane {lane}) -> {vertex}", i + 1);
+            }
+            Op::EInsert { i: a, j: b } => {
+                let _ = writeln!(out, "{:>3}. E-insert(lane {a}, lane {b})", i + 1);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{ensure_two_lanes, greedy_partition};
+    use lanecert_graph::generators;
+    use lanecert_pathwidth::solver;
+    use rand::SeedableRng;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Figure 7's example: 4 lanes, V-inserts and E-inserts.
+    #[test]
+    fn figure7_trace_builds() {
+        let c = Construction {
+            k: 4,
+            initial: vec![v(0), v(1), v(2), v(3)],
+            ops: vec![
+                Op::VInsert { lane: 0, vertex: v(4) },
+                Op::VInsert { lane: 3, vertex: v(5) },
+                Op::EInsert { i: 0, j: 1 },
+                Op::EInsert { i: 0, j: 3 },
+            ],
+        };
+        let built = c.build().unwrap();
+        assert_eq!(built.graph.vertex_count(), 6);
+        // 3 initial-path edges + 2 pendant + 2 E-insert = 7.
+        assert_eq!(built.graph.edge_count(), 7);
+        assert_eq!(built.lane_of[4], 0);
+        assert_eq!(built.final_designated, vec![v(4), v(1), v(2), v(5)]);
+        assert!(trace(&c).contains("V-insert(lane 0)"));
+        // Designation intervals form a valid representation of the E-insert
+        // subgraph (all edges here are within designated-time overlaps).
+        assert_eq!(built.intervals.interval(v(0)), Interval::new(0, 0));
+        assert_eq!(built.intervals.interval(v(4)), Interval::new(1, 4));
+    }
+
+    #[test]
+    fn build_rejects_malformed() {
+        let base = Construction {
+            k: 2,
+            initial: vec![v(0), v(1)],
+            ops: vec![],
+        };
+        let mut c = base.clone();
+        c.ops = vec![Op::EInsert { i: 0, j: 0 }];
+        assert_eq!(c.build().unwrap_err(), ConstructionError::SelfLoop(0));
+        let mut c = base.clone();
+        c.ops = vec![Op::EInsert { i: 0, j: 5 }];
+        assert_eq!(c.build().unwrap_err(), ConstructionError::BadLane(5));
+        let mut c = base.clone();
+        c.ops = vec![Op::EInsert { i: 0, j: 1 }]; // duplicates initial path edge
+        assert!(matches!(
+            c.build().unwrap_err(),
+            ConstructionError::DuplicateEdge(_, _)
+        ));
+        let mut c = base.clone();
+        c.ops = vec![Op::VInsert { lane: 0, vertex: v(1) }]; // reused id
+        assert_eq!(c.build().unwrap_err(), ConstructionError::BadVertexIds);
+        let mut c = base;
+        c.initial = vec![];
+        assert_eq!(c.build().unwrap_err(), ConstructionError::Empty);
+    }
+
+    /// Proposition 5.2 round trip: completion → construction → same graph.
+    fn roundtrip(g: &Graph) {
+        let (_, pd) = solver::pathwidth_exact(g).unwrap();
+        let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+        let p = ensure_two_lanes(greedy_partition(&rep));
+        let completion = Completion::build(g, p);
+        let c = Construction::from_completion(&completion, &rep);
+        let built = c.build().unwrap_or_else(|e| panic!("build failed: {e}"));
+        assert_eq!(built.graph.vertex_count(), completion.graph.vertex_count());
+        assert_eq!(built.graph.edge_count(), completion.graph.edge_count());
+        for (_, e) in completion.graph.edges() {
+            assert!(
+                built.graph.has_edge(e.u, e.v),
+                "edge ({}, {}) missing after roundtrip",
+                e.u,
+                e.v
+            );
+        }
+        // Lanes survive the roundtrip.
+        let lane_of = completion
+            .partition
+            .lane_of(completion.graph.vertex_count());
+        assert_eq!(built.lane_of, lane_of);
+    }
+
+    #[test]
+    fn roundtrip_families() {
+        roundtrip(&generators::path_graph(7));
+        roundtrip(&generators::cycle_graph(6));
+        roundtrip(&generators::star(6));
+        roundtrip(&generators::caterpillar(3, 2));
+        roundtrip(&generators::ladder(4));
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for k in 1..=3 {
+            for _ in 0..6 {
+                let (g, _) = generators::random_pathwidth_graph(13, k, 0.5, &mut rng);
+                roundtrip(&g);
+            }
+        }
+    }
+
+    /// The designation intervals of a built construction are a valid
+    /// representation of the *E-insert subgraph* (Proposition 5.2,
+    /// Item 1 ⇒ Item 2) whose width is at most k.
+    #[test]
+    fn designation_intervals_have_width_at_most_k() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..5 {
+            let (g, _) = generators::random_pathwidth_graph(12, 2, 0.5, &mut rng);
+            let (_, pd) = solver::pathwidth_exact(&g).unwrap();
+            let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+            let completion = Completion::build(&g, ensure_two_lanes(greedy_partition(&rep)));
+            let c = Construction::from_completion(&completion, &rep);
+            let built = c.build().unwrap();
+            assert!(built.intervals.width() <= c.k);
+        }
+    }
+}

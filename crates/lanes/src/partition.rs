@@ -1,0 +1,231 @@
+//! Lane partitions (Definition 4.2) and the greedy construction
+//! (Observation 4.3).
+
+use std::error::Error;
+use std::fmt;
+
+use lanecert_graph::VertexId;
+use lanecert_pathwidth::IntervalRep;
+
+use crate::Lane;
+
+/// A `w`-lane partition: the vertex set split into `w` sequences, each
+/// strictly increasing under the `≺` interval order (Definition 4.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LanePartition {
+    lanes: Vec<Vec<VertexId>>,
+}
+
+/// Reasons a candidate partition is not a lane partition of a representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LanePartitionError {
+    /// A lane has two consecutive vertices whose intervals are not strictly
+    /// ordered.
+    NotOrdered(Lane, VertexId, VertexId),
+    /// A vertex appears in no lane or more than once.
+    BadCoverage(VertexId),
+    /// A lane is empty.
+    EmptyLane(Lane),
+}
+
+impl fmt::Display for LanePartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use LanePartitionError::*;
+        match self {
+            NotOrdered(l, u, v) => {
+                write!(f, "lane {l}: intervals of {u} and {v} are not strictly ordered")
+            }
+            BadCoverage(v) => write!(f, "vertex {v} is not covered exactly once"),
+            EmptyLane(l) => write!(f, "lane {l} is empty"),
+        }
+    }
+}
+
+impl Error for LanePartitionError {}
+
+impl LanePartition {
+    /// Wraps lane sequences (no validation; see [`Self::validate`]).
+    pub fn new(lanes: Vec<Vec<VertexId>>) -> Self {
+        Self { lanes }
+    }
+
+    /// The lanes, each a `≺`-increasing vertex sequence.
+    pub fn lanes(&self) -> &[Vec<VertexId>] {
+        &self.lanes
+    }
+
+    /// Number of lanes `w`.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The first vertex of each lane (the lane *heads*, which the completion
+    /// joins into a path via `E2`).
+    pub fn heads(&self) -> Vec<VertexId> {
+        self.lanes.iter().map(|l| l[0]).collect()
+    }
+
+    /// Returns `lane_of[v]` for every vertex (`n` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if some vertex `< n` is missing from the partition.
+    pub fn lane_of(&self, n: usize) -> Vec<Lane> {
+        let mut out = vec![usize::MAX; n];
+        for (l, lane) in self.lanes.iter().enumerate() {
+            for &v in lane {
+                out[v.index()] = l;
+            }
+        }
+        assert!(
+            out.iter().all(|&l| l != usize::MAX),
+            "partition does not cover all {n} vertices"
+        );
+        out
+    }
+
+    /// Checks Definition 4.2 against an interval representation: lanes are
+    /// non-empty, every vertex appears exactly once, and each lane is
+    /// strictly `≺`-ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, rep: &IntervalRep) -> Result<(), LanePartitionError> {
+        use LanePartitionError::*;
+        let mut seen = vec![false; rep.len()];
+        for (l, lane) in self.lanes.iter().enumerate() {
+            if lane.is_empty() {
+                return Err(EmptyLane(l));
+            }
+            for &v in lane {
+                if v.index() >= seen.len() || seen[v.index()] {
+                    return Err(BadCoverage(v));
+                }
+                seen[v.index()] = true;
+            }
+            for w in lane.windows(2) {
+                if !rep.interval(w[0]).strictly_before(&rep.interval(w[1])) {
+                    return Err(NotOrdered(l, w[0], w[1]));
+                }
+            }
+        }
+        if let Some(v) = seen.iter().position(|s| !s) {
+            return Err(BadCoverage(VertexId::new(v)));
+        }
+        Ok(())
+    }
+}
+
+/// Greedy first-fit interval colouring (Observation 4.3): sorts vertices by
+/// left endpoint and places each in the first lane whose last interval ends
+/// before it starts. Uses exactly `width(rep)` lanes.
+pub fn greedy_partition(rep: &IntervalRep) -> LanePartition {
+    let mut order: Vec<VertexId> = (0..rep.len()).map(VertexId::new).collect();
+    order.sort_by_key(|&v| (rep.interval(v).lo, rep.interval(v).hi, v.0));
+    let mut lanes: Vec<Vec<VertexId>> = Vec::new();
+    let mut last_hi: Vec<u32> = Vec::new();
+    for v in order {
+        let iv = rep.interval(v);
+        match last_hi.iter().position(|&hi| hi < iv.lo) {
+            Some(l) => {
+                lanes[l].push(v);
+                last_hi[l] = iv.hi;
+            }
+            None => {
+                lanes.push(vec![v]);
+                last_hi.push(iv.hi);
+            }
+        }
+    }
+    LanePartition::new(lanes)
+}
+
+/// Splits a single-lane partition into two alternating lanes. The scheme
+/// requires at least two lanes so that the initial `P`-node of the
+/// hierarchical decomposition owns an edge (see DESIGN.md, "w ≥ 2
+/// normalization"); alternation preserves strict `≺`-ordering within each
+/// new lane.
+pub fn ensure_two_lanes(p: LanePartition) -> LanePartition {
+    if p.lane_count() != 1 || p.lanes()[0].len() < 2 {
+        return p;
+    }
+    let only = &p.lanes()[0];
+    let even = only.iter().copied().step_by(2).collect();
+    let odd = only.iter().copied().skip(1).step_by(2).collect();
+    LanePartition::new(vec![even, odd])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_pathwidth::Interval;
+
+    fn rep(ivs: &[(u32, u32)]) -> IntervalRep {
+        IntervalRep::new(ivs.iter().map(|&(a, b)| Interval::new(a, b)).collect())
+    }
+
+    #[test]
+    fn greedy_uses_width_lanes() {
+        // Figure 1's 6-cycle representation: width 3.
+        let r = rep(&[(0, 3), (0, 0), (0, 1), (1, 2), (2, 3), (3, 3)]);
+        let p = greedy_partition(&r);
+        p.validate(&r).unwrap();
+        assert_eq!(p.lane_count(), 3);
+    }
+
+    #[test]
+    fn greedy_on_disjoint_intervals_is_single_lane() {
+        let r = rep(&[(0, 0), (1, 1), (2, 2)]);
+        let p = greedy_partition(&r);
+        p.validate(&r).unwrap();
+        assert_eq!(p.lane_count(), 1);
+        assert_eq!(p.heads(), vec![VertexId(0)]);
+    }
+
+    #[test]
+    fn validate_rejects_unordered_lane() {
+        let r = rep(&[(0, 2), (1, 3)]);
+        let p = LanePartition::new(vec![vec![VertexId(0), VertexId(1)]]);
+        assert!(matches!(
+            p.validate(&r),
+            Err(LanePartitionError::NotOrdered(0, _, _))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_missing_vertex() {
+        let r = rep(&[(0, 0), (1, 1)]);
+        let p = LanePartition::new(vec![vec![VertexId(0)]]);
+        assert_eq!(
+            p.validate(&r),
+            Err(LanePartitionError::BadCoverage(VertexId(1)))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_lane() {
+        let r = rep(&[(0, 0)]);
+        let p = LanePartition::new(vec![vec![VertexId(0)], vec![]]);
+        assert_eq!(p.validate(&r), Err(LanePartitionError::EmptyLane(1)));
+    }
+
+    #[test]
+    fn ensure_two_lanes_splits_alternating() {
+        let r = rep(&[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let p = ensure_two_lanes(greedy_partition(&r));
+        p.validate(&r).unwrap();
+        assert_eq!(p.lane_count(), 2);
+        assert_eq!(p.lanes()[0], vec![VertexId(0), VertexId(2)]);
+        assert_eq!(p.lanes()[1], vec![VertexId(1), VertexId(3)]);
+    }
+
+    #[test]
+    fn lane_of_maps_everything() {
+        let r = rep(&[(0, 1), (0, 1), (2, 2)]);
+        let p = greedy_partition(&r);
+        let lane_of = p.lane_of(3);
+        assert_eq!(lane_of.len(), 3);
+        assert_ne!(lane_of[0], lane_of[1]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Monadic second-order logic (MSO₂) on graphs.
+//!
+//! The paper's Theorem 1 certifies any MSO₂ property. This crate supplies
+//! the *semantic ground truth* for the workspace:
+//!
+//! * [`Formula`] — the MSO₂ AST with vertex, edge, vertex-set, and edge-set
+//!   variables, the `inc`/`adj`/membership/equality predicates, boolean
+//!   connectives, and all eight quantifiers (Section 1.2 of the paper).
+//! * [`eval`] — a naive exponential model checker (sets are enumerated as
+//!   bitmasks), used as the oracle against which the homomorphism algebras
+//!   of `lanecert-algebra` are validated.
+//! * [`props`] — a library of MSO₂ formulas for the paper's headline
+//!   properties (k-colourability, Hamiltonicity, perfect matching, vertex
+//!   cover, …).
+//!
+//! # Example
+//!
+//! ```
+//! use lanecert_graph::generators;
+//! use lanecert_mso::{eval, props};
+//!
+//! let g = generators::cycle_graph(5);
+//! assert!(!eval::check(&g, &props::bipartite()));
+//! assert!(eval::check(&g, &props::hamiltonian_cycle()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+pub use ast::{Formula, Sort, Var, VarGen};
+
+pub mod eval;
+pub mod props;

@@ -1,0 +1,411 @@
+//! MSO₂ formulas for the paper's headline properties (Section 1.2 lists
+//! planarity, Hamiltonicity, k-colourability, H-minor-freeness, perfect
+//! matching, vertex cover; we provide the ones with tractable naive
+//! evaluation, which double as the oracle for the homomorphism algebras).
+
+use crate::{Formula, Formula::*, Sort, VarGen};
+
+/// `∃X ∀u ∀v: adj(u,v) → ¬(u ∈ X ↔ v ∈ X)` — bipartiteness
+/// (2-colourability), the paper's one-bit example.
+pub fn bipartite() -> Formula {
+    let mut g = VarGen::new();
+    let (x, u, v) = (g.fresh(), g.fresh(), g.fresh());
+    Exists(
+        Sort::VertexSet,
+        x,
+        Box::new(Forall(
+            Sort::Vertex,
+            u,
+            Box::new(Forall(
+                Sort::Vertex,
+                v,
+                Box::new(Adj(u, v).implies(InVSet(u, x).iff(InVSet(v, x)).not())),
+            )),
+        )),
+    )
+}
+
+/// Proper `c`-colourability: `∃X_1 … ∃X_c` covering all vertices with no
+/// monochromatic edge.
+///
+/// # Panics
+///
+/// Panics if `c == 0`.
+pub fn colorable(c: usize) -> Formula {
+    assert!(c >= 1, "at least one colour");
+    let mut g = VarGen::new();
+    let classes: Vec<_> = (0..c).map(|_| g.fresh()).collect();
+    let (u, v) = (g.fresh(), g.fresh());
+    let covered = Forall(
+        Sort::Vertex,
+        u,
+        Box::new(Formula::any(classes.iter().map(|&x| InVSet(u, x)))),
+    );
+    let proper = Forall(
+        Sort::Vertex,
+        u,
+        Box::new(Forall(
+            Sort::Vertex,
+            v,
+            Box::new(Adj(u, v).implies(Formula::all(
+                classes.iter().map(|&x| InVSet(u, x).and(InVSet(v, x)).not()),
+            ))),
+        )),
+    );
+    classes.into_iter().rev().fold(covered.and(proper), |f, x| {
+        Exists(Sort::VertexSet, x, Box::new(f))
+    })
+}
+
+/// Connectivity: every non-trivial vertex cut is crossed by an edge.
+pub fn connected() -> Formula {
+    let mut g = VarGen::new();
+    let (x, u, v, e, a, b) = (
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+    );
+    let nontrivial = Exists(Sort::Vertex, u, Box::new(InVSet(u, x))).and(Exists(
+        Sort::Vertex,
+        v,
+        Box::new(InVSet(v, x).not()),
+    ));
+    let crossed = Exists(
+        Sort::Edge,
+        e,
+        Box::new(Exists(
+            Sort::Vertex,
+            a,
+            Box::new(Exists(
+                Sort::Vertex,
+                b,
+                Box::new(Formula::all([
+                    Inc(e, a),
+                    Inc(e, b),
+                    InVSet(a, x),
+                    InVSet(b, x).not(),
+                ])),
+            )),
+        )),
+    );
+    Forall(Sort::VertexSet, x, Box::new(nontrivial.implies(crossed)))
+}
+
+/// Degree of `v` within edge set `f` is at least 2 (helper).
+fn f_degree_ge2(g: &mut VarGen, f: crate::Var, v: crate::Var) -> Formula {
+    let (e1, e2) = (g.fresh(), g.fresh());
+    Exists(
+        Sort::Edge,
+        e1,
+        Box::new(Exists(
+            Sort::Edge,
+            e2,
+            Box::new(Formula::all([
+                EqE(e1, e2).not(),
+                InESet(e1, f),
+                InESet(e2, f),
+                Inc(e1, v),
+                Inc(e2, v),
+            ])),
+        )),
+    )
+}
+
+/// Acyclicity (being a forest): no non-empty edge set in which every
+/// touched vertex has degree ≥ 2.
+pub fn acyclic() -> Formula {
+    let mut g = VarGen::new();
+    let (f, e0, v, e) = (g.fresh(), g.fresh(), g.fresh(), g.fresh());
+    let nonempty = Exists(Sort::Edge, e0, Box::new(InESet(e0, f)));
+    let touched = Exists(Sort::Edge, e, Box::new(InESet(e, f).and(Inc(e, v))));
+    let all_deg2 = Forall(
+        Sort::Vertex,
+        v,
+        Box::new(touched.implies(f_degree_ge2(&mut g, f, v))),
+    );
+    Exists(Sort::EdgeSet, f, Box::new(nonempty.and(all_deg2))).not()
+}
+
+/// Hamiltonicity: a spanning, connected, 2-regular edge set exists.
+pub fn hamiltonian_cycle() -> Formula {
+    let mut g = VarGen::new();
+    let f = g.fresh();
+    let v = g.fresh();
+    // degree exactly two: ≥2 and ≤2.
+    let ge2 = f_degree_ge2(&mut g, f, v);
+    let (d1, d2, d3) = (g.fresh(), g.fresh(), g.fresh());
+    let le2 = Forall(
+        Sort::Edge,
+        d1,
+        Box::new(Forall(
+            Sort::Edge,
+            d2,
+            Box::new(Forall(
+                Sort::Edge,
+                d3,
+                Box::new(
+                    Formula::all([
+                        InESet(d1, f),
+                        InESet(d2, f),
+                        InESet(d3, f),
+                        Inc(d1, v),
+                        Inc(d2, v),
+                        Inc(d3, v),
+                        EqE(d1, d2).not(),
+                        EqE(d1, d3).not(),
+                        EqE(d2, d3).not(),
+                    ])
+                    .not(),
+                ),
+            )),
+        )),
+    );
+    let two_regular = Forall(Sort::Vertex, v, Box::new(ge2.and(le2)));
+    // Spanning-connected: every proper cut is crossed by an F-edge.
+    let (x, u1, u2, e, a, b) = (
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+        g.fresh(),
+    );
+    let nontrivial = Exists(Sort::Vertex, u1, Box::new(InVSet(u1, x))).and(Exists(
+        Sort::Vertex,
+        u2,
+        Box::new(InVSet(u2, x).not()),
+    ));
+    let crossed = Exists(
+        Sort::Edge,
+        e,
+        Box::new(Exists(
+            Sort::Vertex,
+            a,
+            Box::new(Exists(
+                Sort::Vertex,
+                b,
+                Box::new(Formula::all([
+                    InESet(e, f),
+                    Inc(e, a),
+                    Inc(e, b),
+                    InVSet(a, x),
+                    InVSet(b, x).not(),
+                ])),
+            )),
+        )),
+    );
+    let f_connected = Forall(Sort::VertexSet, x, Box::new(nontrivial.implies(crossed)));
+    Exists(Sort::EdgeSet, f, Box::new(two_regular.and(f_connected)))
+}
+
+/// Perfect matching: an edge set touching every vertex exactly once.
+pub fn perfect_matching() -> Formula {
+    let mut g = VarGen::new();
+    let (f, v, e, e2) = (g.fresh(), g.fresh(), g.fresh(), g.fresh());
+    let exactly_one = Exists(
+        Sort::Edge,
+        e,
+        Box::new(
+            InESet(e, f).and(Inc(e, v)).and(Forall(
+                Sort::Edge,
+                e2,
+                Box::new(InESet(e2, f).and(Inc(e2, v)).implies(EqE(e, e2))),
+            )),
+        ),
+    );
+    Exists(
+        Sort::EdgeSet,
+        f,
+        Box::new(Forall(Sort::Vertex, v, Box::new(exactly_one))),
+    )
+}
+
+/// Vertex cover of size at most `s` (first-order witnesses; repetitions
+/// make the bound "at most").
+pub fn vertex_cover_at_most(s: usize) -> Formula {
+    let mut g = VarGen::new();
+    let xs: Vec<_> = (0..s).map(|_| g.fresh()).collect();
+    let e = g.fresh();
+    let covered = Forall(
+        Sort::Edge,
+        e,
+        Box::new(Formula::any(xs.iter().map(|&x| Inc(e, x)))),
+    );
+    xs.into_iter()
+        .rev()
+        .fold(covered, |f, x| Exists(Sort::Vertex, x, Box::new(f)))
+}
+
+/// Dominating set of size at most `s`.
+pub fn dominating_set_at_most(s: usize) -> Formula {
+    let mut g = VarGen::new();
+    let xs: Vec<_> = (0..s).map(|_| g.fresh()).collect();
+    let v = g.fresh();
+    let dominated = Forall(
+        Sort::Vertex,
+        v,
+        Box::new(Formula::any(
+            xs.iter().flat_map(|&x| [EqV(v, x), Adj(v, x)]),
+        )),
+    );
+    xs.into_iter()
+        .rev()
+        .fold(dominated, |f, x| Exists(Sort::Vertex, x, Box::new(f)))
+}
+
+/// Independent set of size at least `s` (distinct pairwise non-adjacent
+/// witnesses).
+pub fn independent_set_at_least(s: usize) -> Formula {
+    let mut g = VarGen::new();
+    let xs: Vec<_> = (0..s).map(|_| g.fresh()).collect();
+    let mut constraints = Vec::new();
+    for i in 0..s {
+        for j in (i + 1)..s {
+            constraints.push(EqV(xs[i], xs[j]).not());
+            constraints.push(Adj(xs[i], xs[j]).not());
+        }
+    }
+    let body = Formula::all(constraints);
+    xs.into_iter()
+        .rev()
+        .fold(body, |f, x| Exists(Sort::Vertex, x, Box::new(f)))
+}
+
+/// Maximum degree at most `d`: no vertex has `d + 1` pairwise-distinct
+/// incident edges.
+pub fn max_degree_at_most(d: usize) -> Formula {
+    let mut g = VarGen::new();
+    let v = g.fresh();
+    let es: Vec<_> = (0..=d).map(|_| g.fresh()).collect();
+    let mut parts: Vec<Formula> = es.iter().map(|&e| Inc(e, v)).collect();
+    for i in 0..es.len() {
+        for j in (i + 1)..es.len() {
+            parts.push(EqE(es[i], es[j]).not());
+        }
+    }
+    let witness = es
+        .iter()
+        .rev()
+        .fold(Formula::all(parts), |f, &e| Exists(Sort::Edge, e, Box::new(f)));
+    Exists(Sort::Vertex, v, Box::new(witness)).not()
+}
+
+/// Triangle-freeness: no three pairwise-adjacent vertices.
+pub fn triangle_free() -> Formula {
+    let mut g = VarGen::new();
+    let (u, v, w) = (g.fresh(), g.fresh(), g.fresh());
+    Exists(
+        Sort::Vertex,
+        u,
+        Box::new(Exists(
+            Sort::Vertex,
+            v,
+            Box::new(Exists(
+                Sort::Vertex,
+                w,
+                Box::new(Formula::all([Adj(u, v), Adj(v, w), Adj(u, w)])),
+            )),
+        )),
+    )
+    .not()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::check;
+    use lanecert_graph::{generators, Graph};
+
+    #[test]
+    fn bipartite_cases() {
+        assert!(check(&generators::path_graph(5), &bipartite()));
+        assert!(check(&generators::cycle_graph(4), &bipartite()));
+        assert!(!check(&generators::cycle_graph(5), &bipartite()));
+        assert!(check(&generators::complete_bipartite(2, 3), &bipartite()));
+        assert!(!check(&generators::complete_graph(3), &bipartite()));
+    }
+
+    #[test]
+    fn colorable_cases() {
+        assert!(check(&generators::cycle_graph(5), &colorable(3)));
+        assert!(!check(&generators::complete_graph(4), &colorable(3)));
+        assert!(check(&generators::complete_graph(4), &colorable(4)));
+        assert!(check(&Graph::new(3), &colorable(1)));
+    }
+
+    #[test]
+    fn connectivity_cases() {
+        assert!(check(&generators::path_graph(4), &connected()));
+        assert!(!check(
+            &Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(),
+            &connected()
+        ));
+        assert!(check(&Graph::new(1), &connected()));
+    }
+
+    #[test]
+    fn acyclicity_cases() {
+        assert!(check(&generators::path_graph(4), &acyclic()));
+        assert!(check(&generators::star(5), &acyclic()));
+        assert!(!check(&generators::cycle_graph(3), &acyclic()));
+        assert!(!check(&generators::cycle_graph(5), &acyclic()));
+    }
+
+    #[test]
+    fn hamiltonicity_cases() {
+        assert!(check(&generators::cycle_graph(4), &hamiltonian_cycle()));
+        assert!(check(&generators::complete_graph(4), &hamiltonian_cycle()));
+        assert!(!check(&generators::path_graph(4), &hamiltonian_cycle()));
+        assert!(!check(&generators::star(4), &hamiltonian_cycle()));
+    }
+
+    #[test]
+    fn perfect_matching_cases() {
+        assert!(check(&generators::path_graph(4), &perfect_matching()));
+        assert!(!check(&generators::path_graph(3), &perfect_matching()));
+        assert!(check(&generators::cycle_graph(6), &perfect_matching()));
+        assert!(!check(&generators::star(4), &perfect_matching()));
+    }
+
+    #[test]
+    fn vertex_cover_cases() {
+        assert!(check(&generators::star(5), &vertex_cover_at_most(1)));
+        assert!(!check(&generators::path_graph(5), &vertex_cover_at_most(1)));
+        assert!(check(&generators::path_graph(5), &vertex_cover_at_most(2)));
+        assert!(check(&Graph::new(3), &vertex_cover_at_most(0)));
+    }
+
+    #[test]
+    fn dominating_set_cases() {
+        assert!(check(&generators::star(6), &dominating_set_at_most(1)));
+        assert!(!check(&generators::path_graph(6), &dominating_set_at_most(1)));
+        assert!(check(&generators::path_graph(6), &dominating_set_at_most(2)));
+    }
+
+    #[test]
+    fn independent_set_cases() {
+        assert!(check(&generators::path_graph(5), &independent_set_at_least(3)));
+        assert!(!check(
+            &generators::complete_graph(4),
+            &independent_set_at_least(2)
+        ));
+        assert!(check(&Graph::new(2), &independent_set_at_least(2)));
+    }
+
+    #[test]
+    fn max_degree_cases() {
+        assert!(check(&generators::cycle_graph(5), &max_degree_at_most(2)));
+        assert!(!check(&generators::star(5), &max_degree_at_most(2)));
+        assert!(check(&generators::path_graph(2), &max_degree_at_most(1)));
+    }
+
+    #[test]
+    fn triangle_free_cases() {
+        assert!(check(&generators::cycle_graph(4), &triangle_free()));
+        assert!(!check(&generators::complete_graph(3), &triangle_free()));
+        assert!(check(&generators::complete_bipartite(2, 2), &triangle_free()));
+    }
+}

@@ -1,0 +1,301 @@
+//! Path decompositions (Definition 1.1 of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+use lanecert_graph::{Graph, VertexId};
+
+/// A path decomposition: a sequence of bags `X_1, …, X_s`.
+///
+/// Validity ((P1) edge coverage, (P2) convexity, plus "every vertex appears")
+/// is checked by [`PathDecomposition::validate`]; construction itself does
+/// not validate so that tests can build intentionally broken decompositions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathDecomposition {
+    bags: Vec<Vec<VertexId>>,
+}
+
+/// Reasons a bag sequence fails to be a path decomposition of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathDecompositionError {
+    /// A vertex of the graph appears in no bag.
+    MissingVertex(VertexId),
+    /// A bag mentions a vertex outside the graph.
+    ForeignVertex(VertexId),
+    /// A vertex's occurrence set is not a contiguous range of bag indices
+    /// (violates (P2)).
+    NotContiguous(VertexId),
+    /// An edge has no bag containing both endpoints (violates (P1)).
+    UncoveredEdge(VertexId, VertexId),
+    /// A bag repeats a vertex.
+    DuplicateInBag(usize, VertexId),
+    /// The decomposition has no bags but the graph has vertices.
+    Empty,
+}
+
+impl fmt::Display for PathDecompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use PathDecompositionError::*;
+        match self {
+            MissingVertex(v) => write!(f, "vertex {v} appears in no bag"),
+            ForeignVertex(v) => write!(f, "bag mentions unknown vertex {v}"),
+            NotContiguous(v) => write!(f, "occurrences of {v} are not contiguous"),
+            UncoveredEdge(u, v) => write!(f, "no bag covers edge ({u}, {v})"),
+            DuplicateInBag(i, v) => write!(f, "bag {i} repeats vertex {v}"),
+            Empty => write!(f, "decomposition has no bags"),
+        }
+    }
+}
+
+impl Error for PathDecompositionError {}
+
+impl PathDecomposition {
+    /// Wraps a bag sequence (no validation; see [`Self::validate`]).
+    pub fn new(bags: Vec<Vec<VertexId>>) -> Self {
+        Self { bags }
+    }
+
+    /// The bag sequence.
+    pub fn bags(&self) -> &[Vec<VertexId>] {
+        &self.bags
+    }
+
+    /// Number of bags.
+    pub fn len(&self) -> usize {
+        self.bags.len()
+    }
+
+    /// Returns `true` if there are no bags.
+    pub fn is_empty(&self) -> bool {
+        self.bags.is_empty()
+    }
+
+    /// The width: `max |X_i| − 1` (`0` for an empty decomposition).
+    pub fn width(&self) -> usize {
+        self.bags
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(1)
+            .saturating_sub(1)
+    }
+
+    /// Checks (P1), (P2), full vertex coverage, and bag well-formedness
+    /// against `g`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self, g: &Graph) -> Result<(), PathDecompositionError> {
+        use PathDecompositionError::*;
+        let n = g.vertex_count();
+        if self.bags.is_empty() {
+            return if n == 0 { Ok(()) } else { Err(Empty) };
+        }
+        let mut first = vec![usize::MAX; n];
+        let mut last = vec![usize::MAX; n];
+        let mut count = vec![0usize; n];
+        for (i, bag) in self.bags.iter().enumerate() {
+            let mut seen_here: Vec<VertexId> = Vec::with_capacity(bag.len());
+            for &v in bag {
+                if v.index() >= n {
+                    return Err(ForeignVertex(v));
+                }
+                if seen_here.contains(&v) {
+                    return Err(DuplicateInBag(i, v));
+                }
+                seen_here.push(v);
+                if first[v.index()] == usize::MAX {
+                    first[v.index()] = i;
+                }
+                last[v.index()] = i;
+                count[v.index()] += 1;
+            }
+        }
+        for v in g.vertices() {
+            let vi = v.index();
+            if first[vi] == usize::MAX {
+                return Err(MissingVertex(v));
+            }
+            // Contiguity: the number of occurrences must equal the span.
+            if count[vi] != last[vi] - first[vi] + 1 {
+                return Err(NotContiguous(v));
+            }
+        }
+        for (_, e) in g.edges() {
+            let (u, v) = (e.u.index(), e.v.index());
+            let lo = first[u].max(first[v]);
+            let hi = last[u].min(last[v]);
+            if lo > hi {
+                return Err(UncoveredEdge(e.u, e.v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the decomposition induced by an elimination ordering: bag `i`
+    /// contains `order[i]` plus every earlier vertex that still has a
+    /// neighbour at or after position `i`. The width equals the vertex
+    /// separation of the ordering, which is how the exact solver converts an
+    /// optimal ordering into an optimal decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the vertices of `g`.
+    pub fn from_order(g: &Graph, order: &[VertexId]) -> Self {
+        let n = g.vertex_count();
+        assert_eq!(order.len(), n, "order must cover every vertex");
+        let mut pos = vec![usize::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            assert!(pos[v.index()] == usize::MAX, "repeated vertex {v}");
+            pos[v.index()] = i;
+        }
+        // last_needed[v] = latest position among v and its neighbours.
+        let mut last_needed = vec![0usize; n];
+        for v in g.vertices() {
+            let mut latest = pos[v.index()];
+            for w in g.neighbors(v) {
+                latest = latest.max(pos[w.index()]);
+            }
+            last_needed[v.index()] = latest;
+        }
+        let bags = (0..n)
+            .map(|i| {
+                order[..=i]
+                    .iter()
+                    .copied()
+                    .filter(|v| last_needed[v.index()] >= i)
+                    .collect()
+            })
+            .collect();
+        Self { bags }
+    }
+}
+
+impl fmt::Display for PathDecomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, bag) in self.bags.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "X{}={{", i + 1)?;
+            for (j, v) in bag.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_graph::generators;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// The paper's Figure 1: a 6-cycle a-b-c-d-e-f with bags
+    /// {a,b,c}, {a,c,d}, {a,d,e}, {a,e,f}.
+    fn figure1() -> (Graph, PathDecomposition) {
+        let g = generators::cycle_graph(6);
+        let pd = PathDecomposition::new(vec![
+            vec![v(0), v(1), v(2)],
+            vec![v(0), v(2), v(3)],
+            vec![v(0), v(3), v(4)],
+            vec![v(0), v(4), v(5)],
+        ]);
+        (g, pd)
+    }
+
+    #[test]
+    fn figure1_is_valid_width_two() {
+        let (g, pd) = figure1();
+        pd.validate(&g).unwrap();
+        assert_eq!(pd.width(), 2);
+    }
+
+    #[test]
+    fn detects_uncovered_edge() {
+        let (g, _) = figure1();
+        let pd = PathDecomposition::new(vec![
+            vec![v(0), v(1), v(2)],
+            vec![v(0), v(2), v(3)],
+            vec![v(0), v(3), v(4)],
+            vec![v(0), v(5)],
+        ]);
+        assert_eq!(
+            pd.validate(&g),
+            Err(PathDecompositionError::UncoveredEdge(v(4), v(5)))
+        );
+    }
+
+    #[test]
+    fn detects_noncontiguous_vertex() {
+        let g = generators::path_graph(3);
+        let pd = PathDecomposition::new(vec![
+            vec![v(0), v(1)],
+            vec![v(1), v(2)],
+            vec![v(0)], // v0 reappears
+        ]);
+        assert_eq!(
+            pd.validate(&g),
+            Err(PathDecompositionError::NotContiguous(v(0)))
+        );
+    }
+
+    #[test]
+    fn detects_missing_and_foreign_vertices() {
+        let g = generators::path_graph(2);
+        let pd = PathDecomposition::new(vec![vec![v(0)]]);
+        assert_eq!(
+            pd.validate(&g),
+            Err(PathDecompositionError::MissingVertex(v(1)))
+        );
+        let pd = PathDecomposition::new(vec![vec![v(0), v(1), v(9)]]);
+        assert_eq!(
+            pd.validate(&g),
+            Err(PathDecompositionError::ForeignVertex(v(9)))
+        );
+    }
+
+    #[test]
+    fn detects_duplicate_in_bag() {
+        let g = generators::path_graph(2);
+        let pd = PathDecomposition::new(vec![vec![v(0), v(0), v(1)]]);
+        assert!(matches!(
+            pd.validate(&g),
+            Err(PathDecompositionError::DuplicateInBag(0, _))
+        ));
+    }
+
+    #[test]
+    fn from_order_on_path_has_width_one() {
+        let g = generators::path_graph(6);
+        let order: Vec<VertexId> = g.vertices().collect();
+        let pd = PathDecomposition::from_order(&g, &order);
+        pd.validate(&g).unwrap();
+        assert_eq!(pd.width(), 1);
+    }
+
+    #[test]
+    fn from_order_matches_separation_on_star() {
+        let g = generators::star(5);
+        // Place the hub first: each later bag is {hub, leaf} => width 1.
+        let order = vec![v(0), v(1), v(2), v(3), v(4)];
+        let pd = PathDecomposition::from_order(&g, &order);
+        pd.validate(&g).unwrap();
+        assert_eq!(pd.width(), 1);
+    }
+
+    #[test]
+    fn empty_graph_empty_decomposition() {
+        let g = Graph::new(0);
+        PathDecomposition::new(vec![]).validate(&g).unwrap();
+    }
+}

@@ -1,0 +1,297 @@
+//! Interval representations (Definition 4.1 of the paper).
+
+use std::error::Error;
+use std::fmt;
+
+use lanecert_graph::{Graph, VertexId};
+
+use crate::PathDecomposition;
+
+/// A closed integer interval `[lo, hi]`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Interval {
+    /// Left endpoint `L_v`.
+    pub lo: u32,
+    /// Right endpoint `R_v` (inclusive, `hi ≥ lo`).
+    pub hi: u32,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(hi >= lo, "empty interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Returns `true` if the intervals share a point.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Returns `true` if `self` ends strictly before `other` begins
+    /// (the `≺` order of Section 4.1).
+    pub fn strictly_before(&self, other: &Interval) -> bool {
+        self.hi < other.lo
+    }
+
+    /// Returns `true` if the interval contains the point `x`.
+    pub fn contains(&self, x: u32) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// The smallest interval covering both.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Reasons an interval assignment fails to represent a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IntervalRepError {
+    /// The representation covers a different number of vertices than the
+    /// graph has.
+    WrongVertexCount {
+        /// Number of intervals provided.
+        got: usize,
+        /// Number of vertices in the graph.
+        expected: usize,
+    },
+    /// An edge's endpoints have disjoint intervals.
+    DisjointEdge(VertexId, VertexId),
+}
+
+impl fmt::Display for IntervalRepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalRepError::WrongVertexCount { got, expected } => {
+                write!(f, "representation has {got} intervals, graph has {expected} vertices")
+            }
+            IntervalRepError::DisjointEdge(u, v) => {
+                write!(f, "edge ({u}, {v}) has disjoint intervals")
+            }
+        }
+    }
+}
+
+impl Error for IntervalRepError {}
+
+/// An interval representation: one interval per vertex such that adjacent
+/// vertices overlap. The *width* is the maximum number of intervals sharing
+/// a point; a graph has pathwidth `k` iff it admits a representation of
+/// width `k + 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntervalRep {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalRep {
+    /// Wraps per-vertex intervals (index `i` is the interval of vertex `i`).
+    pub fn new(intervals: Vec<Interval>) -> Self {
+        Self { intervals }
+    }
+
+    /// The interval of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn interval(&self, v: VertexId) -> Interval {
+        self.intervals[v.index()]
+    }
+
+    /// All intervals, indexed by vertex.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Returns `true` if the representation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The width: the maximum number of intervals containing a common point
+    /// (0 for an empty representation). Computed by a sweep over interval
+    /// endpoints.
+    pub fn width(&self) -> usize {
+        let mut events: Vec<(u32, i32)> = Vec::with_capacity(self.intervals.len() * 2);
+        for iv in &self.intervals {
+            events.push((iv.lo, 1));
+            events.push((iv.hi + 1, -1));
+        }
+        events.sort_unstable();
+        let mut cur = 0i32;
+        let mut best = 0i32;
+        for (_, d) in events {
+            cur += d;
+            best = best.max(cur);
+        }
+        best as usize
+    }
+
+    /// Checks that adjacent vertices overlap (Definition 4.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first uncovered edge or a vertex-count mismatch.
+    pub fn validate(&self, g: &Graph) -> Result<(), IntervalRepError> {
+        if self.intervals.len() != g.vertex_count() {
+            return Err(IntervalRepError::WrongVertexCount {
+                got: self.intervals.len(),
+                expected: g.vertex_count(),
+            });
+        }
+        for (_, e) in g.edges() {
+            if !self.interval(e.u).overlaps(&self.interval(e.v)) {
+                return Err(IntervalRepError::DisjointEdge(e.u, e.v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts a path decomposition into its interval view: `I_v` is the
+    /// (contiguous, by (P2)) range of bag indices containing `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some vertex of the decomposition never appears (callers
+    /// should validate the decomposition first).
+    pub fn from_decomposition(pd: &PathDecomposition, n: usize) -> Self {
+        let mut lo = vec![u32::MAX; n];
+        let mut hi = vec![0u32; n];
+        for (i, bag) in pd.bags().iter().enumerate() {
+            for &v in bag {
+                let vi = v.index();
+                lo[vi] = lo[vi].min(i as u32);
+                hi[vi] = hi[vi].max(i as u32);
+            }
+        }
+        let intervals = (0..n)
+            .map(|v| {
+                assert!(lo[v] != u32::MAX, "vertex v{v} missing from decomposition");
+                Interval::new(lo[v], hi[v])
+            })
+            .collect();
+        Self { intervals }
+    }
+
+    /// Converts back to a path decomposition: bag `i` holds the vertices
+    /// whose interval contains `i`. Points range over
+    /// `min lo ..= max hi`.
+    pub fn to_decomposition(&self) -> PathDecomposition {
+        if self.intervals.is_empty() {
+            return PathDecomposition::new(Vec::new());
+        }
+        let lo = self.intervals.iter().map(|iv| iv.lo).min().unwrap();
+        let hi = self.intervals.iter().map(|iv| iv.hi).max().unwrap();
+        let bags = (lo..=hi)
+            .map(|x| {
+                self.intervals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, iv)| iv.contains(x))
+                    .map(|(v, _)| VertexId::new(v))
+                    .collect()
+            })
+            .collect();
+        PathDecomposition::new(bags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_graph::generators;
+
+    #[test]
+    fn interval_basics() {
+        let a = Interval::new(0, 3);
+        let b = Interval::new(3, 5);
+        let c = Interval::new(4, 6);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.strictly_before(&c));
+        assert!(!a.strictly_before(&b));
+        assert_eq!(a.hull(&c), Interval::new(0, 6));
+        assert!(b.contains(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn interval_rejects_inverted() {
+        let _ = Interval::new(2, 1);
+    }
+
+    #[test]
+    fn figure1_roundtrip() {
+        // The 6-cycle representation from Figure 1: a spans everything.
+        let g = generators::cycle_graph(6);
+        let rep = IntervalRep::new(vec![
+            Interval::new(0, 3), // a
+            Interval::new(0, 0), // b
+            Interval::new(0, 1), // c
+            Interval::new(1, 2), // d
+            Interval::new(2, 3), // e
+            Interval::new(3, 3), // f
+        ]);
+        rep.validate(&g).unwrap();
+        assert_eq!(rep.width(), 3); // pathwidth 2
+        let pd = rep.to_decomposition();
+        pd.validate(&g).unwrap();
+        assert_eq!(pd.width(), 2);
+        let back = IntervalRep::from_decomposition(&pd, 6);
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn width_of_disjoint_intervals_is_one() {
+        let rep = IntervalRep::new(vec![
+            Interval::new(0, 1),
+            Interval::new(2, 3),
+            Interval::new(4, 4),
+        ]);
+        assert_eq!(rep.width(), 1);
+    }
+
+    #[test]
+    fn validate_catches_disjoint_edge() {
+        let g = generators::path_graph(2);
+        let rep = IntervalRep::new(vec![Interval::new(0, 0), Interval::new(2, 2)]);
+        assert_eq!(
+            rep.validate(&g),
+            Err(IntervalRepError::DisjointEdge(VertexId(0), VertexId(1)))
+        );
+    }
+
+    #[test]
+    fn validate_catches_count_mismatch() {
+        let g = generators::path_graph(3);
+        let rep = IntervalRep::new(vec![Interval::new(0, 0)]);
+        assert!(matches!(
+            rep.validate(&g),
+            Err(IntervalRepError::WrongVertexCount { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rep() {
+        let rep = IntervalRep::new(vec![]);
+        assert_eq!(rep.width(), 0);
+        assert!(rep.is_empty());
+        assert_eq!(rep.to_decomposition().len(), 0);
+    }
+}

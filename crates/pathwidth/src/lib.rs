@@ -1,0 +1,34 @@
+//! Path decompositions, interval representations, and pathwidth solvers.
+//!
+//! This crate implements Definition 1.1 (path decompositions) and
+//! Definition 4.1 (interval representations) of the paper, the conversions
+//! between them, and pathwidth computation:
+//!
+//! * [`PathDecomposition`] — a bag sequence with validation of (P1)/(P2).
+//! * [`IntervalRep`] — the per-vertex interval view; a graph has pathwidth
+//!   `k` iff it has an interval representation of width `k + 1`.
+//! * [`solver`] — an exact exponential solver (vertex-separation DP over
+//!   subsets with ordering reconstruction), a brute-force permutation solver
+//!   (test oracle), and a beam-search heuristic for larger graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use lanecert_graph::generators;
+//! use lanecert_pathwidth::solver;
+//!
+//! let g = generators::cycle_graph(6);
+//! let (pw, pd) = solver::pathwidth_exact(&g).unwrap();
+//! assert_eq!(pw, 2);
+//! pd.validate(&g).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decomposition;
+mod interval;
+pub mod solver;
+
+pub use decomposition::{PathDecomposition, PathDecompositionError};
+pub use interval::{Interval, IntervalRep};

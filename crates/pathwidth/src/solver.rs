@@ -1,0 +1,310 @@
+//! Pathwidth solvers.
+//!
+//! Pathwidth equals the *vertex separation number*: the minimum over vertex
+//! orderings of the maximum boundary size of a prefix (a classical result of
+//! Kinnersley). The exact solver runs the Held–Karp-style DP
+//!
+//! ```text
+//! cost(S) = min over v in S of max(cost(S \ {v}), boundary(S))
+//! ```
+//!
+//! over all `2^n` vertex subsets, reconstructs an optimal ordering, and
+//! converts it to a path decomposition via
+//! [`PathDecomposition::from_order`]. A brute-force permutation solver acts
+//! as a test oracle, and a beam-search heuristic covers larger graphs.
+
+use std::error::Error;
+use std::fmt;
+
+use lanecert_graph::{Graph, VertexId};
+
+use crate::PathDecomposition;
+
+/// Largest vertex count accepted by [`pathwidth_exact`] (the DP allocates
+/// `2^n` bytes).
+pub const EXACT_LIMIT: usize = 24;
+
+/// Error returned when a graph is too large for the exact solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TooLarge {
+    /// Vertices in the offending graph.
+    pub vertices: usize,
+}
+
+impl fmt::Display for TooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph has {} vertices; exact pathwidth is limited to {EXACT_LIMIT}",
+            self.vertices
+        )
+    }
+}
+
+impl Error for TooLarge {}
+
+/// The boundary size of prefix set `s`: vertices in `s` with a neighbour
+/// outside `s`.
+fn boundary(adj: &[u64], s: u64) -> u32 {
+    let mut count = 0;
+    let mut m = s;
+    while m != 0 {
+        let v = m.trailing_zeros() as usize;
+        m &= m - 1;
+        if adj[v] & !s != 0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Computes the exact pathwidth and an optimal path decomposition.
+///
+/// # Errors
+///
+/// Returns [`TooLarge`] if the graph has more than [`EXACT_LIMIT`] vertices.
+pub fn pathwidth_exact(g: &Graph) -> Result<(usize, PathDecomposition), TooLarge> {
+    let n = g.vertex_count();
+    if n > EXACT_LIMIT {
+        return Err(TooLarge { vertices: n });
+    }
+    if n == 0 {
+        return Ok((0, PathDecomposition::new(Vec::new())));
+    }
+    let adj: Vec<u64> = (0..n)
+        .map(|v| {
+            let mut m = 0u64;
+            for w in g.neighbors(VertexId::new(v)) {
+                m |= 1 << w.index();
+            }
+            m
+        })
+        .collect();
+    let full = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    // cost[S] = optimal max-boundary over orderings of S as a prefix.
+    let mut cost = vec![u8::MAX; 1 << n];
+    cost[0] = 0;
+    for s in 1..=(full as usize) {
+        let b = boundary(&adj, s as u64) as u8;
+        let mut best = u8::MAX;
+        let mut m = s as u64;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let prev = cost[s ^ (1 << v)];
+            best = best.min(prev.max(b));
+        }
+        cost[s] = best;
+    }
+    let vsn = cost[full as usize] as usize;
+    // Reconstruct an optimal ordering by walking back from the full set.
+    let mut order = Vec::with_capacity(n);
+    let mut s = full;
+    while s != 0 {
+        let b = boundary(&adj, s) as u8;
+        let mut m = s;
+        let mut chosen = None;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            m &= m - 1;
+            if cost[(s ^ (1 << v)) as usize].max(b) == cost[s as usize] {
+                chosen = Some(v);
+                break;
+            }
+        }
+        let v = chosen.expect("DP invariant: some last vertex achieves the optimum");
+        order.push(VertexId::new(v));
+        s ^= 1 << v;
+    }
+    order.reverse();
+    let pd = PathDecomposition::from_order(g, &order);
+    debug_assert_eq!(pd.width(), vsn);
+    Ok((vsn, pd))
+}
+
+/// Brute-force pathwidth over all vertex permutations — a test oracle for
+/// graphs with at most ~8 vertices.
+pub fn pathwidth_bruteforce(g: &Graph) -> usize {
+    let n = g.vertex_count();
+    if n == 0 {
+        return 0;
+    }
+    let adj: Vec<u64> = (0..n)
+        .map(|v| {
+            let mut m = 0u64;
+            for w in g.neighbors(VertexId::new(v)) {
+                m |= 1 << w.index();
+            }
+            m
+        })
+        .collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = n;
+    permute(&mut perm, 0, &mut |p| {
+        let mut s = 0u64;
+        let mut worst = 0;
+        for &v in p {
+            s |= 1 << v;
+            worst = worst.max(boundary(&adj, s));
+        }
+        best = best.min(worst as usize);
+    });
+    best
+}
+
+fn permute(xs: &mut Vec<usize>, i: usize, f: &mut impl FnMut(&[usize])) {
+    if i == xs.len() {
+        f(xs);
+        return;
+    }
+    for j in i..xs.len() {
+        xs.swap(i, j);
+        permute(xs, i + 1, f);
+        xs.swap(i, j);
+    }
+}
+
+/// Beam-search upper bound: grows orderings greedily, keeping the `beam`
+/// lowest-boundary partial prefixes per step. Returns a valid decomposition
+/// whose width is an upper bound on the pathwidth.
+pub fn pathwidth_heuristic(g: &Graph, beam: usize) -> (usize, PathDecomposition) {
+    let n = g.vertex_count();
+    if n == 0 {
+        return (0, PathDecomposition::new(Vec::new()));
+    }
+    assert!(beam >= 1, "beam must be positive");
+    #[derive(Clone)]
+    struct Cand {
+        order: Vec<VertexId>,
+        inside: Vec<bool>,
+        worst: usize,
+    }
+    let boundary_of = |inside: &[bool]| -> usize {
+        (0..n)
+            .filter(|&v| {
+                inside[v]
+                    && g.neighbors(VertexId::new(v))
+                        .any(|w| !inside[w.index()])
+            })
+            .count()
+    };
+    let mut frontier = vec![Cand {
+        order: Vec::new(),
+        inside: vec![false; n],
+        worst: 0,
+    }];
+    for _ in 0..n {
+        let mut next: Vec<Cand> = Vec::new();
+        for cand in &frontier {
+            for v in 0..n {
+                if cand.inside[v] {
+                    continue;
+                }
+                let mut inside = cand.inside.clone();
+                inside[v] = true;
+                let b = boundary_of(&inside);
+                let mut order = cand.order.clone();
+                order.push(VertexId::new(v));
+                next.push(Cand {
+                    order,
+                    inside,
+                    worst: cand.worst.max(b),
+                });
+            }
+        }
+        next.sort_by_key(|c| c.worst);
+        next.truncate(beam);
+        frontier = next;
+    }
+    let best = frontier
+        .into_iter()
+        .min_by_key(|c| c.worst)
+        .expect("frontier never empties");
+    let pd = PathDecomposition::from_order(g, &best.order);
+    (pd.width(), pd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_graph::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_pathwidths() {
+        let cases: Vec<(Graph, usize)> = vec![
+            (generators::path_graph(1), 0),
+            (generators::path_graph(2), 1),
+            (generators::path_graph(8), 1),
+            (generators::cycle_graph(3), 2),
+            (generators::cycle_graph(9), 2),
+            (generators::star(7), 1),
+            (generators::caterpillar(3, 2), 1),
+            (generators::complete_graph(5), 4),
+            (generators::complete_bipartite(2, 4), 2),
+            (generators::ladder(5), 2),
+            (generators::grid(3, 5), 3),
+        ];
+        for (g, want) in cases {
+            let (pw, pd) = pathwidth_exact(&g).unwrap();
+            assert_eq!(pw, want, "graph {g:?}");
+            pd.validate(&g).unwrap();
+            assert_eq!(pd.width(), want);
+        }
+    }
+
+    #[test]
+    fn exact_matches_bruteforce_on_random_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let g = generators::gnp(6, 0.4, &mut rng);
+            let (pw, pd) = pathwidth_exact(&g).unwrap();
+            pd.validate(&g).unwrap();
+            assert_eq!(pw, pathwidth_bruteforce(&g), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn heuristic_never_beats_exact_and_is_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let g = generators::gnp(9, 0.3, &mut rng);
+            let (pw, _) = pathwidth_exact(&g).unwrap();
+            let (upper, pd) = pathwidth_heuristic(&g, 16);
+            pd.validate(&g).unwrap();
+            assert!(upper >= pw);
+        }
+    }
+
+    #[test]
+    fn heuristic_finds_path_ordering() {
+        let g = generators::path_graph(30);
+        let (w, pd) = pathwidth_heuristic(&g, 8);
+        pd.validate(&g).unwrap();
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn random_pathwidth_generator_respects_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for k in 1..=3 {
+            let (g, _) = generators::random_pathwidth_graph(12, k, 0.6, &mut rng);
+            let (pw, _) = pathwidth_exact(&g).unwrap();
+            assert!(pw <= k, "generator exceeded k = {k}: pw = {pw}");
+        }
+    }
+
+    #[test]
+    fn rejects_large_graphs() {
+        let g = generators::path_graph(EXACT_LIMIT + 1);
+        assert!(pathwidth_exact(&g).is_err());
+    }
+
+    #[test]
+    fn binary_tree_pathwidth_grows() {
+        let (pw3, _) = pathwidth_exact(&generators::binary_tree(3)).unwrap();
+        let (pw4, _) = pathwidth_exact(&generators::binary_tree(4)).unwrap();
+        assert_eq!(pw3, 1);
+        assert_eq!(pw4, 2);
+    }
+}

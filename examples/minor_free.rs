@@ -1,0 +1,50 @@
+//! Corollary 1.2: `F`-minor-free graph classes are certifiable with
+//! `O(log n)`-bit labels for every forest `F`, because excluding a forest
+//! bounds the pathwidth (Robertson–Seymour's Excluding Forest Theorem).
+//!
+//! This example instantiates the smallest interesting case: caterpillar
+//! forests, which are exactly the graphs of pathwidth ≤ 1 — equivalently
+//! the `{K3, S(2,2,2)}`-minor-free graphs. Certifying
+//! `acyclic ∧ (pathwidth ≤ 1)` therefore certifies the minor-free class,
+//! and the brute-force minor oracle cross-checks the characterization.
+//!
+//! Run with `cargo run --example minor_free`.
+
+use lanecert_suite::algebra::{props::Forest, Algebra};
+use lanecert_suite::graph::{generators, minor, Graph};
+use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert_suite::pls::Configuration;
+
+fn main() {
+    let scheme = PathwidthScheme::new(
+        Algebra::shared(Forest),
+        SchemeOptions::exact_pathwidth(1),
+    );
+    let k3 = generators::complete_graph(3);
+    let spider = minor::spider_s222();
+
+    let cases: Vec<(&str, Graph)> = vec![
+        ("caterpillar(5,2)", generators::caterpillar(5, 2)),
+        ("star(8)", generators::star(8)),
+        ("path(12)", generators::path_graph(12)),
+        ("binary_tree(4)", generators::binary_tree(4)), // contains the spider
+    ];
+    for (name, g) in cases {
+        let minor_free = !minor::has_minor(&g, &k3) && !minor::has_minor(&g, &spider);
+        let cfg = Configuration::with_random_ids(g, 23);
+        let certified = match scheme.prove_auto(&cfg) {
+            Ok(labels) => {
+                let report = scheme.run_with_labels(&cfg, &labels);
+                assert!(report.accepted());
+                true
+            }
+            Err(_) => false,
+        };
+        // The certificate exists exactly when the class membership holds.
+        assert_eq!(minor_free, certified, "{name}");
+        println!(
+            "{name:<18} {{K3, S(2,2,2)}}-minor-free: {minor_free:<5}  certified: {certified}"
+        );
+    }
+    println!("\ncertificates exist exactly for the minor-free graphs (Corollary 1.2)");
+}

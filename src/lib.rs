@@ -1,0 +1,22 @@
+//! Facade crate for the `lanecert` workspace.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can depend on a single package:
+//!
+//! * [`graph`] — graph substrate (structures, traversal, generators).
+//! * [`pathwidth`] — path decompositions, interval representations, solvers.
+//! * [`lanes`] — Sections 4–5 of the paper: lane partitions, completions,
+//!   low-congestion embeddings, lanewidth, hierarchical decompositions.
+//! * [`mso`] — MSO₂ logic: AST, parser, naive model checker, formula library.
+//! * [`algebra`] — homomorphism-class algebras (Propositions 2.4/6.1).
+//! * [`pls`] — the proof labeling schemes themselves (Theorem 1 scheme,
+//!   baselines, attacks, harness).
+
+#![forbid(unsafe_code)]
+
+pub use lanecert as pls;
+pub use lanecert_algebra as algebra;
+pub use lanecert_graph as graph;
+pub use lanecert_lanes as lanes;
+pub use lanecert_mso as mso;
+pub use lanecert_pathwidth as pathwidth;

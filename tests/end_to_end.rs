@@ -1,0 +1,201 @@
+//! Cross-crate integration tests: the full Theorem 1 pipeline against the
+//! naive MSO₂ model checker, across properties and random graphs.
+
+use lanecert_suite::algebra::{props, Algebra, SharedAlgebra};
+use lanecert_suite::graph::{generators, Graph};
+use lanecert_suite::mso::{eval, props as formulas, Formula};
+use lanecert_suite::pathwidth::{solver, IntervalRep};
+use lanecert_suite::pls::theorem1::{PathwidthScheme, ProveError, SchemeOptions};
+use lanecert_suite::pls::Configuration;
+use rand::SeedableRng;
+
+fn rep_of(g: &Graph) -> IntervalRep {
+    let (_, pd) = solver::pathwidth_exact(g).unwrap();
+    IntervalRep::from_decomposition(&pd, g.vertex_count())
+}
+
+/// Certificates must exist exactly when `ϕ ∧ (pathwidth ≤ k)` holds, and
+/// honest certificates must be accepted everywhere. The MSO₂ model checker
+/// supplies the ground truth for `ϕ`.
+fn scheme_matches_mso(alg: SharedAlgebra, phi: &Formula, k: usize, graphs: &[Graph]) {
+    let scheme = PathwidthScheme::new(alg, SchemeOptions::exact_pathwidth(k));
+    for (i, g) in graphs.iter().enumerate() {
+        let truth = eval::check(g, phi);
+        let (pw, _) = solver::pathwidth_exact(g).unwrap();
+        let rep = rep_of(g);
+        let cfg = Configuration::with_random_ids(g.clone(), i as u64);
+        match scheme.prove(&cfg, &rep) {
+            Ok(labels) => {
+                assert!(truth && pw <= k, "graph {i}: prover accepted a no-instance");
+                let report = scheme.run_with_labels(&cfg, &labels);
+                assert!(
+                    report.accepted(),
+                    "graph {i}: completeness failed ({:?})",
+                    report.first_rejection()
+                );
+            }
+            Err(ProveError::PropertyViolated) => {
+                assert!(!truth, "graph {i}: prover refused a yes-instance");
+            }
+            Err(ProveError::TooManyLanes { .. }) => {
+                assert!(pw > k, "graph {i}: lane bound refused pw {pw} ≤ {k}");
+            }
+            Err(e) => panic!("graph {i}: unexpected error {e}"),
+        }
+    }
+}
+
+fn small_graphs_sized(seed: u64, count: usize, n: usize) -> Vec<Graph> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = vec![
+        generators::path_graph(6),
+        generators::cycle_graph(5),
+        generators::cycle_graph(6),
+        generators::star(6),
+        generators::caterpillar(3, 1),
+        generators::ladder(3),
+    ];
+    for _ in 0..count {
+        let (g, _) = generators::random_pathwidth_graph(n, 2, 0.4, &mut rng);
+        out.push(g);
+    }
+    out
+}
+
+fn small_graphs(seed: u64, count: usize) -> Vec<Graph> {
+    small_graphs_sized(seed, count, 9)
+}
+
+#[test]
+fn bipartiteness_end_to_end() {
+    scheme_matches_mso(
+        Algebra::shared(props::Bipartite),
+        &formulas::bipartite(),
+        3,
+        &small_graphs(1, 6),
+    );
+}
+
+#[test]
+fn acyclicity_end_to_end() {
+    scheme_matches_mso(
+        Algebra::shared(props::Forest),
+        &formulas::acyclic(),
+        3,
+        &small_graphs(2, 6),
+    );
+}
+
+#[test]
+fn hamiltonicity_end_to_end() {
+    scheme_matches_mso(
+        Algebra::shared(props::HamiltonianCycle),
+        &formulas::hamiltonian_cycle(),
+        3,
+        &small_graphs_sized(3, 2, 7),
+    );
+}
+
+#[test]
+fn perfect_matching_end_to_end() {
+    scheme_matches_mso(
+        Algebra::shared(props::PerfectMatching),
+        &formulas::perfect_matching(),
+        3,
+        &small_graphs(4, 4),
+    );
+}
+
+#[test]
+fn vertex_cover_end_to_end() {
+    scheme_matches_mso(
+        Algebra::shared(props::VertexCoverAtMost::new(3)),
+        &formulas::vertex_cover_at_most(3),
+        3,
+        &small_graphs(5, 4),
+    );
+}
+
+#[test]
+fn colorability_end_to_end() {
+    scheme_matches_mso(
+        Algebra::shared(props::Colorable::new(3)),
+        &formulas::colorable(3),
+        3,
+        &small_graphs(6, 4),
+    );
+}
+
+#[test]
+fn triangle_freeness_end_to_end() {
+    scheme_matches_mso(
+        Algebra::shared(props::TriangleFree),
+        &formulas::triangle_free(),
+        3,
+        &small_graphs(7, 5),
+    );
+}
+
+#[test]
+fn hamiltonian_path_end_to_end() {
+    // No MSO formula wired for paths; check against known instances.
+    let scheme = PathwidthScheme::new(
+        Algebra::shared(props::HamiltonianPath),
+        SchemeOptions::exact_pathwidth(2),
+    );
+    for (g, expect) in [
+        (generators::path_graph(8), true),
+        (generators::cycle_graph(7), true),
+        (generators::ladder(4), true),
+        (generators::star(5), false),
+        (generators::caterpillar(3, 2), false),
+    ] {
+        let cfg = Configuration::with_random_ids(g, 31);
+        match scheme.prove_auto(&cfg) {
+            Ok(labels) => {
+                assert!(expect);
+                assert!(scheme.run_with_labels(&cfg, &labels).accepted());
+            }
+            Err(ProveError::PropertyViolated) => assert!(!expect),
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+}
+
+#[test]
+fn pathwidth_bound_separates_families() {
+    // pathwidth ≤ 1 accepts caterpillars and rejects cycles & deep trees.
+    let scheme = PathwidthScheme::new(
+        Algebra::shared(props::Forest),
+        SchemeOptions::exact_pathwidth(1),
+    );
+    for (g, expect) in [
+        (generators::caterpillar(4, 2), true),
+        (generators::star(8), true),
+        (generators::binary_tree(4), false), // pathwidth 2, still a forest
+    ] {
+        let cfg = Configuration::with_random_ids(g, 9);
+        let outcome = scheme.prove_auto(&cfg);
+        assert_eq!(outcome.is_ok(), expect);
+    }
+}
+
+#[test]
+fn larger_networks_with_known_decompositions() {
+    // Scales past the exact solver using generator-provided bags.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let (g, bags) = generators::random_pathwidth_graph(120, 2, 0.35, &mut rng);
+    let pd = lanecert_suite::pathwidth::PathDecomposition::new(bags);
+    pd.validate(&g).unwrap();
+    let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+    let cfg = Configuration::with_random_ids(g, 5);
+    let scheme = PathwidthScheme::new(
+        Algebra::shared(props::Connected),
+        SchemeOptions::exact_pathwidth(2),
+    );
+    let labels = scheme.prove(&cfg, &rep).unwrap();
+    let report = scheme.run_with_labels(&cfg, &labels);
+    assert!(report.accepted(), "{:?}", report.first_rejection());
+    // O(log n) labels: generous absolute cap for n = 120, w ≤ 3.
+    assert!(report.max_label_bits < 20_000);
+}

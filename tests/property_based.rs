@@ -1,0 +1,85 @@
+//! Property-based tests (proptest) over the workspace invariants.
+
+use lanecert_suite::graph::{generators, Graph};
+use lanecert_suite::lanes::{partition, Completion, Construction, Layout};
+use lanecert_suite::pathwidth::{solver, IntervalRep, PathDecomposition};
+use lanecert_suite::pls::bits::{self, Enc};
+use proptest::prelude::*;
+
+/// Arbitrary connected graph of pathwidth ≤ 2 with ≤ 12 vertices.
+fn small_pw2_graph() -> impl Strategy<Value = Graph> {
+    (6usize..=12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = generators::seeded_rng(seed);
+        generators::random_pathwidth_graph(n, 2, 0.4, &mut rng).0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact solver's decomposition is always valid and optimal w.r.t.
+    /// brute force (on tiny graphs).
+    #[test]
+    fn exact_solver_valid_and_optimal(seed in any::<u64>()) {
+        let mut rng = generators::seeded_rng(seed);
+        let g = generators::gnp(6, 0.5, &mut rng);
+        let (pw, pd) = solver::pathwidth_exact(&g).unwrap();
+        pd.validate(&g).unwrap();
+        prop_assert_eq!(pw, solver::pathwidth_bruteforce(&g));
+    }
+
+    /// Pipeline invariants: lane partitions validate, the completion's
+    /// construction round-trips, and the hierarchy respects the depth bound.
+    #[test]
+    fn pipeline_invariants(g in small_pw2_graph()) {
+        let (_, pd) = solver::pathwidth_exact(&g).unwrap();
+        let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+        let layout = Layout::build(&g, &rep, lanecert_suite::lanes::LaneStrategy::Greedy);
+        layout.hierarchy.validate(&layout.construction);
+        prop_assert!(layout.hierarchy.depth() <= 2 * layout.lane_count());
+        // Prop 5.2 roundtrip.
+        let c = Construction::from_completion(&layout.completion, &rep);
+        let built = c.build().unwrap();
+        prop_assert_eq!(built.graph.edge_count(), layout.completion.graph.edge_count());
+    }
+
+    /// Greedy lane partitions use exactly width-many lanes.
+    #[test]
+    fn greedy_lane_count_is_width(g in small_pw2_graph()) {
+        let (_, pd) = solver::pathwidth_exact(&g).unwrap();
+        let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+        let p = partition::greedy_partition(&rep);
+        p.validate(&rep).unwrap();
+        prop_assert_eq!(p.lane_count(), rep.width());
+        let comp = Completion::build(&g, p);
+        comp.validate(&g, &rep);
+    }
+
+    /// Decomposition ↔ interval-representation conversions round-trip.
+    #[test]
+    fn decomposition_interval_roundtrip(g in small_pw2_graph()) {
+        let (_, pd) = solver::pathwidth_exact(&g).unwrap();
+        let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+        rep.validate(&g).unwrap();
+        let pd2: PathDecomposition = rep.to_decomposition();
+        pd2.validate(&g).unwrap();
+        prop_assert_eq!(pd2.width(), pd.width());
+    }
+
+    /// The bit codec round-trips arbitrary nested payloads.
+    #[test]
+    fn codec_roundtrip(xs in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..20)) {
+        let (bytes, bit_len) = bits::encode(&xs);
+        prop_assert!(bit_len <= bytes.len() * 8);
+        prop_assert_eq!(bits::decode::<Vec<(u64, bool)>>(&bytes), Some(xs));
+    }
+}
+
+/// The facade re-exports compose (compile-time sanity + a smoke call).
+#[test]
+fn facade_is_usable() {
+    let g = generators::path_graph(4);
+    assert!(lanecert_suite::graph::components::is_tree(&g));
+    let _enc = bits::bit_len(&42u64);
+    assert!(lanecert_suite::lanes::bounds::f(2) == 4);
+}

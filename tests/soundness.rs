@@ -1,0 +1,94 @@
+//! Integration-level soundness: adversarial labelings across properties and
+//! graphs must always be caught by some vertex.
+
+use lanecert_suite::algebra::{props, Algebra};
+use lanecert_suite::graph::generators;
+use lanecert_suite::pathwidth::{solver, IntervalRep};
+use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert_suite::pls::{attacks, Configuration};
+
+#[test]
+fn fuzzing_many_properties() {
+    let g = generators::ladder(5);
+    let (_, pd) = solver::pathwidth_exact(&g).unwrap();
+    let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+    let cfg = Configuration::with_random_ids(g, 3);
+    let algebras = [
+        Algebra::shared(props::Connected),
+        Algebra::shared(props::Bipartite),
+        Algebra::shared(props::HamiltonianCycle),
+        Algebra::shared(props::EvenDegrees),
+    ];
+    for alg in algebras {
+        let scheme = PathwidthScheme::new(alg, SchemeOptions::exact_pathwidth(2));
+        let Ok(labels) = scheme.prove(&cfg, &rep) else {
+            continue; // property does not hold on the ladder; fine
+        };
+        assert!(scheme.run_with_labels(&cfg, &labels).accepted());
+        let (attempted, rejected) = attacks::fuzz_scheme(&scheme, &cfg, &labels, 11, 50);
+        assert!(attempted > 0);
+        assert_eq!(attempted, rejected, "{}", scheme.algebra().name());
+    }
+}
+
+#[test]
+fn labels_from_satisfying_twin_rejected() {
+    // Certify 2-colourability on C8, then present those labels on C8 with
+    // one chord added (making it non-bipartite): some vertex must reject
+    // because the chord edge carries no valid certificate.
+    let g8 = generators::cycle_graph(8);
+    let (_, pd) = solver::pathwidth_exact(&g8).unwrap();
+    let rep = IntervalRep::from_decomposition(&pd, 8);
+    let cfg8 = Configuration::with_sequential_ids(g8.clone());
+    let scheme = PathwidthScheme::new(
+        Algebra::shared(props::Bipartite),
+        SchemeOptions::exact_pathwidth(2),
+    );
+    let labels = scheme.prove(&cfg8, &rep).unwrap();
+
+    let mut chord = g8;
+    chord
+        .add_edge(lanecert_suite::graph::VertexId(0), lanecert_suite::graph::VertexId(3))
+        .unwrap();
+    let cfg_chord = Configuration::with_sequential_ids(chord);
+    // The chord edge needs *some* label; replicate an existing one.
+    let mut transplanted = labels.clone();
+    transplanted.push(labels[0].clone());
+    let report = scheme.run_with_labels(&cfg_chord, &transplanted);
+    assert!(!report.accepted());
+}
+
+#[test]
+fn every_single_label_is_load_bearing() {
+    // Dropping any one edge's frames (replacing the label with another
+    // edge's) must always be detected somewhere.
+    let g = generators::cycle_graph(6);
+    let (_, pd) = solver::pathwidth_exact(&g).unwrap();
+    let rep = IntervalRep::from_decomposition(&pd, 6);
+    let cfg = Configuration::with_random_ids(g, 1);
+    let scheme = PathwidthScheme::new(
+        Algebra::shared(props::Connected),
+        SchemeOptions::exact_pathwidth(2),
+    );
+    let labels = scheme.prove(&cfg, &rep).unwrap();
+    for i in 0..labels.len() {
+        for j in 0..labels.len() {
+            if i == j {
+                continue;
+            }
+            let mut mutated = labels.clone();
+            mutated[i] = labels[j].clone();
+            let report = scheme.run_with_labels(&cfg, &mutated);
+            assert!(!report.accepted(), "copying label {j} over {i} accepted");
+        }
+    }
+}
+
+#[test]
+fn splice_attack_threshold_tracks_log_n() {
+    // The toy path-vs-cycle scheme needs ≥ log2(n) bits: threshold moves up
+    // with n.
+    let t40 = (2..=9u8).find(|&b| attacks::splice_attack(40, b).is_none());
+    let t200 = (2..=9u8).find(|&b| attacks::splice_attack(200, b).is_none());
+    assert!(t40.unwrap() < t200.unwrap());
+}
