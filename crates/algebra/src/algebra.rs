@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::{Property, Slot};
 
@@ -59,11 +59,18 @@ struct ErasedProperty<P: Property> {
 
 impl<P: Property> ErasedProperty<P> {
     fn get(&self, id: u32) -> P::State {
-        self.table.read().states[id as usize].clone()
+        self.table
+            .read()
+            .expect("algebra interner lock poisoned")
+            .states[id as usize]
+            .clone()
     }
 
     fn put(&self, s: P::State) -> u32 {
-        self.table.write().intern(s)
+        self.table
+            .write()
+            .expect("algebra interner lock poisoned")
+            .intern(s)
     }
 }
 
@@ -103,13 +110,17 @@ impl<P: Property> Erased for ErasedProperty<P> {
         self.prop.accept(&self.get(s))
     }
     fn state_count(&self) -> usize {
-        self.table.read().states.len()
+        self.table
+            .read()
+            .expect("algebra interner lock poisoned")
+            .states
+            .len()
     }
 }
 
 /// A type-erased homomorphism algebra with interned states.
 ///
-/// All methods take `&self`; interior mutability (a [`parking_lot::RwLock`]
+/// All methods take `&self`; interior mutability (a [`std::sync::RwLock`]
 /// around the interner) lets one `Arc<Algebra>` serve the prover and every
 /// simulated verifier concurrently.
 pub struct Algebra {

@@ -126,11 +126,14 @@ impl Mirror {
     /// Disjoint union (appends the other mirror's slots).
     pub fn union(&mut self, other: &Mirror) {
         let offset = self.parent.len();
-        self.parent
-            .extend(other.parent.iter().map(|&p| p + offset));
+        self.parent.extend(other.parent.iter().map(|&p| p + offset));
         self.slots.extend(other.slots.iter().map(|&s| s + offset));
-        self.marked_edges
-            .extend(other.marked_edges.iter().map(|&(u, v)| (u + offset, v + offset)));
+        self.marked_edges.extend(
+            other
+                .marked_edges
+                .iter()
+                .map(|&(u, v)| (u + offset, v + offset)),
+        );
     }
 
     /// The final **marked subgraph** as a simple graph over merged vertices.
@@ -152,10 +155,7 @@ impl Mirror {
         let edges = self.marked_edges.clone();
         for (u, v) in edges {
             let (ru, rv) = (self.root(u), self.root(v));
-            let (a, b) = (
-                VertexId(rep[ru].unwrap()),
-                VertexId(rep[rv].unwrap()),
-            );
+            let (a, b) = (VertexId(rep[ru].unwrap()), VertexId(rep[rv].unwrap()));
             assert_ne!(a, b, "marked self-loop in trace");
             let _ = g.ensure_edge(a, b); // collapse marked parallels
         }
@@ -298,7 +298,8 @@ pub fn check_against_oracle(
         let g = m.marked_graph();
         let want = oracle(&g);
         assert_eq!(
-            got, want,
+            got,
+            want,
             "{}: trial {t} disagrees (graph n={} m={}): {prog:?}",
             alg.name(),
             g.vertex_count(),
@@ -425,9 +426,8 @@ pub mod oracles {
         assert!(n <= 20, "oracle limit");
         (0u32..(1 << n)).any(|mask| {
             (mask.count_ones() as usize) >= s
-                && g.edges().all(|(_, e)| {
-                    mask & (1 << e.u.index()) == 0 || mask & (1 << e.v.index()) == 0
-                })
+                && g.edges()
+                    .all(|(_, e)| mask & (1 << e.u.index()) == 0 || mask & (1 << e.v.index()) == 0)
         })
     }
 
@@ -451,7 +451,7 @@ pub mod oracles {
 
     /// Is every degree even?
     pub fn even_degrees(g: &Graph) -> bool {
-        g.vertices().all(|v| g.degree(v) % 2 == 0)
+        g.vertices().all(|v| g.degree(v).is_multiple_of(2))
     }
 
     /// Is the edge count congruent to `r` mod `m`?
@@ -492,8 +492,16 @@ mod tests {
     fn glue_identifies_vertices() {
         let prog = Program {
             segments: vec![
-                vec![TraceStep::Vertex(0), TraceStep::Vertex(0), TraceStep::Edge(0, 1, true)],
-                vec![TraceStep::Vertex(0), TraceStep::Vertex(0), TraceStep::Edge(0, 1, true)],
+                vec![
+                    TraceStep::Vertex(0),
+                    TraceStep::Vertex(0),
+                    TraceStep::Edge(0, 1, true),
+                ],
+                vec![
+                    TraceStep::Vertex(0),
+                    TraceStep::Vertex(0),
+                    TraceStep::Edge(0, 1, true),
+                ],
             ],
             // Glue slot 1 (seg1's second vertex) with slot 2 (seg2's first).
             tail: vec![TraceStep::Glue(1, 2)],

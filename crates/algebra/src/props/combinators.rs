@@ -25,7 +25,10 @@ macro_rules! product_ops {
             (self.0.empty(), self.1.empty())
         }
         fn add_vertex(&self, s: &Self::State, label: u32) -> Self::State {
-            (self.0.add_vertex(&s.0, label), self.1.add_vertex(&s.1, label))
+            (
+                self.0.add_vertex(&s.0, label),
+                self.1.add_vertex(&s.1, label),
+            )
         }
         fn add_edge(&self, s: &Self::State, a: Slot, b: Slot, marked: bool) -> Self::State {
             (

@@ -344,7 +344,13 @@ mod tests {
     fn vertex_count_matches_oracle() {
         for (m, r) in [(2usize, 0usize), (3, 1)] {
             let alg = Algebra::new(VertexCountMod::new(m, r));
-            check_against_oracle(&alg, &move |g| oracles::vertex_count_mod(g, m, r), 64, 80, 8);
+            check_against_oracle(
+                &alg,
+                &move |g| oracles::vertex_count_mod(g, m, r),
+                64,
+                80,
+                8,
+            );
         }
     }
 }

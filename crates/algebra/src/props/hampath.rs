@@ -122,7 +122,11 @@ impl Profile {
             }
             (c, FREE) if c >= PARTNER_BASE => c,
             (HALF, c) | (c, HALF) if c >= PARTNER_BASE => {
-                let which = if p.code[keep] >= PARTNER_BASE { keep } else { drop };
+                let which = if p.code[keep] >= PARTNER_BASE {
+                    keep
+                } else {
+                    drop
+                };
                 let y = p.partner(which).unwrap();
                 p.code[y] = HALF;
                 DONE

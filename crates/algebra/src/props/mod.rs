@@ -36,6 +36,6 @@ pub use degree::{EdgeCountMod, EvenDegrees, MaxDegreeAtMost, VertexCountMod};
 pub use hamilton::HamiltonianCycle;
 pub use hampath::HamiltonianPath;
 pub use matching::PerfectMatching;
-pub use triangle::TriangleFree;
 pub use partition::{Bipartite, Connected, Forest};
+pub use triangle::TriangleFree;
 pub use weight::{DominatingSetAtMost, IndependentSetAtLeast, VertexCoverAtMost};

@@ -72,7 +72,8 @@ impl BitMat {
     fn append(&mut self, other: &BitMat) {
         let offset = self.rows.len();
         for &r in &other.rows {
-            self.rows.push((r as u64).wrapping_shl(offset as u32) as u32);
+            self.rows
+                .push((r as u64).wrapping_shl(offset as u32) as u32);
         }
     }
 }

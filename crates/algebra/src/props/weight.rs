@@ -109,7 +109,11 @@ impl Property for VertexCoverAtMost {
                 let merged = m & (1 << keep) != 0 || m & (1 << drop) != 0;
                 let m = drop_bit(m, drop);
                 (
-                    if merged { m | (1 << keep) } else { m & !(1 << keep) },
+                    if merged {
+                        m | (1 << keep)
+                    } else {
+                        m & !(1 << keep)
+                    },
                     c,
                 )
             }),
@@ -138,7 +142,10 @@ impl Property for VertexCoverAtMost {
     }
 
     fn swap(&self, s: &CoverState, a: Slot, b: Slot) -> CoverState {
-        self.rebuild(s.slots, s.table.iter().map(|&(m, c)| (swap_bits(m, a, b), c)))
+        self.rebuild(
+            s.slots,
+            s.table.iter().map(|&(m, c)| (swap_bits(m, a, b), c)),
+        )
     }
 
     fn accept(&self, s: &CoverState) -> bool {
@@ -235,7 +242,11 @@ impl Property for IndependentSetAtLeast {
                 let merged = m & (1 << keep) != 0 && m & (1 << drop) != 0;
                 let m = drop_bit(m, drop);
                 (
-                    if merged { m | (1 << keep) } else { m & !(1 << keep) },
+                    if merged {
+                        m | (1 << keep)
+                    } else {
+                        m & !(1 << keep)
+                    },
                     c,
                 )
             }),
@@ -264,7 +275,10 @@ impl Property for IndependentSetAtLeast {
     }
 
     fn swap(&self, s: &IndepState, a: Slot, b: Slot) -> IndepState {
-        self.rebuild(s.slots, s.table.iter().map(|&(m, c)| (swap_bits(m, a, b), c)))
+        self.rebuild(
+            s.slots,
+            s.table.iter().map(|&(m, c)| (swap_bits(m, a, b), c)),
+        )
     }
 
     fn accept(&self, s: &IndepState) -> bool {
@@ -416,7 +430,13 @@ mod tests {
     fn vertex_cover_matches_oracle() {
         for s in [0usize, 1, 2, 3] {
             let alg = Algebra::new(VertexCoverAtMost::new(s));
-            check_against_oracle(&alg, &move |g| oracles::vertex_cover_at_most(g, s), 51, 60, 7);
+            check_against_oracle(
+                &alg,
+                &move |g| oracles::vertex_cover_at_most(g, s),
+                51,
+                60,
+                7,
+            );
         }
     }
 

@@ -1,19 +1,101 @@
-//! Prints the experiment tables (T1–T9). `--table tN` selects one.
+//! Prints the experiment tables (T1–T9) and records a machine-readable
+//! summary so successive PRs have a perf trajectory to compare against.
+//!
+//! Flags:
+//! * `--table tN` — run a single table.
+//! * `--out PATH` — where to write the JSON summary (default
+//!   `BENCH_results.json` in the current directory).
+//! * `--no-json` — skip writing the summary.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Minimal JSON string escaping (the workspace has no serde offline).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let selected = args
-        .iter()
-        .position(|a| a == "--table")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            match args.get(i + 1) {
+                // A following token that is itself a flag means the value
+                // was forgotten; don't silently consume it.
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        })
+    };
+    let selected = flag_value("--table");
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_results.json".into());
+    let write_json = !args.iter().any(|a| a == "--no-json");
+
+    let mut results: Vec<(&'static str, f64, String)> = Vec::new();
     for (name, table) in lanecert_bench::all_tables() {
         if let Some(sel) = &selected {
             if sel != name {
                 continue;
             }
         }
-        println!("==== {} ====", name.to_uppercase());
-        println!("{}", table());
+        let start = Instant::now();
+        let rendered = table();
+        let seconds = start.elapsed().as_secs_f64();
+        println!("==== {} ({seconds:.2}s) ====", name.to_uppercase());
+        println!("{rendered}");
+        results.push((name, seconds, rendered));
+    }
+
+    if results.is_empty() {
+        let known: Vec<&str> = lanecert_bench::all_tables()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        eprintln!(
+            "no table matched {:?}; known tables: {}",
+            selected.as_deref().unwrap_or("<none>"),
+            known.join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    if !write_json {
+        return;
+    }
+    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/1\",\n  \"tables\": [\n");
+    for (i, (name, seconds, rendered)) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"output\": \"{}\"}}{}",
+            name,
+            seconds,
+            json_escape(rendered),
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&out_path, json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -27,11 +27,7 @@ pub enum Corruption {
 
 /// Applies one corruption; returns `None` when the labeling has no
 /// applicable site (e.g. no transits anywhere).
-pub fn corrupt(
-    labels: &[EdgeLabel],
-    kind: Corruption,
-    rng: &mut StdRng,
-) -> Option<Vec<EdgeLabel>> {
+pub fn corrupt(labels: &[EdgeLabel], kind: Corruption, rng: &mut StdRng) -> Option<Vec<EdgeLabel>> {
     if labels.is_empty() {
         return None;
     }
@@ -207,7 +203,10 @@ pub fn splice_attack(n: usize, bits: u8) -> Option<usize> {
     let g = generators::path_graph(n);
     let cfg = Configuration::with_sequential_ids(g);
     let labels = prove_path_scheme(&cfg, bits);
-    assert!(run_path_scheme_raw(&cfg, &labels), "honest path must accept");
+    assert!(
+        run_path_scheme_raw(&cfg, &labels),
+        "honest path must accept"
+    );
     // Find i < j with equal labels; the interior vertices between edges i
     // and j (path edges are v_i—v_{i+1}) all accept on the spliced cycle.
     for i in 0..labels.len() {
@@ -222,9 +221,8 @@ pub fn splice_attack(n: usize, bits: u8) -> Option<usize> {
                 let ccfg = Configuration::with_sequential_ids(cycle);
                 // Cycle edge t corresponds to path edge i + t; the closing
                 // edge reuses label j (= label i).
-                let clabels: Vec<TruncatedDistLabel> = (0..cycle_len)
-                    .map(|t| labels[i + t].clone())
-                    .collect();
+                let clabels: Vec<TruncatedDistLabel> =
+                    (0..cycle_len).map(|t| labels[i + t].clone()).collect();
                 if run_path_scheme_raw(&ccfg, &clabels) {
                     return Some(cycle_len);
                 }

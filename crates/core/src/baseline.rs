@@ -84,7 +84,6 @@ impl Enc for BaselineLabel {
 }
 
 fn frames_for(
-    rep: &IntervalRep,
     cfg: &Configuration,
     bags: &[Vec<VertexId>],
     lo: u32,
@@ -104,10 +103,10 @@ fn frames_for(
     let left: Vec<u32> = points.iter().copied().filter(|&p| p < mid).collect();
     let right: Vec<u32> = points.iter().copied().filter(|&p| p >= mid).collect();
     if !left.is_empty() {
-        frames_for(rep, cfg, bags, lo, mid, &left, out);
+        frames_for(cfg, bags, lo, mid, &left, out);
     }
     if !right.is_empty() {
-        frames_for(rep, cfg, bags, mid, hi, &right, out);
+        frames_for(cfg, bags, mid, hi, &right, out);
     }
 }
 
@@ -127,7 +126,7 @@ pub fn prove(cfg: &Configuration, rep: &IntervalRep) -> Vec<BaselineLabel> {
             let mut frames = Vec::new();
             // Endpoints of both intervals: O(log s) canonical ranges each.
             let points = vec![ia.lo, ia.hi, ib.lo, ib.hi];
-            frames_for(rep, cfg, bags, 0, s.max(1), &points, &mut frames);
+            frames_for(cfg, bags, 0, s.max(1), &points, &mut frames);
             frames.dedup();
             BaselineLabel {
                 iv_a: (ia.lo, ia.hi),
@@ -142,11 +141,7 @@ pub fn prove(cfg: &Configuration, rep: &IntervalRep) -> Vec<BaselineLabel> {
 
 /// Baseline verifier: interval overlap on every edge, my id mentioned,
 /// separator bags that contain my bag-interval's midpoint list me.
-pub fn verify_at(
-    _cfg: &Configuration,
-    _v: VertexId,
-    view: &VertexView<BaselineLabel>,
-) -> Verdict {
+pub fn verify_at(_cfg: &Configuration, _v: VertexId, view: &VertexView<BaselineLabel>) -> Verdict {
     let mut my_iv: Option<(u32, u32)> = None;
     for l in &view.incident {
         let Some(l) = l else {
@@ -237,11 +232,7 @@ mod tests {
                 );
                 let cfg = Configuration::with_sequential_ids(g);
                 let labels = prove(&cfg, &rep);
-                labels
-                    .iter()
-                    .map(|l| crate::bits::bit_len(l))
-                    .max()
-                    .unwrap()
+                labels.iter().map(crate::bits::bit_len).max().unwrap()
             })
             .collect();
         // log² growth: quadrupling the exponent should much more than

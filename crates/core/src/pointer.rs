@@ -67,7 +67,10 @@ pub fn prove(cfg: &Configuration, target: u64) -> Vec<PointerLabel> {
             if cfg.id_of(a) > cfg.id_of(b) {
                 std::mem::swap(&mut a, &mut b);
             }
-            assert!(tree.reached(a) && tree.reached(b), "graph must be connected");
+            assert!(
+                tree.reached(a) && tree.reached(b),
+                "graph must be connected"
+            );
             PointerLabel {
                 target,
                 id_lo: cfg.id_of(a),

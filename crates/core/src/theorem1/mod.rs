@@ -84,7 +84,10 @@ impl fmt::Display for ProveError {
                 write!(f, "layout needs {needed} lanes, verifier bound is {bound}")
             }
             ProveError::NeedRepresentation => {
-                write!(f, "graph too large for the exact solver; supply a representation")
+                write!(
+                    f,
+                    "graph too large for the exact solver; supply a representation"
+                )
             }
             ProveError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -163,10 +166,7 @@ impl PathwidthScheme {
     /// for graphs beyond the exact-solver limit.
     pub fn prove_auto(&self, cfg: &Configuration) -> Result<Vec<EdgeLabel>, ProveError> {
         if cfg.n() <= 1 {
-            let rep = IntervalRep::new(vec![
-                lanecert_pathwidth::Interval::new(0, 0);
-                cfg.n()
-            ]);
+            let rep = IntervalRep::new(vec![lanecert_pathwidth::Interval::new(0, 0); cfg.n()]);
             return self.prove(cfg, &rep);
         }
         let (_, pd) =
@@ -220,11 +220,7 @@ mod tests {
         IntervalRep::from_decomposition(&pd, g.vertex_count())
     }
 
-    fn run_case(
-        scheme: &PathwidthScheme,
-        g: Graph,
-        expect_prove: bool,
-    ) -> Option<RunReport> {
+    fn run_case(scheme: &PathwidthScheme, g: Graph, expect_prove: bool) -> Option<RunReport> {
         let rep = rep_of(&g);
         let cfg = Configuration::with_random_ids(g, 99);
         match scheme.prove(&cfg, &rep) {
@@ -313,10 +309,7 @@ mod tests {
 
     #[test]
     fn single_vertex_graph() {
-        let yes = PathwidthScheme::new(
-            Algebra::shared(Forest),
-            SchemeOptions::exact_pathwidth(1),
-        );
+        let yes = PathwidthScheme::new(Algebra::shared(Forest), SchemeOptions::exact_pathwidth(1));
         let cfg = Configuration::with_sequential_ids(Graph::new(1));
         let labels = yes.prove_auto(&cfg).unwrap();
         assert!(labels.is_empty());
@@ -338,7 +331,11 @@ mod tests {
             let cfg = Configuration::with_random_ids(g, 5);
             let labels = scheme.prove(&cfg, &rep).unwrap();
             let report = scheme.run_with_labels(&cfg, &labels);
-            assert!(report.accepted(), "{strategy:?}: {:?}", report.first_rejection());
+            assert!(
+                report.accepted(),
+                "{strategy:?}: {:?}",
+                report.first_rejection()
+            );
         }
     }
 

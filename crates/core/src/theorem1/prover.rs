@@ -22,12 +22,12 @@ struct Frames<'a> {
     alg: &'a Algebra,
     cfg: &'a Configuration,
     layout: &'a Layout,
-    marked: Vec<bool>,                       // per built-graph edge
-    node_summary: Vec<Option<Summary>>,      // per hierarchy node
+    marked: Vec<bool>,                  // per built-graph edge
+    node_summary: Vec<Option<Summary>>, // per hierarchy node
     member_subtree: HashMap<(NodeId, usize), Summary>,
     t_root_vertex: HashMap<NodeId, VertexId>,
-    t_dist: HashMap<NodeId, Vec<u32>>,       // per vertex, u32::MAX outside
-    edge_frames: Vec<Vec<FrameLbl>>,         // per built-graph edge (d_* = 0 placeholders)
+    t_dist: HashMap<NodeId, Vec<u32>>, // per vertex, u32::MAX outside
+    edge_frames: Vec<Vec<FrameLbl>>,   // per built-graph edge (d_* = 0 placeholders)
 }
 
 pub(super) fn build_labels(
@@ -88,7 +88,9 @@ pub(super) fn build_labels(
     let completion = &layout.completion;
     for ve in completion.virtual_edges() {
         let (u, v) = completion.graph.endpoints(ve);
-        let built = bg.edge_between(u, v).expect("virtual edge exists in built graph");
+        let built = bg
+            .edge_between(u, v)
+            .expect("virtual edge exists in built graph");
         let cert = certs[built.index()].clone();
         let path = layout
             .embedding

@@ -28,7 +28,12 @@ pub struct Iface {
 impl Iface {
     /// The canonical slot list: distinct terminal ids, ascending.
     pub fn slot_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self.tin.values().chain(self.tout.values()).copied().collect();
+        let mut ids: Vec<u64> = self
+            .tin
+            .values()
+            .chain(self.tout.values())
+            .copied()
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         ids
@@ -94,7 +99,7 @@ pub struct Summary {
 
 /// Sorts the slots of `state` (currently ordered as `slots`) into ascending
 /// id order via selection sort of `swap`s.
-fn sort_slots(alg: &Algebra, mut state: StateId, slots: &mut Vec<u64>) -> StateId {
+fn sort_slots(alg: &Algebra, mut state: StateId, slots: &mut [u64]) -> StateId {
     for i in 0..slots.len() {
         let min = (i..slots.len()).min_by_key(|&j| slots[j]).unwrap();
         if min != i {
@@ -119,7 +124,13 @@ pub fn base_v(alg: &Algebra, lane: Lane, id: u64) -> Summary {
 }
 
 /// Builds the summary of an `E`-node: one edge, one lane.
-pub fn base_e(alg: &Algebra, lane: Lane, tin: u64, tout: u64, marked: bool) -> Result<Summary, String> {
+pub fn base_e(
+    alg: &Algebra,
+    lane: Lane,
+    tin: u64,
+    tout: u64,
+    marked: bool,
+) -> Result<Summary, String> {
     if tin == tout {
         return Err("E-node terminals must differ".into());
     }

@@ -434,7 +434,14 @@ fn check_bnode(
     for c in group.iter().skip(1) {
         let f = bf_at(c, depth)?;
         if (f.node, f.i, f.j, f.left_is_v, f.right_is_v, f.bridge_marked)
-            != (f0.node, f0.i, f0.j, f0.left_is_v, f0.right_is_v, f0.bridge_marked)
+            != (
+                f0.node,
+                f0.i,
+                f0.j,
+                f0.left_is_v,
+                f0.right_is_v,
+                f0.bridge_marked,
+            )
             || f.left != f0.left
             || f.right != f0.right
         {
@@ -489,8 +496,10 @@ fn check_bnode(
         return Err("bridge edge at a non-endpoint vertex".into());
     }
     // The two sides.
-    for (side_no, is_v, info, endpoint) in [(1usize, f0.left_is_v, &f0.left, u), (2, f0.right_is_v, &f0.right, w)]
-    {
+    for (side_no, is_v, info, endpoint) in [
+        (1usize, f0.left_is_v, &f0.left, u),
+        (2, f0.right_is_v, &f0.right, w),
+    ] {
         let side = &sides[side_no];
         if is_v {
             if !side.is_empty() {

@@ -105,7 +105,7 @@ where
     let my_id = cfg.id_of(v);
     let deg = neighbor_labels.len();
     let mut incident: Vec<Option<L>> = Vec::with_capacity(deg);
-    for port in 0..deg {
+    for (port, neighbor_label) in neighbor_labels.iter().enumerate() {
         // Claims from my side for this port.
         let mine: Vec<&EdgeClaim> = own
             .claims
@@ -113,7 +113,7 @@ where
             .filter(|c| c.port as usize == port)
             .collect();
         // Claims from the neighbour on this port targeting me.
-        let theirs: Vec<&EdgeClaim> = match &neighbor_labels[port] {
+        let theirs: Vec<&EdgeClaim> = match neighbor_label {
             Some(l) => l.claims.iter().filter(|c| c.other == my_id).collect(),
             None => return Verdict::reject("undecodable neighbour label"),
         };
@@ -180,9 +180,7 @@ where
                 .iter()
                 .map(|h| decoded[h.to.index()].clone())
                 .collect();
-            verify_vertex_at(cfg, v, &own, &neighbors, |view| {
-                verify_edges(cfg, v, view)
-            })
+            verify_vertex_at(cfg, v, &own, &neighbors, |view| verify_edges(cfg, v, view))
         })
         .collect();
     crate::scheme::RunReport {

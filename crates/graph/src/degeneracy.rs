@@ -6,8 +6,8 @@
 //! scheme by moving each edge's label to its orientation tail; this module
 //! supplies the orientations.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::{EdgeId, Graph, VertexId};
 
@@ -30,8 +30,11 @@ pub fn degeneracy_ordering(g: &Graph) -> DegeneracyOrdering {
     let n = g.vertex_count();
     let mut deg: Vec<usize> = (0..n).map(|v| g.degree(VertexId::new(v))).collect();
     let mut removed = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(usize, u32)>> =
-        deg.iter().enumerate().map(|(v, &d)| Reverse((d, v as u32))).collect();
+    let mut heap: BinaryHeap<Reverse<(usize, u32)>> = deg
+        .iter()
+        .enumerate()
+        .map(|(v, &d)| Reverse((d, v as u32)))
+        .collect();
     let mut order = Vec::with_capacity(n);
     let mut degeneracy = 0;
     while let Some(Reverse((d, v))) = heap.pop() {

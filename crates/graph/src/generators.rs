@@ -103,7 +103,8 @@ pub fn binary_tree(depth: u32) -> Graph {
     let n = (1usize << depth) - 1;
     let mut g = Graph::new(n);
     for i in 1..n {
-        g.add_edge(VertexId::new((i - 1) / 2), VertexId::new(i)).unwrap();
+        g.add_edge(VertexId::new((i - 1) / 2), VertexId::new(i))
+            .unwrap();
     }
     g
 }
@@ -150,7 +151,7 @@ pub fn random_pathwidth_graph(
     rng: &mut StdRng,
 ) -> (Graph, Vec<Vec<VertexId>>) {
     assert!(k >= 1, "k must be at least 1");
-    assert!(n >= k + 1, "need at least k + 1 vertices");
+    assert!(n > k, "need at least k + 1 vertices");
     let mut g = Graph::new(n);
     let mut bag: Vec<VertexId> = (0..=k).map(VertexId::new).collect();
     let mut bags = Vec::new();
@@ -224,8 +225,7 @@ mod tests {
             // Every edge must live inside some bag.
             for (_, e) in g.edges() {
                 assert!(
-                    bags.iter()
-                        .any(|b| b.contains(&e.u) && b.contains(&e.v)),
+                    bags.iter().any(|b| b.contains(&e.u) && b.contains(&e.v)),
                     "edge ({}, {}) not covered",
                     e.u,
                     e.v

@@ -68,7 +68,9 @@ impl Completion {
         // E1: consecutive vertices within each lane.
         for (l, lane) in partition.lanes().iter().enumerate() {
             for (pos, w) in lane.windows(2).enumerate() {
-                let (e, fresh) = graph.ensure_edge(w[0], w[1]).expect("no self loops in lanes");
+                let (e, fresh) = graph
+                    .ensure_edge(w[0], w[1])
+                    .expect("no self loops in lanes");
                 if fresh {
                     roles.push(EdgeRole::default());
                 }

@@ -97,7 +97,11 @@ impl Embedding {
                 .unwrap_or_else(|| panic!("virtual edge {e} ({u},{v}) has no path"));
             assert!(path.len() >= 2, "path of {e} too short");
             assert_eq!(path[0], u, "path of {e} starts at wrong endpoint");
-            assert_eq!(*path.last().unwrap(), v, "path of {e} ends at wrong endpoint");
+            assert_eq!(
+                *path.last().unwrap(),
+                v,
+                "path of {e} ends at wrong endpoint"
+            );
             let mut seen = std::collections::HashSet::new();
             for &x in path {
                 assert!(seen.insert(x), "path of {e} revisits {x}");

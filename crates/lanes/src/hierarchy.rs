@@ -187,9 +187,9 @@ pub fn build_hierarchy(built: &BuiltConstruction) -> Hierarchy {
                 // Wraps the subtree hanging from `gp` towards `target` into
                 // a T-node, removing its members from the root tree.
                 let wrap = |target: NodeId,
-                                nodes: &mut Vec<HierarchyNode>,
-                                member_parent: &mut HashMap<NodeId, Option<NodeId>>,
-                                member_children: &mut HashMap<NodeId, Vec<NodeId>>|
+                            nodes: &mut Vec<HierarchyNode>,
+                            member_parent: &mut HashMap<NodeId, Option<NodeId>>,
+                            member_children: &mut HashMap<NodeId, Vec<NodeId>>|
                  -> NodeId {
                     // Child of gp on the path towards target.
                     let chain = ancestors(member_parent, target);
@@ -491,7 +491,9 @@ impl Hierarchy {
                     let (lv, _) = &realized[*left];
                     let (rvs, _) = &realized[*right];
                     assert!(lv.is_disjoint(rvs), "node {id}: B sides share vertices");
-                    assert!(self.nodes[*left].lanes.is_disjoint(self.nodes[*right].lanes));
+                    assert!(self.nodes[*left]
+                        .lanes
+                        .is_disjoint(self.nodes[*right].lanes));
                     let (a, b) = g.endpoints(*bridge);
                     let want_a = self.nodes[*left].tout[i];
                     let want_b = self.nodes[*right].tout[j];
@@ -597,9 +599,15 @@ mod tests {
             k: 3,
             initial: vec![v(0), v(1), v(2)],
             ops: vec![
-                Op::VInsert { lane: 0, vertex: v(3) },
+                Op::VInsert {
+                    lane: 0,
+                    vertex: v(3),
+                },
                 Op::EInsert { i: 0, j: 1 }, // gi = E-node, gj = P: case 2.3
-                Op::VInsert { lane: 2, vertex: v(4) },
+                Op::VInsert {
+                    lane: 2,
+                    vertex: v(4),
+                },
                 Op::EInsert { i: 1, j: 2 }, // case 2.3 again
                 Op::EInsert { i: 0, j: 2 }, // both inside B-nodes: case 2.2
             ],

@@ -317,8 +317,14 @@ mod tests {
             k: 4,
             initial: vec![v(0), v(1), v(2), v(3)],
             ops: vec![
-                Op::VInsert { lane: 0, vertex: v(4) },
-                Op::VInsert { lane: 3, vertex: v(5) },
+                Op::VInsert {
+                    lane: 0,
+                    vertex: v(4),
+                },
+                Op::VInsert {
+                    lane: 3,
+                    vertex: v(5),
+                },
                 Op::EInsert { i: 0, j: 1 },
                 Op::EInsert { i: 0, j: 3 },
             ],
@@ -356,7 +362,10 @@ mod tests {
             ConstructionError::DuplicateEdge(_, _)
         ));
         let mut c = base.clone();
-        c.ops = vec![Op::VInsert { lane: 0, vertex: v(1) }]; // reused id
+        c.ops = vec![Op::VInsert {
+            lane: 0,
+            vertex: v(1),
+        }]; // reused id
         assert_eq!(c.build().unwrap_err(), ConstructionError::BadVertexIds);
         let mut c = base;
         c.initial = vec![];

@@ -33,7 +33,10 @@ impl fmt::Display for LanePartitionError {
         use LanePartitionError::*;
         match self {
             NotOrdered(l, u, v) => {
-                write!(f, "lane {l}: intervals of {u} and {v} are not strictly ordered")
+                write!(
+                    f,
+                    "lane {l}: intervals of {u} and {v} are not strictly ordered"
+                )
             }
             BadCoverage(v) => write!(f, "vertex {v} is not covered exactly once"),
             EmptyLane(l) => write!(f, "lane {l} is empty"),

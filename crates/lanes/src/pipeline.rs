@@ -67,13 +67,11 @@ impl Layout {
             // The `ensure_two_lanes` normalization may have introduced new
             // consecutive pairs, so fall back to BFS paths when it fired.
             Some(paths)
-                if completion
-                    .virtual_edges()
-                    .all(|e| {
-                        let (u, v) = completion.graph.endpoints(e);
-                        completion.roles[e.index()].head_link.is_some()
-                            || paths.contains_key(&recursive::pair_key(u, v))
-                    }) =>
+                if completion.virtual_edges().all(|e| {
+                    let (u, v) = completion.graph.endpoints(e);
+                    completion.roles[e.index()].head_link.is_some()
+                        || paths.contains_key(&recursive::pair_key(u, v))
+                }) =>
             {
                 recursive::embedding_from_paths(g, &completion, &paths)
             }

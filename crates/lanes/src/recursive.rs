@@ -84,8 +84,7 @@ pub fn embedding_from_paths(
                 .clone()
         } else {
             // E2 head-link: arbitrary path (Proposition 4.6's second claim).
-            lanecert_graph::traversal::shortest_path(g, u, v)
-                .expect("connected graph")
+            lanecert_graph::traversal::shortest_path(g, u, v).expect("connected graph")
         };
         let path = if path[0] == u {
             path
@@ -139,7 +138,10 @@ fn path_within(
             }
         }
     }
-    assert!(parent.contains_key(&to), "{from}–{to} disconnected in subset");
+    assert!(
+        parent.contains_key(&to),
+        "{from}–{to} disconnected in subset"
+    );
     let mut path = vec![to];
     let mut cur = to;
     while cur != from {
@@ -302,7 +304,7 @@ fn solve(
         verts: Vec<VertexId>,
         hull: Interval,
         class: usize,
-        side: usize, // 1 or 2
+        side: usize,            // 1 or 2
         attach_inner: VertexId, // u*_C
         attach_s: VertexId,     // v*_C ∈ S_side
         lanes: Vec<Vec<VertexId>>,
@@ -371,7 +373,7 @@ fn solve(
     // Recurse into each component (Lemma 4.11: width strictly drops).
     for info in &mut infos {
         let kc = restricted_width(rep, &info.verts);
-        assert!(kc <= k - 1, "Lemma 4.11 violated: component width {kc} >= {k}");
+        assert!(kc < k, "Lemma 4.11 violated: component width {kc} >= {k}");
         info.lanes = solve(g, rep, &info.verts, paths);
     }
 
@@ -390,22 +392,20 @@ fn solve(
                 let mut lane: Vec<VertexId> = Vec::new();
                 let mut prev_tail: Option<(&CompInfo, VertexId)> = None;
                 for info in &group {
-                    let Some(seg) = info.lanes.get(sub) else { continue };
+                    let Some(seg) = info.lanes.get(sub) else {
+                        continue;
+                    };
                     if seg.is_empty() {
                         continue;
                     }
                     if let Some((prev_info, x)) = prev_tail {
                         // Case 2.2: cross-component junction x → y.
                         let y = seg[0];
-                        let set_prev: HashSet<VertexId> =
-                            prev_info.verts.iter().copied().collect();
+                        let set_prev: HashSet<VertexId> = prev_info.verts.iter().copied().collect();
                         let set_cur: HashSet<VertexId> = info.verts.iter().copied().collect();
                         let mut walk = path_within(g, &set_prev, x, prev_info.attach_inner);
                         // Hop to S, ride P, hop back.
-                        let (pa, pb) = (
-                            pos_in_p[&prev_info.attach_s],
-                            pos_in_p[&info.attach_s],
-                        );
+                        let (pa, pb) = (pos_in_p[&prev_info.attach_s], pos_in_p[&info.attach_s]);
                         if pa <= pb {
                             walk.extend_from_slice(&p_path[pa..=pb]);
                         } else {

@@ -61,8 +61,19 @@ pub enum Formula {
     Forall(Sort, Var, Box<Formula>),
 }
 
+impl std::ops::Not for Formula {
+    type Output = Formula;
+
+    fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+}
+
 impl Formula {
     /// `¬self`.
+    // Part of the `and`/`or`/`implies` builder family; `std::ops::Not` above
+    // provides the operator form for callers who prefer `!f`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         Formula::Not(Box::new(self))
     }
@@ -89,9 +100,7 @@ impl Formula {
 
     /// Conjunction over an iterator (empty = `True`).
     pub fn all<I: IntoIterator<Item = Formula>>(fs: I) -> Formula {
-        fs.into_iter()
-            .reduce(Formula::and)
-            .unwrap_or(Formula::True)
+        fs.into_iter().reduce(Formula::and).unwrap_or(Formula::True)
     }
 
     /// Disjunction over an iterator (empty = `False`).

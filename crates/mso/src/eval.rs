@@ -209,7 +209,11 @@ mod tests {
     fn existential_vertex_adjacency() {
         let g = generators::path_graph(3);
         // ∃u ∃v adj(u,v)
-        let f = Exists(S::Vertex, 0, Box::new(Exists(S::Vertex, 1, Box::new(Adj(0, 1)))));
+        let f = Exists(
+            S::Vertex,
+            0,
+            Box::new(Exists(S::Vertex, 1, Box::new(Adj(0, 1)))),
+        );
         assert!(check(&g, &f));
         let lonely = lanecert_graph::Graph::new(2);
         assert!(!check(&lonely, &f));
@@ -220,7 +224,11 @@ mod tests {
         let g = generators::cycle_graph(4);
         // ∀X ∃v (v ∈ X ∨ ¬(v ∈ X)) — trivially true but exercises sets.
         let body = InVSet(1, 0).or(InVSet(1, 0).not());
-        let f = Forall(S::VertexSet, 0, Box::new(Exists(S::Vertex, 1, Box::new(body))));
+        let f = Forall(
+            S::VertexSet,
+            0,
+            Box::new(Exists(S::Vertex, 1, Box::new(body))),
+        );
         assert!(check(&g, &f));
     }
 

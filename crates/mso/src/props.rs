@@ -47,9 +47,13 @@ pub fn colorable(c: usize) -> Formula {
         Box::new(Forall(
             Sort::Vertex,
             v,
-            Box::new(Adj(u, v).implies(Formula::all(
-                classes.iter().map(|&x| InVSet(u, x).and(InVSet(v, x)).not()),
-            ))),
+            Box::new(
+                Adj(u, v).implies(Formula::all(
+                    classes
+                        .iter()
+                        .map(|&x| InVSet(u, x).and(InVSet(v, x)).not()),
+                )),
+            ),
         )),
     );
     classes.into_iter().rev().fold(covered.and(proper), |f, x| {
@@ -208,13 +212,11 @@ pub fn perfect_matching() -> Formula {
     let exactly_one = Exists(
         Sort::Edge,
         e,
-        Box::new(
-            InESet(e, f).and(Inc(e, v)).and(Forall(
-                Sort::Edge,
-                e2,
-                Box::new(InESet(e2, f).and(Inc(e2, v)).implies(EqE(e, e2))),
-            )),
-        ),
+        Box::new(InESet(e, f).and(Inc(e, v)).and(Forall(
+            Sort::Edge,
+            e2,
+            Box::new(InESet(e2, f).and(Inc(e2, v)).implies(EqE(e, e2))),
+        ))),
     );
     Exists(
         Sort::EdgeSet,
@@ -286,10 +288,9 @@ pub fn max_degree_at_most(d: usize) -> Formula {
             parts.push(EqE(es[i], es[j]).not());
         }
     }
-    let witness = es
-        .iter()
-        .rev()
-        .fold(Formula::all(parts), |f, &e| Exists(Sort::Edge, e, Box::new(f)));
+    let witness = es.iter().rev().fold(Formula::all(parts), |f, &e| {
+        Exists(Sort::Edge, e, Box::new(f))
+    });
     Exists(Sort::Vertex, v, Box::new(witness)).not()
 }
 
@@ -381,13 +382,22 @@ mod tests {
     #[test]
     fn dominating_set_cases() {
         assert!(check(&generators::star(6), &dominating_set_at_most(1)));
-        assert!(!check(&generators::path_graph(6), &dominating_set_at_most(1)));
-        assert!(check(&generators::path_graph(6), &dominating_set_at_most(2)));
+        assert!(!check(
+            &generators::path_graph(6),
+            &dominating_set_at_most(1)
+        ));
+        assert!(check(
+            &generators::path_graph(6),
+            &dominating_set_at_most(2)
+        ));
     }
 
     #[test]
     fn independent_set_cases() {
-        assert!(check(&generators::path_graph(5), &independent_set_at_least(3)));
+        assert!(check(
+            &generators::path_graph(5),
+            &independent_set_at_least(3)
+        ));
         assert!(!check(
             &generators::complete_graph(4),
             &independent_set_at_least(2)
@@ -406,6 +416,9 @@ mod tests {
     fn triangle_free_cases() {
         assert!(check(&generators::cycle_graph(4), &triangle_free()));
         assert!(!check(&generators::complete_graph(3), &triangle_free()));
-        assert!(check(&generators::complete_bipartite(2, 2), &triangle_free()));
+        assert!(check(
+            &generators::complete_bipartite(2, 2),
+            &triangle_free()
+        ));
     }
 }

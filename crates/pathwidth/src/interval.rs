@@ -74,7 +74,10 @@ impl fmt::Display for IntervalRepError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IntervalRepError::WrongVertexCount { got, expected } => {
-                write!(f, "representation has {got} intervals, graph has {expected} vertices")
+                write!(
+                    f,
+                    "representation has {got} intervals, graph has {expected} vertices"
+                )
             }
             IntervalRepError::DisjointEdge(u, v) => {
                 write!(f, "edge ({u}, {v}) has disjoint intervals")

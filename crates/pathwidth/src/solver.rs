@@ -181,11 +181,7 @@ pub fn pathwidth_heuristic(g: &Graph, beam: usize) -> (usize, PathDecomposition)
     }
     let boundary_of = |inside: &[bool]| -> usize {
         (0..n)
-            .filter(|&v| {
-                inside[v]
-                    && g.neighbors(VertexId::new(v))
-                        .any(|w| !inside[w.index()])
-            })
+            .filter(|&v| inside[v] && g.neighbors(VertexId::new(v)).any(|w| !inside[w.index()]))
             .count()
     };
     let mut frontier = vec![Cand {

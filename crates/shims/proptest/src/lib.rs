@@ -1,0 +1,311 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this crate supplies
+//! the subset of the proptest API the workspace's `tests/property_based.rs`
+//! uses: [`Strategy`] with `prop_map`, [`any`], range and tuple strategies,
+//! [`collection::vec`], the [`proptest!`] macro with `#![proptest_config]`,
+//! and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! generated from a seed derived deterministically from the test name (so
+//! CI is reproducible), and there is no shrinking — a failing case panics
+//! immediately with the case index, which is enough to re-run it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use core::marker::PhantomData;
+use core::ops::{Range, RangeInclusive};
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Test-runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "anything goes" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value, occasionally biased toward edge cases.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // Bias 1-in-8 draws toward the classic integer edge cases.
+                match rng.random_range(0..8u32) {
+                    0 => [0 as $t, 1, <$t>::MAX][rng.random_range(0..3usize)],
+                    _ => rng.random::<u64>() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random::<bool>()
+    }
+}
+
+/// The canonical strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<usize> {
+    type Value = usize;
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let SizeRange { lo, hi } = size.into();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.lo..self.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Half-open length range for collection strategies.
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        SizeRange { lo, hi: hi + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// Runs `test` against `config.cases` generated values of `strategy`.
+///
+/// Used by the [`proptest!`] macro expansion; not part of the public
+/// proptest API surface.
+pub fn run_proptest<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut test: impl FnMut(S::Value),
+) {
+    // FNV-1a over the test name: a stable per-test seed without hashing
+    // machinery from std (RandomState is randomized per process).
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(case) << 32));
+        let value = strategy.generate(&mut rng);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest shim: '{name}' failed on case {case} of {} \
+                 (rng seed {:#018x}); re-run with ProptestConfig cases > {case} \
+                 to reproduce",
+                config.cases,
+                seed ^ (u64::from(case) << 32),
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategy = ($($strat,)+);
+            $crate::run_proptest(&__config, stringify!($name), &__strategy, |($($arg,)+)| {
+                $body
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(n in 3usize..=9, flag in any::<bool>()) {
+            prop_assert!((3..=9).contains(&n));
+            let _ = flag;
+        }
+
+        #[test]
+        fn mapped_strategy((a, b) in (0usize..5, 0usize..5).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn vec_lengths(xs in crate::collection::vec(any::<u64>(), 0..20)) {
+            prop_assert!(xs.len() < 20);
+        }
+    }
+}

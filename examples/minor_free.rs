@@ -16,10 +16,7 @@ use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
 use lanecert_suite::pls::Configuration;
 
 fn main() {
-    let scheme = PathwidthScheme::new(
-        Algebra::shared(Forest),
-        SchemeOptions::exact_pathwidth(1),
-    );
+    let scheme = PathwidthScheme::new(Algebra::shared(Forest), SchemeOptions::exact_pathwidth(1));
     let k3 = generators::complete_graph(3);
     let spider = minor::spider_s222();
 
@@ -42,9 +39,7 @@ fn main() {
         };
         // The certificate exists exactly when the class membership holds.
         assert_eq!(minor_free, certified, "{name}");
-        println!(
-            "{name:<18} {{K3, S(2,2,2)}}-minor-free: {minor_free:<5}  certified: {certified}"
-        );
+        println!("{name:<18} {{K3, S(2,2,2)}}-minor-free: {minor_free:<5}  certified: {certified}");
     }
     println!("\ncertificates exist exactly for the minor-free graphs (Corollary 1.2)");
 }

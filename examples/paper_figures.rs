@@ -22,12 +22,18 @@ fn main() {
     );
     rep.validate(&g).unwrap();
     let pd = rep.to_decomposition();
-    println!("Figure 1 — path decomposition of the 6-cycle (width {}):", pd.width());
+    println!(
+        "Figure 1 — path decomposition of the 6-cycle (width {}):",
+        pd.width()
+    );
     println!("  {pd}");
-    println!("  intervals: {}", (0..6)
-        .map(|v| format!("v{v}:{}", rep.interval(lanecert_suite::graph::VertexId(v))))
-        .collect::<Vec<_>>()
-        .join("  "));
+    println!(
+        "  intervals: {}",
+        (0..6)
+            .map(|v| format!("v{v}:{}", rep.interval(lanecert_suite::graph::VertexId(v))))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
 
     // ---- Figure 3: weak completion / completion of a lane partition.
     let p = partition::greedy_partition(&rep);

@@ -32,8 +32,8 @@ fn main() {
 
     // Adversary: flip the marked bit of one certificate.
     let mut rng = generators::seeded_rng(7);
-    let corrupted = attacks::corrupt(&labels, attacks::Corruption::FlipMark, &mut rng)
-        .expect("labels exist");
+    let corrupted =
+        attacks::corrupt(&labels, attacks::Corruption::FlipMark, &mut rng).expect("labels exist");
     let report = scheme.run_with_labels(&cfg, &corrupted);
     assert!(!report.accepted());
     println!(

@@ -3,7 +3,7 @@
 use lanecert_suite::graph::{generators, Graph};
 use lanecert_suite::lanes::{partition, Completion, Construction, Layout};
 use lanecert_suite::pathwidth::{solver, IntervalRep, PathDecomposition};
-use lanecert_suite::pls::bits::{self, Enc};
+use lanecert_suite::pls::bits;
 use proptest::prelude::*;
 
 /// Arbitrary connected graph of pathwidth ≤ 2 with ≤ 12 vertices.

@@ -48,7 +48,10 @@ fn labels_from_satisfying_twin_rejected() {
 
     let mut chord = g8;
     chord
-        .add_edge(lanecert_suite::graph::VertexId(0), lanecert_suite::graph::VertexId(3))
+        .add_edge(
+            lanecert_suite::graph::VertexId(0),
+            lanecert_suite::graph::VertexId(3),
+        )
         .unwrap();
     let cfg_chord = Configuration::with_sequential_ids(chord);
     // The chord edge needs *some* label; replicate an existing one.
