@@ -23,19 +23,29 @@ impl fmt::Display for StateId {
 pub type SharedAlgebra = Arc<Algebra>;
 
 struct Interner<S> {
-    ids: HashMap<S, u32>,
+    /// Keyed by `(arity, state)`: a property state that under-determines
+    /// its boundary size still gets one id per arity, so [`Algebra::arity`]
+    /// is well defined for every interned id.
+    ids: HashMap<(usize, S), u32>,
     states: Vec<S>,
+    arities: Vec<usize>,
 }
 
 impl<S: Clone + Eq + std::hash::Hash> Interner<S> {
-    fn intern(&mut self, s: S) -> u32 {
-        if let Some(&id) = self.ids.get(&s) {
-            return id;
+    fn intern(&mut self, s: S, arity: usize) -> u32 {
+        use std::collections::hash_map::Entry;
+        let next = self.states.len() as u32;
+        match self.ids.entry((arity, s)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                // Clone only on first sight; the hot path (already
+                // interned, once per algebra op) is clone-free.
+                self.states.push(e.key().1.clone());
+                self.arities.push(arity);
+                e.insert(next);
+                next
+            }
         }
-        let id = self.states.len() as u32;
-        self.states.push(s.clone());
-        self.ids.insert(s, id);
-        id
     }
 }
 
@@ -50,6 +60,7 @@ trait Erased: Send + Sync {
     fn swap(&self, s: u32, a: Slot, b: Slot) -> u32;
     fn accept(&self, s: u32) -> bool;
     fn state_count(&self) -> usize;
+    fn arity(&self, s: u32) -> usize;
 }
 
 struct ErasedProperty<P: Property> {
@@ -58,19 +69,19 @@ struct ErasedProperty<P: Property> {
 }
 
 impl<P: Property> ErasedProperty<P> {
-    fn get(&self, id: u32) -> P::State {
-        self.table
-            .read()
-            .expect("algebra interner lock poisoned")
-            .states[id as usize]
-            .clone()
+    fn get(&self, id: u32) -> (P::State, usize) {
+        let table = self.table.read().expect("algebra interner lock poisoned");
+        (
+            table.states[id as usize].clone(),
+            table.arities[id as usize],
+        )
     }
 
-    fn put(&self, s: P::State) -> u32 {
+    fn put(&self, s: P::State, arity: usize) -> u32 {
         self.table
             .write()
             .expect("algebra interner lock poisoned")
-            .intern(s)
+            .intern(s, arity)
     }
 }
 
@@ -80,34 +91,41 @@ impl<P: Property> Erased for ErasedProperty<P> {
     }
     fn empty(&self) -> u32 {
         let s = self.prop.empty();
-        self.put(s)
+        self.put(s, 0)
     }
     fn add_vertex(&self, s: u32, label: u32) -> u32 {
-        let s = self.prop.add_vertex(&self.get(s), label);
-        self.put(s)
+        let (s, arity) = self.get(s);
+        let s = self.prop.add_vertex(&s, label);
+        self.put(s, arity + 1)
     }
     fn add_edge(&self, s: u32, a: Slot, b: Slot, marked: bool) -> u32 {
-        let s = self.prop.add_edge(&self.get(s), a, b, marked);
-        self.put(s)
+        let (s, arity) = self.get(s);
+        let s = self.prop.add_edge(&s, a, b, marked);
+        self.put(s, arity)
     }
     fn glue(&self, s: u32, a: Slot, b: Slot) -> u32 {
-        let s = self.prop.glue(&self.get(s), a, b);
-        self.put(s)
+        let (s, arity) = self.get(s);
+        let s = self.prop.glue(&s, a, b);
+        self.put(s, arity.saturating_sub(1))
     }
     fn forget(&self, s: u32, a: Slot) -> u32 {
-        let s = self.prop.forget(&self.get(s), a);
-        self.put(s)
+        let (s, arity) = self.get(s);
+        let s = self.prop.forget(&s, a);
+        self.put(s, arity.saturating_sub(1))
     }
     fn union(&self, s1: u32, s2: u32) -> u32 {
-        let s = self.prop.union(&self.get(s1), &self.get(s2));
-        self.put(s)
+        let (s1, a1) = self.get(s1);
+        let (s2, a2) = self.get(s2);
+        let s = self.prop.union(&s1, &s2);
+        self.put(s, a1 + a2)
     }
     fn swap(&self, s: u32, a: Slot, b: Slot) -> u32 {
-        let s = self.prop.swap(&self.get(s), a, b);
-        self.put(s)
+        let (s, arity) = self.get(s);
+        let s = self.prop.swap(&s, a, b);
+        self.put(s, arity)
     }
     fn accept(&self, s: u32) -> bool {
-        self.prop.accept(&self.get(s))
+        self.prop.accept(&self.get(s).0)
     }
     fn state_count(&self) -> usize {
         self.table
@@ -115,6 +133,12 @@ impl<P: Property> Erased for ErasedProperty<P> {
             .expect("algebra interner lock poisoned")
             .states
             .len()
+    }
+    fn arity(&self, s: u32) -> usize {
+        self.table
+            .read()
+            .expect("algebra interner lock poisoned")
+            .arities[s as usize]
     }
 }
 
@@ -136,6 +160,7 @@ impl Algebra {
                 table: RwLock::new(Interner {
                     ids: HashMap::new(),
                     states: Vec::new(),
+                    arities: Vec::new(),
                 }),
             }),
         }
@@ -201,6 +226,19 @@ impl Algebra {
     /// certificates naming unknown classes).
     pub fn knows(&self, id: StateId) -> bool {
         (id.0 as usize) < self.inner.state_count()
+    }
+
+    /// Number of boundary slots of an interned state. Verifiers check a
+    /// certificate's claimed class against its claimed interface size
+    /// before applying slot-indexed operations, so adversarial class ids
+    /// can never drive a property implementation out of bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never interned (callers gate on
+    /// [`Algebra::knows`]).
+    pub fn arity(&self, id: StateId) -> usize {
+        self.inner.arity(id.0)
     }
 }
 

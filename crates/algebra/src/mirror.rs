@@ -1,5 +1,5 @@
 //! Trace harness: replays primitive-operation programs both through an
-//! [`Algebra`](crate::Algebra) and as a concrete graph, so algebra verdicts
+//! [`crate::Algebra`] and as a concrete graph, so algebra verdicts
 //! can be compared against brute force ([`oracles`]).
 
 use lanecert_graph::{Graph, VertexId};

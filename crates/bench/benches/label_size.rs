@@ -1,8 +1,7 @@
 //! Criterion bench: prover label construction across families (T1's heavy path).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lanecert::theorem1::{PathwidthScheme, SchemeOptions};
-use lanecert::Configuration;
+use lanecert::{Configuration, PathwidthScheme, ProverHint, Scheme, SchemeOptions};
 use lanecert_algebra::props::Connected;
 use lanecert_algebra::Algebra;
 use lanecert_bench::families;
@@ -13,16 +12,17 @@ fn bench_prove(c: &mut Criterion) {
         for &n in &[64usize, 256] {
             let (g, rep) = (fam.make)(n);
             let cfg = Configuration::with_random_ids(g, 1);
+            let hint = ProverHint::with_representation(rep);
             group.bench_with_input(
                 BenchmarkId::new(fam.name, n),
-                &(cfg, rep),
-                |b, (cfg, rep)| {
+                &(cfg, hint),
+                |b, (cfg, hint)| {
                     b.iter(|| {
                         let sch = PathwidthScheme::new(
                             Algebra::shared(Connected),
                             SchemeOptions::exact_pathwidth(3),
                         );
-                        sch.prove(cfg, rep).unwrap()
+                        sch.prove(cfg, hint).unwrap()
                     })
                 },
             );

@@ -1,8 +1,8 @@
-//! Criterion bench: the full distributed verification pass (T5's heavy path).
+//! Criterion bench: the full distributed verification pass (T5's heavy
+//! path), through the erased certify/verify entry points.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lanecert::theorem1::{PathwidthScheme, SchemeOptions};
-use lanecert::Configuration;
+use lanecert::{registry, Certifier, Configuration, ProverHint};
 use lanecert_algebra::props::Connected;
 use lanecert_algebra::Algebra;
 use lanecert_bench::families;
@@ -12,15 +12,19 @@ fn bench_verify(c: &mut Criterion) {
     for fam in families() {
         let (g, rep) = (fam.make)(256);
         let cfg = Configuration::with_random_ids(g, 2);
-        let sch = PathwidthScheme::new(
-            Algebra::shared(Connected),
-            SchemeOptions::exact_pathwidth(3),
-        );
-        let labels = sch.prove(&cfg, &rep).unwrap();
+        let certifier = Certifier::builder()
+            .property(Algebra::shared(Connected))
+            .scheme(registry::THEOREM1)
+            .max_lanes(4)
+            .build()
+            .unwrap();
+        let labels = certifier
+            .certify_with(&cfg, &ProverHint::with_representation(rep))
+            .unwrap();
         group.bench_with_input(
             BenchmarkId::new(fam.name, 256),
             &(cfg, labels),
-            |b, (cfg, labels)| b.iter(|| sch.run_with_labels(cfg, labels).accepted()),
+            |b, (cfg, labels)| b.iter(|| certifier.verify(cfg, labels).unwrap().accepted()),
         );
     }
     group.finish();

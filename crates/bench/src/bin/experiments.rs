@@ -6,9 +6,12 @@
 //! * `--out PATH` — where to write the JSON summary (default
 //!   `BENCH_results.json` in the current directory).
 //! * `--no-json` — skip writing the summary.
+//! * `--quick` — CI-sized runs (same code paths, small `n`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
+
+use lanecert_bench::Scale;
 
 /// Minimal JSON string escaping (the workspace has no serde offline).
 fn json_escape(s: &str) -> String {
@@ -47,6 +50,11 @@ fn main() {
     let selected = flag_value("--table");
     let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_results.json".into());
     let write_json = !args.iter().any(|a| a == "--no-json");
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
 
     let mut results: Vec<(&'static str, f64, String)> = Vec::new();
     for (name, table) in lanecert_bench::all_tables() {
@@ -56,7 +64,7 @@ fn main() {
             }
         }
         let start = Instant::now();
-        let rendered = table();
+        let rendered = table(scale);
         let seconds = start.elapsed().as_secs_f64();
         println!("==== {} ({seconds:.2}s) ====", name.to_uppercase());
         println!("{rendered}");

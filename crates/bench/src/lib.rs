@@ -1,19 +1,49 @@
 //! Experiment harness regenerating the paper's quantitative claims
 //! (tables T1–T9 of DESIGN.md / EXPERIMENTS.md).
 //!
-//! Run `cargo run -p lanecert-bench --bin experiments` to print every
-//! table; pass `--table tN` for a single one.
+//! Every table that certifies or verifies goes through the unified
+//! certification API — [`Certifier`] builders resolved against the
+//! [`lanecert::registry`] names (`theorem1`, `fmr-baseline`,
+//! `bipartite-1bit`, `whole-graph`), with [`BatchRunner`] aggregating
+//! multi-configuration sweeps — so the harness exercises exactly the
+//! surface users call.
+//!
+//! Run `cargo run -p lanecert_bench --bin experiments` to print every
+//! table; pass `--table tN` for a single one and `--quick` for the
+//! CI-sized variant.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use lanecert::theorem1::{PathwidthScheme, SchemeOptions};
-use lanecert::{attacks, baseline, simple, Configuration};
+use lanecert::theorem1::PathwidthScheme;
+use lanecert::{
+    attacks, registry, BatchJob, BatchRunner, Certifier, Configuration, ProverHint, Scheme,
+    SchemeOptions,
+};
 use lanecert_algebra::props::{Bipartite, Connected, Forest, HamiltonianCycle, PerfectMatching};
 use lanecert_algebra::{mirror::oracles, Algebra, SharedAlgebra};
 use lanecert_graph::{generators, Graph};
 use lanecert_lanes::{bounds, pipeline::LaneStrategy, recursive, Completion, Layout};
 use lanecert_pathwidth::{Interval, IntervalRep};
+
+/// Table sizing: the full paper-scale runs, or the small CI smoke scale
+/// that keeps the perf-trajectory file exercised on every push.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale sizes (the defaults).
+    Full,
+    /// CI-sized: same code paths, small `n`.
+    Quick,
+}
+
+impl Scale {
+    fn pick<T: Copy>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
 
 /// A named benchmark family with a known-width interval representation
 /// (so experiments scale past the exact solver).
@@ -109,58 +139,93 @@ pub fn families() -> Vec<Family> {
     ]
 }
 
-fn scheme(alg: SharedAlgebra, max_lanes: usize) -> PathwidthScheme {
-    PathwidthScheme::new(
-        alg,
-        SchemeOptions {
-            strategy: LaneStrategy::Greedy,
-            max_lanes,
-        },
-    )
+/// A theorem1 certifier with a generous lane bound (experiments certify
+/// structure at family widths ≤ 3).
+fn theorem1_certifier(alg: SharedAlgebra) -> Certifier {
+    Certifier::builder()
+        .property(alg)
+        .scheme(registry::THEOREM1)
+        .max_lanes(64)
+        .build()
+        .expect("theorem1 spec is complete")
 }
 
 /// T1: label size (bits) vs n — this paper vs the `O(log² n)` baseline vs
-/// the trivial whole-graph scheme, on the `path` family plus spot rows for
-/// the others.
-pub fn table_t1() -> String {
+/// the trivial whole-graph scheme, across the benchmark families. The
+/// theorem1 and baseline columns come from full [`BatchRunner`] sweeps
+/// (prove + everywhere-verify); the trivial column only measures the
+/// honest labeling's size.
+pub fn table_t1(scale: Scale) -> String {
+    let sizes: &[usize] = scale.pick(&[32usize, 128, 512, 2048], &[32usize, 128]);
     let mut out = String::from(
         "T1: max label bits vs n (property: connected)\n\
          family        n     ours  ours/log2(n)  baseline  base/log2^2(n)  trivial\n",
     );
+    let ours = BatchRunner::new(theorem1_certifier(Algebra::shared(Connected)));
+    let base = BatchRunner::new(
+        Certifier::builder()
+            .scheme(registry::FMR_BASELINE)
+            .build()
+            .expect("baseline needs no spec"),
+    );
+    // The trivial column only measures label size, so skip the algebra
+    // predicate (evaluating it over an n-slot boundary per configuration
+    // is quadratic and pure overhead here).
+    let trivial = Certifier::from_scheme(Box::new(
+        lanecert::simple::WholeGraphScheme::trivially_true(),
+    ));
     for fam in families() {
-        for &n in &[32usize, 128, 512, 2048] {
-            let (g, rep) = (fam.make)(n);
-            let nn = g.vertex_count() as f64;
-            let cfg = Configuration::with_random_ids(g, 7);
-            let sch = scheme(Algebra::shared(Connected), 64);
-            let labels = sch.prove(&cfg, &rep).expect("connected families");
-            let report = sch.run_with_labels(&cfg, &labels);
-            assert!(
-                report.accepted(),
-                "{}: {:?}",
-                fam.name,
-                report.first_rejection()
-            );
-            let base = baseline::run(&cfg, &rep);
-            assert!(base.accepted());
-            let triv = {
-                let labels = simple::prove_whole_graph(&cfg);
-                labels
-                    .iter()
-                    .map(lanecert::bits::bit_len)
-                    .max()
-                    .unwrap_or(0)
-            };
+        let cases: Vec<(Configuration, IntervalRep)> = sizes
+            .iter()
+            .map(|&n| {
+                let (g, rep) = (fam.make)(n);
+                (Configuration::with_random_ids(g, 7), rep)
+            })
+            .collect();
+        let jobs = |cases: &[(Configuration, IntervalRep)]| {
+            cases
+                .iter()
+                .map(|(cfg, rep)| {
+                    BatchJob::new(cfg.clone())
+                        .with_hint(ProverHint::with_representation(rep.clone()))
+                })
+                .collect::<Vec<_>>()
+        };
+        let ours_report = ours.run(jobs(&cases));
+        let base_report = base.run(jobs(&cases));
+        assert!(
+            ours_report.all_accepted() && base_report.all_accepted(),
+            "{}: ours [{}], baseline [{}]",
+            fam.name,
+            ours_report.summary(),
+            base_report.summary(),
+        );
+        for (i, (cfg, _)) in cases.iter().enumerate() {
+            let nn = cfg.n() as f64;
             let log2 = nn.log2();
+            let ours_bits = ours_report.outcomes[i]
+                .result
+                .as_ref()
+                .unwrap()
+                .max_label_bits;
+            let base_bits = base_report.outcomes[i]
+                .result
+                .as_ref()
+                .unwrap()
+                .max_label_bits;
+            let triv_bits = trivial
+                .certify(cfg)
+                .expect("families are connected")
+                .max_bits();
             out += &format!(
                 "{:<12} {:>5}  {:>6}  {:>11.1}  {:>8}  {:>13.1}  {:>7}\n",
                 fam.name,
                 cfg.n(),
-                report.max_label_bits,
-                report.max_label_bits as f64 / log2,
-                base.max_label_bits,
-                base.max_label_bits as f64 / (log2 * log2),
-                triv,
+                ours_bits,
+                ours_bits as f64 / log2,
+                base_bits,
+                base_bits as f64 / (log2 * log2),
+                triv_bits,
             );
         }
     }
@@ -169,12 +234,13 @@ pub fn table_t1() -> String {
 
 /// T2: lanes used vs the `f(k)` bound (recursive partition) and the width
 /// (greedy partition).
-pub fn table_t2() -> String {
+pub fn table_t2(scale: Scale) -> String {
+    let n = scale.pick(60, 30);
     let mut out = String::from(
         "T2: lane counts vs bounds\nfamily        n   width k  greedy w  recursive w  f(k)\n",
     );
     for fam in families() {
-        let (g, rep) = (fam.make)(60);
+        let (g, rep) = (fam.make)(n);
         let k = rep.width();
         let greedy = lanecert_lanes::partition::greedy_partition(&rep);
         let rl = recursive::recursive_partition(&g, &rep);
@@ -192,13 +258,14 @@ pub fn table_t2() -> String {
 }
 
 /// T3: measured embedding congestion vs `g(k)`/`h(k)`.
-pub fn table_t3() -> String {
+pub fn table_t3(scale: Scale) -> String {
+    let n = scale.pick(60, 30);
     let mut out = String::from(
         "T3: embedding congestion vs bounds (recursive partition)\n\
          family        n   k  weak  g(k)  full  h(k)\n",
     );
     for fam in families() {
-        let (g, rep) = (fam.make)(60);
+        let (g, rep) = (fam.make)(n);
         let k = rep.width();
         let rl = recursive::recursive_partition(&g, &rep);
         let completion = Completion::build(&g, rl.partition.clone());
@@ -225,12 +292,13 @@ pub fn table_t3() -> String {
 }
 
 /// T4: hierarchy depth vs the `2k` bound (Observation 5.5).
-pub fn table_t4() -> String {
+pub fn table_t4(scale: Scale) -> String {
+    let n = scale.pick(60, 30);
     let mut out = String::from(
         "T4: hierarchical decomposition depth vs 2w\nfamily        n   lanes w  depth  2w\n",
     );
     for fam in families() {
-        let (g, rep) = (fam.make)(60);
+        let (g, rep) = (fam.make)(n);
         let layout = Layout::build(&g, &rep, LaneStrategy::Greedy);
         let depth = layout.hierarchy.depth();
         let w = layout.lane_count();
@@ -247,21 +315,24 @@ pub fn table_t4() -> String {
     out
 }
 
-/// T5: prover/verifier wall-clock scaling (rough, single run per point).
-pub fn table_t5() -> String {
+/// T5: prover/verifier wall-clock scaling (rough, single run per point),
+/// timed through the erased certify/verify entry points.
+pub fn table_t5(scale: Scale) -> String {
+    let sizes: &[usize] = scale.pick(&[64usize, 256, 1024, 4096], &[64usize, 256]);
     let mut out = String::from(
         "T5: runtime scaling (connected, path family)\n\
          n      prove(ms)  verify-all(ms)  per-vertex(us)\n",
     );
-    for &n in &[64usize, 256, 1024, 4096] {
+    let certifier = theorem1_certifier(Algebra::shared(Connected));
+    for &n in sizes {
         let (g, rep) = path_family(n);
         let cfg = Configuration::with_random_ids(g, 3);
-        let sch = scheme(Algebra::shared(Connected), 64);
+        let hint = ProverHint::with_representation(rep);
         let t0 = std::time::Instant::now();
-        let labels = sch.prove(&cfg, &rep).unwrap();
+        let labels = certifier.certify_with(&cfg, &hint).unwrap();
         let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
         let t1 = std::time::Instant::now();
-        let report = sch.run_with_labels(&cfg, &labels);
+        let report = certifier.verify(&cfg, &labels).unwrap();
         let ver_ms = t1.elapsed().as_secs_f64() * 1e3;
         assert!(report.accepted());
         out += &format!(
@@ -275,10 +346,14 @@ pub fn table_t5() -> String {
     out
 }
 
-/// T6: soundness fuzzing — every corruption must be rejected.
-pub fn table_t6() -> String {
+/// T6: soundness fuzzing — typed corruptions (which must all be rejected)
+/// plus wire-level bit flips through the erased layer.
+pub fn table_t6(scale: Scale) -> String {
+    let n = scale.pick(40, 24);
+    let rounds = scale.pick(60, 30);
     let mut out = String::from(
-        "T6: adversarial label corruption\nfamily        property     attempted  rejected\n",
+        "T6: adversarial label corruption\n\
+         family        property     typed-att  typed-rej  bitflip-att  bitflip-rej\n",
     );
     for (fam, alg) in [
         ("cycle", Algebra::shared(Bipartite)),
@@ -286,31 +361,37 @@ pub fn table_t6() -> String {
         ("caterpillar", Algebra::shared(Forest)),
     ] {
         let f = families().into_iter().find(|f| f.name == fam).unwrap();
-        let (g, rep) = (f.make)(40);
-        // Bipartite needs an even cycle.
-        let (g, rep) = if fam == "cycle" {
-            cycle_family(40)
-        } else {
-            (g, rep)
-        };
+        let (g, rep) = (f.make)(n);
         let cfg = Configuration::with_random_ids(g, 11);
-        let sch = scheme(alg, 64);
-        let labels = sch.prove(&cfg, &rep).unwrap();
-        let (attempted, rejected) = attacks::fuzz_scheme(&sch, &cfg, &labels, 9, 60);
+        let hint = ProverHint::with_representation(rep);
+        let scheme = PathwidthScheme::new(
+            alg,
+            SchemeOptions {
+                strategy: LaneStrategy::Greedy,
+                max_lanes: 64,
+            },
+        );
+        let labels = scheme.prove(&cfg, &hint).unwrap();
+        let (attempted, rejected) = attacks::fuzz_scheme(&scheme, &cfg, &labels, 9, rounds);
         assert_eq!(attempted, rejected, "{fam}: corruption slipped through");
+        // Same bytes as the typed labels above — no second prover pass.
+        let encoded = lanecert::EncodedLabeling::encode(&labels);
+        let (f_att, f_rej) = attacks::fuzz_encoded(&scheme, &cfg, &encoded, 13, rounds);
         out += &format!(
-            "{:<12} {:<12} {:>9}  {:>8}\n",
+            "{:<12} {:<12} {:>9}  {:>9}  {:>11}  {:>11}\n",
             fam,
-            sch.algebra().name(),
+            scheme.algebra().name(),
             attempted,
             rejected,
+            f_att,
+            f_rej,
         );
     }
     out
 }
 
 /// T7: algebra verdict vs brute force vs the naive MSO₂ checker.
-pub fn table_t7() -> String {
+pub fn table_t7(_scale: Scale) -> String {
     use lanecert_mso::{eval, props};
     let mut out = String::from("T7: semantics agreement (algebra == brute force == MSO eval)\nproperty            graphs  agreements\n");
     let graphs: Vec<Graph> = vec![
@@ -384,11 +465,12 @@ pub fn table_t7() -> String {
 
 /// T8: the `Ω(log n)` cut-and-splice attack — smallest label width where
 /// no accepted cycle can be spliced.
-pub fn table_t8() -> String {
+pub fn table_t8(scale: Scale) -> String {
+    let sizes: &[usize] = scale.pick(&[40usize, 100], &[40usize]);
     let mut out = String::from(
         "T8: pigeonhole splice attack on b-bit path certificates\nn     bits  spliced-cycle\n",
     );
-    for &n in &[40usize, 100] {
+    for &n in sizes {
         for bits in 2..=8u8 {
             let res = attacks::splice_attack(n, bits);
             out += &format!(
@@ -403,27 +485,29 @@ pub fn table_t8() -> String {
     out
 }
 
-/// T9 (ablation): greedy vs recursive lane strategy.
-pub fn table_t9() -> String {
+/// T9 (ablation): greedy vs recursive lane strategy, selected through the
+/// builder's `.strategy(...)` knob.
+pub fn table_t9(scale: Scale) -> String {
+    let n = scale.pick(120, 60);
     let mut out = String::from(
         "T9: lane strategy ablation (connected)\n\
          family        n   strategy   lanes  congestion  max-label-bits\n",
     );
     for fam in families() {
         for strategy in [LaneStrategy::Greedy, LaneStrategy::Recursive] {
-            let (g, rep) = (fam.make)(120);
+            let (g, rep) = (fam.make)(n);
             let cfg = Configuration::with_random_ids(g, 13);
             let layout = Layout::build(cfg.graph(), &rep, strategy);
             let congestion = layout.embedding.congestion(cfg.graph());
-            let sch = PathwidthScheme::new(
-                Algebra::shared(Connected),
-                SchemeOptions {
-                    strategy,
-                    max_lanes: 64,
-                },
-            );
-            let labels = sch.prove(&cfg, &rep).unwrap();
-            let report = sch.run_with_labels(&cfg, &labels);
+            let certifier = Certifier::builder()
+                .property(Algebra::shared(Connected))
+                .scheme(registry::THEOREM1)
+                .strategy(strategy)
+                .max_lanes(64)
+                .representation(rep)
+                .build()
+                .unwrap();
+            let report = certifier.run(&cfg).unwrap();
             assert!(report.accepted(), "{:?}", report.first_rejection());
             out += &format!(
                 "{:<12} {:>4}  {:<9}  {:>5}  {:>10}  {:>14}\n",
@@ -440,7 +524,7 @@ pub fn table_t9() -> String {
 }
 
 /// A table renderer: `(name, render)`.
-pub type Table = (&'static str, fn() -> String);
+pub type Table = (&'static str, fn(Scale) -> String);
 
 /// All tables in order.
 pub fn all_tables() -> Vec<Table> {
@@ -490,8 +574,21 @@ mod tests {
         // The cheap tables execute end to end (their asserts are the test).
         for (name, f) in all_tables() {
             if ["t2", "t3", "t4", "t7"].contains(&name) {
-                let s = f();
+                let s = f(Scale::Quick);
                 assert!(!s.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn quick_scale_certification_tables_run() {
+        // The API-heavy tables at CI scale: T1 (batch sweeps across all
+        // three registry schemes), T6 (typed + wire-level fuzzing), T9
+        // (builder strategy ablation).
+        for (name, f) in all_tables() {
+            if ["t1", "t6", "t9"].contains(&name) {
+                let s = f(Scale::Quick);
+                assert!(!s.is_empty(), "{name}");
             }
         }
     }

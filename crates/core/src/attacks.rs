@@ -1,16 +1,18 @@
-//! Adversarial harnesses: soundness fuzzing for the Theorem 1 scheme (T6)
-//! and the classic `Ω(log n)` cut-and-splice lower bound (T8).
+//! Adversarial harnesses: soundness fuzzing for schemes behind the
+//! unified [`Scheme`]/[`DynScheme`] API (T6) and the classic `Ω(log n)`
+//! cut-and-splice lower bound (T8).
 
 use lanecert_graph::generators;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::bits::{BitReader, BitWriter, Enc};
-use crate::scheme::{Verdict, VertexView};
-use crate::theorem1::{EdgeLabel, PathwidthScheme};
+use crate::erased::{DynScheme, EncodedLabeling};
+use crate::scheme::Scheme;
+use crate::theorem1::EdgeLabel;
 use crate::Configuration;
 
-/// Mutations applied to honest labelings.
+/// Mutations applied to honest Theorem 1 labelings.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Corruption {
     /// Swap the labels of two edges.
@@ -69,13 +71,14 @@ pub fn corrupt(labels: &[EdgeLabel], kind: Corruption, rng: &mut StdRng) -> Opti
     Some(out)
 }
 
-/// Runs a battery of corruptions against an honest labeling; returns
-/// `(attempted, rejected)` counts. Soundness demands `rejected ==
-/// attempted` for any corruption that changes what the labels certify —
-/// swaps and clones always change *something* structurally here because
-/// every certificate names its endpoints.
-pub fn fuzz_scheme(
-    scheme: &PathwidthScheme,
+/// Runs a battery of typed corruptions against an honest labeling of any
+/// Theorem-1-labeled scheme; returns `(attempted, rejected)` counts.
+/// Soundness demands `rejected == attempted` for any corruption that
+/// changes what the labels certify — swaps and clones always change
+/// *something* structurally here because every certificate names its
+/// endpoints.
+pub fn fuzz_scheme<S: Scheme<Label = EdgeLabel>>(
+    scheme: &S,
     cfg: &Configuration,
     labels: &[EdgeLabel],
     seed: u64,
@@ -100,7 +103,52 @@ pub fn fuzz_scheme(
             continue;
         }
         attempted += 1;
-        let report = scheme.run_with_labels(cfg, &mutated);
+        let report = scheme
+            .run(cfg, &mutated)
+            .expect("corruptions preserve label count");
+        if !report.accepted() {
+            rejected += 1;
+        }
+    }
+    (attempted, rejected)
+}
+
+/// Scheme-agnostic wire-level fuzzing through the erased layer: flips one
+/// random payload bit of one random encoded label per round and re-runs
+/// the verifier. Returns `(attempted, rejected)` — rounds that land on an
+/// empty (zero-bit) label are skipped; every other flip changes the byte
+/// image and counts as attempted.
+///
+/// Unlike [`fuzz_scheme`], a surviving flip is not automatically a
+/// soundness bug: a flip may decode to a *different honest* certificate
+/// for the same configuration (not possible for the schemes shipped here
+/// on the graphs tested, but possible in principle), so callers decide
+/// what ratio to demand.
+pub fn fuzz_encoded(
+    scheme: &dyn DynScheme,
+    cfg: &Configuration,
+    labels: &EncodedLabeling,
+    seed: u64,
+    rounds: usize,
+) -> (usize, usize) {
+    if labels.is_empty() || labels.total_bits() == 0 {
+        return (0, 0);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attempted = 0;
+    let mut rejected = 0;
+    for _ in 0..rounds {
+        let mut mutated = labels.clone();
+        let pick = rng.random_range(0..mutated.len());
+        let label = &mut mutated.as_mut_slice()[pick];
+        if label.bits == 0 {
+            continue;
+        }
+        label.flip_bit(rng.random_range(0..label.bits));
+        attempted += 1;
+        let report = scheme
+            .verify_encoded(cfg, &mutated)
+            .expect("flips preserve label count");
         if !report.accepted() {
             rejected += 1;
         }
@@ -158,22 +206,11 @@ pub fn prove_path_scheme(cfg: &Configuration, bits: u8) -> Vec<TruncatedDistLabe
         .collect()
 }
 
-/// Toy verifier: a degree-2 vertex accepts iff its two incident labels are
-/// `d` and `d + 1 (mod 2^bits)` for some `d`; a degree-1 vertex accepts iff
-/// its label is `0` or it is the far end. Degree ≠ 1, 2 rejects.
-pub fn verify_path_scheme_at(
-    _cfg: &Configuration,
-    _v: lanecert_graph::VertexId,
-    view: &VertexView<TruncatedDistLabel>,
-) -> Verdict {
-    // Labels are structural in this demo (decode unsupported), so the
-    // harness below calls this with the raw labels instead.
-    let _ = view;
-    Verdict::Accept
-}
-
 /// Runs the toy verifier directly on raw labels (bypassing the wire trip,
-/// which this demo scheme does not define).
+/// which this demo scheme does not define): a degree-2 vertex accepts iff
+/// its two incident labels are `d` and `d + 1 (mod 2^bits)` for some `d`;
+/// a degree-1 vertex accepts any single label in this toy; degree ≠ 1, 2
+/// rejects.
 pub fn run_path_scheme_raw(cfg: &Configuration, labels: &[TruncatedDistLabel]) -> bool {
     let g = cfg.graph();
     let modulus = |bits: u8| 1u32 << bits;
@@ -235,9 +272,17 @@ pub fn splice_attack(n: usize, bits: u8) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::theorem1::SchemeOptions;
+    use crate::scheme::ProverHint;
+    use crate::theorem1::{PathwidthScheme, SchemeOptions};
     use lanecert_algebra::{props::Bipartite, Algebra};
     use lanecert_pathwidth::{solver, IntervalRep};
+
+    fn bipartite_scheme() -> PathwidthScheme {
+        PathwidthScheme::new(
+            Algebra::shared(Bipartite),
+            SchemeOptions::exact_pathwidth(2),
+        )
+    }
 
     #[test]
     fn fuzzing_rejects_all_corruptions() {
@@ -245,15 +290,25 @@ mod tests {
         let (_, pd) = solver::pathwidth_exact(&g).unwrap();
         let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
         let cfg = Configuration::with_random_ids(g, 21);
-        let scheme = PathwidthScheme::new(
-            Algebra::shared(Bipartite),
-            SchemeOptions::exact_pathwidth(2),
-        );
-        let labels = scheme.prove(&cfg, &rep).unwrap();
-        assert!(scheme.run_with_labels(&cfg, &labels).accepted());
+        let scheme = bipartite_scheme();
+        let labels = scheme.prove_with_rep(&cfg, &rep).unwrap();
+        assert!(scheme.run(&cfg, &labels).unwrap().accepted());
         let (attempted, rejected) = fuzz_scheme(&scheme, &cfg, &labels, 5, 40);
         assert!(attempted > 10);
         assert_eq!(rejected, attempted, "a corruption slipped through");
+    }
+
+    #[test]
+    fn encoded_fuzzing_runs_through_the_erased_layer() {
+        let g = generators::cycle_graph(8);
+        let cfg = Configuration::with_random_ids(g, 3);
+        let scheme = bipartite_scheme();
+        let enc = DynScheme::prove_encoded(&scheme, &cfg, &ProverHint::auto()).unwrap();
+        let (attempted, rejected) = fuzz_encoded(&scheme, &cfg, &enc, 7, 30);
+        assert!(attempted > 10);
+        // Every single-bit flip of a Theorem 1 certificate on this graph
+        // is caught.
+        assert_eq!(rejected, attempted);
     }
 
     #[test]
@@ -277,16 +332,13 @@ mod tests {
         let (_, pd) = solver::pathwidth_exact(&g1).unwrap();
         let rep = IntervalRep::from_decomposition(&pd, 8);
         let cfg1 = Configuration::with_sequential_ids(g1);
-        let scheme = PathwidthScheme::new(
-            Algebra::shared(Bipartite),
-            SchemeOptions::exact_pathwidth(2),
-        );
-        let labels = scheme.prove(&cfg1, &rep).unwrap();
+        let scheme = bipartite_scheme();
+        let labels = scheme.prove_with_rep(&cfg1, &rep).unwrap();
         // Odd cycle (property false): reuse the first 7 labels.
         let g2 = generators::cycle_graph(7);
         let cfg2 = Configuration::with_sequential_ids(g2);
         let transplanted: Vec<EdgeLabel> = labels[..7].to_vec();
-        let report = scheme.run_with_labels(&cfg2, &transplanted);
+        let report = scheme.run(&cfg2, &transplanted).unwrap();
         assert!(!report.accepted());
     }
 }

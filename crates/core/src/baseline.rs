@@ -1,4 +1,6 @@
-//! An FMR+24-style `O(log² n)` baseline for label-size comparison (T1).
+//! An FMR+24-style `O(log² n)` baseline for label-size comparison (T1),
+//! behind the unified [`Scheme`] trait as [`BaselineScheme`] (registry
+//! name [`crate::registry::FMR_BASELINE`]).
 //!
 //! Fraigniaud, Montealegre, Rapaport & Todinca certify MSO₂ on bounded
 //! treewidth with `O(log² n)`-bit labels by replicating per-level
@@ -19,8 +21,8 @@ use lanecert_graph::VertexId;
 use lanecert_pathwidth::IntervalRep;
 
 use crate::bits::{BitReader, BitWriter, Enc};
-use crate::scheme::{run_edge_scheme, RunReport, Verdict, VertexView};
-use crate::Configuration;
+use crate::scheme::{Labeling, ProverHint, Scheme, Verdict, VertexView};
+use crate::{CertError, Configuration};
 
 /// One recursion frame: a canonical bag range and its separator bag.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,75 +112,116 @@ fn frames_for(
     }
 }
 
-/// Honest baseline prover.
-pub fn prove(cfg: &Configuration, rep: &IntervalRep) -> Vec<BaselineLabel> {
-    let g = cfg.graph();
-    let pd = rep.to_decomposition();
-    let bags = pd.bags();
-    let s = bags.len() as u32;
-    g.edges()
-        .map(|(_, e)| {
-            let (mut x, mut y) = (e.u, e.v);
-            if cfg.id_of(x) > cfg.id_of(y) {
-                std::mem::swap(&mut x, &mut y);
-            }
-            let (ia, ib) = (rep.interval(x), rep.interval(y));
-            let mut frames = Vec::new();
-            // Endpoints of both intervals: O(log s) canonical ranges each.
-            let points = vec![ia.lo, ia.hi, ib.lo, ib.hi];
-            frames_for(cfg, bags, 0, s.max(1), &points, &mut frames);
-            frames.dedup();
-            BaselineLabel {
-                iv_a: (ia.lo, ia.hi),
-                iv_b: (ib.lo, ib.hi),
-                a: cfg.id_of(x),
-                b: cfg.id_of(y),
-                frames,
-            }
-        })
-        .collect()
-}
+/// The FMR+24-style baseline scheme.
+///
+/// The prover needs an interval representation — supply one via
+/// [`ProverHint::with_representation`] or let [`ProverHint::auto`] invoke
+/// the exact solver on small graphs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaselineScheme;
 
-/// Baseline verifier: interval overlap on every edge, my id mentioned,
-/// separator bags that contain my bag-interval's midpoint list me.
-pub fn verify_at(_cfg: &Configuration, _v: VertexId, view: &VertexView<BaselineLabel>) -> Verdict {
-    let mut my_iv: Option<(u32, u32)> = None;
-    for l in &view.incident {
-        let Some(l) = l else {
-            return Verdict::reject("undecodable baseline label");
-        };
-        let mine = if l.a == view.id {
-            l.iv_a
-        } else if l.b == view.id {
-            l.iv_b
-        } else {
-            return Verdict::reject("label does not mention me");
-        };
-        if *my_iv.get_or_insert(mine) != mine {
-            return Verdict::reject("inconsistent own interval");
-        }
-        let other = if l.a == view.id { l.iv_b } else { l.iv_a };
-        if mine.0 > other.1 || other.0 > mine.1 {
-            return Verdict::reject("adjacent intervals disjoint");
-        }
-        for f in &l.frames {
-            if f.lo >= f.hi {
-                return Verdict::reject("empty frame range");
-            }
-            let mid = (f.lo + f.hi) / 2;
-            let me_in_sep = mine.0 <= mid && mid <= mine.1;
-            if me_in_sep && !f.separator.contains(&view.id) {
-                return Verdict::reject("separator bag omits me");
-            }
-        }
+impl BaselineScheme {
+    /// Honest baseline prover against a known representation. Equivalent
+    /// to [`Scheme::prove`] with [`ProverHint::with_representation`].
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::InvalidSpec`] when `rep` does not fit the graph.
+    pub fn prove_with_rep(
+        cfg: &Configuration,
+        rep: &IntervalRep,
+    ) -> Result<Labeling<BaselineLabel>, CertError> {
+        crate::scheme::check_rep_fits(rep, cfg)?;
+        Ok(Self::build_labels(cfg, rep))
     }
-    Verdict::Accept
+
+    /// Label construction over a representation known to fit the graph.
+    fn build_labels(cfg: &Configuration, rep: &IntervalRep) -> Labeling<BaselineLabel> {
+        let g = cfg.graph();
+        let pd = rep.to_decomposition();
+        let bags = pd.bags();
+        let s = bags.len() as u32;
+        Labeling::new(
+            g.edges()
+                .map(|(_, e)| {
+                    let (mut x, mut y) = (e.u, e.v);
+                    if cfg.id_of(x) > cfg.id_of(y) {
+                        std::mem::swap(&mut x, &mut y);
+                    }
+                    let (ia, ib) = (rep.interval(x), rep.interval(y));
+                    let mut frames = Vec::new();
+                    // Endpoints of both intervals: O(log s) canonical
+                    // ranges each.
+                    let points = vec![ia.lo, ia.hi, ib.lo, ib.hi];
+                    frames_for(cfg, bags, 0, s.max(1), &points, &mut frames);
+                    frames.dedup();
+                    BaselineLabel {
+                        iv_a: (ia.lo, ia.hi),
+                        iv_b: (ib.lo, ib.hi),
+                        a: cfg.id_of(x),
+                        b: cfg.id_of(y),
+                        frames,
+                    }
+                })
+                .collect(),
+        )
+    }
 }
 
-/// End-to-end run (experiment helper).
-pub fn run(cfg: &Configuration, rep: &IntervalRep) -> RunReport {
-    let labels = prove(cfg, rep);
-    run_edge_scheme(cfg, &labels, verify_at)
+impl Scheme for BaselineScheme {
+    type Label = BaselineLabel;
+
+    fn name(&self) -> String {
+        "fmr-baseline".into()
+    }
+
+    fn prove(
+        &self,
+        cfg: &Configuration,
+        hint: &ProverHint,
+    ) -> Result<Labeling<BaselineLabel>, CertError> {
+        // `resolve` has already validated a supplied representation.
+        let rep = hint.resolve(cfg)?;
+        Ok(Self::build_labels(cfg, &rep))
+    }
+
+    /// Interval overlap on every edge, my id mentioned, separator bags
+    /// that contain my bag-interval's midpoint list me.
+    fn verify_at(&self, view: &VertexView<BaselineLabel>) -> Verdict {
+        let mut my_iv: Option<(u32, u32)> = None;
+        for l in &view.incident {
+            let Some(l) = l else {
+                return Verdict::reject("undecodable baseline label");
+            };
+            let mine = if l.a == view.id {
+                l.iv_a
+            } else if l.b == view.id {
+                l.iv_b
+            } else {
+                return Verdict::reject("label does not mention me");
+            };
+            if *my_iv.get_or_insert(mine) != mine {
+                return Verdict::reject("inconsistent own interval");
+            }
+            let other = if l.a == view.id { l.iv_b } else { l.iv_a };
+            if mine.0 > other.1 || other.0 > mine.1 {
+                return Verdict::reject("adjacent intervals disjoint");
+            }
+            for f in &l.frames {
+                if f.lo >= f.hi {
+                    return Verdict::reject("empty frame range");
+                }
+                // lo < hi, so this midpoint form cannot overflow on
+                // adversarial range bounds.
+                let mid = f.lo + (f.hi - f.lo) / 2;
+                let me_in_sep = mine.0 <= mid && mid <= mine.1;
+                if me_in_sep && !f.separator.contains(&view.id) {
+                    return Verdict::reject("separator bag omits me");
+                }
+            }
+        }
+        Verdict::Accept
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +244,8 @@ mod tests {
         ] {
             let rep = rep_of(&g);
             let cfg = Configuration::with_random_ids(g, 4);
-            let report = run(&cfg, &rep);
+            let hint = ProverHint::with_representation(rep);
+            let report = BaselineScheme.certify_and_run(&cfg, &hint).unwrap();
             assert!(report.accepted(), "{:?}", report.first_rejection());
         }
     }
@@ -211,9 +255,9 @@ mod tests {
         let g = generators::path_graph(10);
         let rep = rep_of(&g);
         let cfg = Configuration::with_sequential_ids(g);
-        let mut labels = prove(&cfg, &rep);
+        let mut labels = BaselineScheme::prove_with_rep(&cfg, &rep).unwrap();
         labels[4].iv_a = (90, 95); // disjoint from its neighbour
-        let report = run_edge_scheme(&cfg, &labels, verify_at);
+        let report = BaselineScheme.run(&cfg, &labels).unwrap();
         assert!(!report.accepted());
     }
 
@@ -231,7 +275,7 @@ mod tests {
                         .collect(),
                 );
                 let cfg = Configuration::with_sequential_ids(g);
-                let labels = prove(&cfg, &rep);
+                let labels = BaselineScheme::prove_with_rep(&cfg, &rep).unwrap();
                 labels.iter().map(crate::bits::bit_len).max().unwrap()
             })
             .collect();

@@ -1,0 +1,236 @@
+//! Batched certification: run one scheme over many configurations in a
+//! single call, with aggregated reporting.
+//!
+//! This is the serving-shaped entry point from the ROADMAP: experiments
+//! (table T1/T5), maintenance sweeps, and future high-throughput workloads
+//! hand a [`BatchRunner`] a list of [`BatchJob`]s and get one
+//! [`BatchReport`] back — per-job outcomes plus fleet-level aggregates —
+//! instead of re-implementing the prove→encode→verify→report loop per
+//! call site.
+
+use crate::certifier::Certifier;
+use crate::scheme::{ProverHint, RunReport};
+use crate::{CertError, Configuration};
+
+/// One unit of batch work: a configuration plus an optional per-job
+/// prover hint and an optional display name.
+#[derive(Debug)]
+pub struct BatchJob {
+    /// Display name for reports (falls back to the job index).
+    pub name: Option<String>,
+    /// The network to certify.
+    pub cfg: Configuration,
+    /// Hint for this job's prover run; `None` uses the certifier's
+    /// default hint (set via
+    /// [`CertifierBuilder::representation`](crate::CertifierBuilder::representation)).
+    pub hint: Option<ProverHint>,
+}
+
+impl BatchJob {
+    /// A job using the certifier's default hint.
+    pub fn new(cfg: Configuration) -> Self {
+        Self {
+            name: None,
+            cfg,
+            hint: None,
+        }
+    }
+
+    /// Sets a per-job prover hint, overriding the certifier's default.
+    pub fn with_hint(mut self, hint: ProverHint) -> Self {
+        self.hint = Some(hint);
+        self
+    }
+
+    /// Sets the display name.
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+/// Per-job outcome plus its display name.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The job's display name (or its index, stringified).
+    pub name: String,
+    /// The run outcome: a full report, or the prover's refusal/error.
+    pub result: Result<RunReport, CertError>,
+}
+
+/// Aggregated results of a batch run.
+#[derive(Debug, Default)]
+pub struct BatchReport {
+    /// One outcome per job, in job order.
+    pub outcomes: Vec<BatchOutcome>,
+}
+
+impl BatchReport {
+    /// Number of jobs that were certified and accepted everywhere.
+    pub fn accepted(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(&o.result, Ok(r) if r.accepted()))
+            .count()
+    }
+
+    /// Number of jobs the prover refused (model-level no-instances).
+    pub fn refused(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(&o.result, Err(e) if e.is_refusal()))
+            .count()
+    }
+
+    /// Number of jobs that failed for non-refusal reasons (harness/spec
+    /// errors).
+    pub fn failed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(&o.result, Err(e) if !e.is_refusal()))
+            .count()
+    }
+
+    /// `true` when every job was certified and accepted (vacuously `true`
+    /// for an empty batch — gate on `!outcomes.is_empty()` too when an
+    /// empty job list would itself be a bug).
+    pub fn all_accepted(&self) -> bool {
+        self.accepted() == self.outcomes.len()
+    }
+
+    /// Maximum label size in bits across all certified jobs.
+    pub fn max_label_bits(&self) -> usize {
+        self.reports().map(|r| r.max_label_bits).max().unwrap_or(0)
+    }
+
+    /// Total label bits across all certified jobs.
+    pub fn total_label_bits(&self) -> usize {
+        self.reports().map(|r| r.total_label_bits).sum()
+    }
+
+    /// Total edges across all certified jobs.
+    pub fn total_edges(&self) -> usize {
+        self.reports().map(|r| r.edges).sum()
+    }
+
+    /// Average label size in bits per edge across the batch.
+    pub fn avg_label_bits(&self) -> f64 {
+        let edges = self.total_edges();
+        if edges == 0 {
+            0.0
+        } else {
+            self.total_label_bits() as f64 / edges as f64
+        }
+    }
+
+    /// Successful reports, in job order.
+    pub fn reports(&self) -> impl Iterator<Item = &RunReport> {
+        self.outcomes.iter().filter_map(|o| o.result.as_ref().ok())
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} jobs: {} accepted, {} refused, {} failed; max label {} bits, avg {:.1} bits/edge",
+            self.outcomes.len(),
+            self.accepted(),
+            self.refused(),
+            self.failed(),
+            self.max_label_bits(),
+            self.avg_label_bits(),
+        )
+    }
+}
+
+/// Runs one certifier over many configurations.
+pub struct BatchRunner {
+    certifier: Certifier,
+}
+
+impl BatchRunner {
+    /// Wraps a certifier.
+    pub fn new(certifier: Certifier) -> Self {
+        Self { certifier }
+    }
+
+    /// The wrapped certifier.
+    pub fn certifier(&self) -> &Certifier {
+        &self.certifier
+    }
+
+    /// Certifies and everywhere-verifies each job (with the job's hint,
+    /// or the certifier's default hint when the job carries none).
+    /// Per-job failures are captured in the report, never panicking and
+    /// never aborting the rest of the batch.
+    pub fn run(&self, jobs: impl IntoIterator<Item = BatchJob>) -> BatchReport {
+        let outcomes = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let hint = job.hint.as_ref().unwrap_or_else(|| self.certifier.hint());
+                BatchOutcome {
+                    name: job.name.unwrap_or_else(|| i.to_string()),
+                    result: self.certifier.run_with(&job.cfg, hint),
+                }
+            })
+            .collect();
+        BatchReport { outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_algebra::{props::Bipartite, Algebra};
+    use lanecert_graph::generators;
+
+    fn bipartite_certifier() -> Certifier {
+        Certifier::builder()
+            .property(Algebra::shared(Bipartite))
+            .pathwidth(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_aggregates_mixed_outcomes() {
+        let runner = BatchRunner::new(bipartite_certifier());
+        let report = runner.run([
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(6),
+                1,
+            ))
+            .named("C6"),
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(7),
+                2,
+            ))
+            .named("C7"),
+            BatchJob::new(Configuration::with_random_ids(generators::path_graph(8), 3)),
+        ]);
+        assert_eq!(report.outcomes.len(), 3);
+        assert_eq!(report.accepted(), 2);
+        assert_eq!(report.refused(), 1); // C7 is an odd cycle
+        assert_eq!(report.failed(), 0);
+        assert!(!report.all_accepted());
+        assert!(report.max_label_bits() > 0);
+        assert!(report.avg_label_bits() > 0.0);
+        assert_eq!(report.outcomes[0].name, "C6");
+        assert_eq!(report.outcomes[2].name, "2");
+        assert!(report.summary().contains("3 jobs"));
+    }
+
+    #[test]
+    fn batch_survives_harness_errors() {
+        // A job the solver cannot handle (too large, no representation)
+        // becomes a failed outcome, not a panic.
+        let runner = BatchRunner::new(bipartite_certifier());
+        let big = Configuration::with_sequential_ids(generators::cycle_graph(200));
+        let report = runner.run([BatchJob::new(big)]);
+        assert_eq!(report.failed(), 1);
+        assert!(matches!(
+            report.outcomes[0].result,
+            Err(CertError::NeedRepresentation)
+        ));
+    }
+}

@@ -1,0 +1,324 @@
+//! The object-safe erased layer over [`Scheme`]: schemes operating on
+//! encoded byte labels.
+//!
+//! A typed [`Scheme`] fixes its label format at compile time, which is
+//! what the per-scheme provers and verifiers want — but registries,
+//! builders, and batch runners need to hold *many* schemes behind one
+//! type. [`DynScheme`] erases the label type by moving the wire encoding
+//! to the boundary: provers emit [`EncodedLabeling`]s (raw bytes + exact
+//! bit counts), verifiers decode per edge and reject undecodable labels,
+//! exactly as the typed harness does. A blanket impl makes every
+//! `Scheme` a `DynScheme`, and [`BoxedScheme`] is the unit of currency of
+//! the [`SchemeRegistry`](crate::SchemeRegistry) and
+//! [`Certifier`](crate::Certifier).
+//!
+//! The erased path is bit-identical to the typed path: encoding happens
+//! with the same [`Enc`] impls, so verdicts and label-size statistics
+//! agree between `scheme.run(...)` and
+//! `(&scheme as &dyn DynScheme).verify_encoded(...)` (property-tested in
+//! `tests/erased_parity.rs`).
+
+use lanecert_graph::Graph;
+
+use crate::bits::{self, Enc};
+use crate::scheme::{ProverHint, RunReport, Scheme, Verdict, VertexView};
+use crate::{CertError, Configuration};
+
+/// One label on the wire: its byte image and exact bit length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedLabel {
+    /// The encoded bytes (last byte zero-padded past `bits`).
+    pub bytes: Vec<u8>,
+    /// Exact encoded size in bits.
+    pub bits: usize,
+}
+
+impl EncodedLabel {
+    /// Encodes a typed label.
+    pub fn of<L: Enc>(label: &L) -> Self {
+        let (bytes, bits) = bits::encode(label);
+        Self { bytes, bits }
+    }
+
+    /// Decodes back to a typed label; `None` on malformed bytes.
+    pub fn decode<L: Enc>(&self) -> Option<L> {
+        bits::decode::<L>(&self.bytes)
+    }
+
+    /// `true` when the claimed bit length matches the byte image the way
+    /// the encoder produces it (`bytes.len() == ceil(bits / 8)`). Both
+    /// fields are public and adversary-controlled, so the erased verifier
+    /// treats non-canonical labels as undecodable and measures their size
+    /// from the byte image rather than the claim.
+    pub fn is_canonical(&self) -> bool {
+        self.bytes.len() == self.bits.div_ceil(8)
+    }
+
+    /// The label's wire size in bits: the claimed `bits` when canonical,
+    /// otherwise the full byte image (so a label cannot under-report its
+    /// size by lying about `bits`).
+    pub fn measured_bits(&self) -> usize {
+        if self.is_canonical() {
+            self.bits
+        } else {
+            self.bytes.len() * 8
+        }
+    }
+
+    /// Flips one payload bit (adversary helper). Positions outside the
+    /// byte image (including ones a lying `bits` field would claim) are
+    /// ignored so fuzzers can pick blindly without panicking.
+    pub fn flip_bit(&mut self, pos: usize) {
+        if pos < self.bits && pos / 8 < self.bytes.len() {
+            self.bytes[pos / 8] ^= 1 << (pos % 8);
+        }
+    }
+}
+
+/// An erased labeling: one [`EncodedLabel`] per edge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EncodedLabeling {
+    labels: Vec<EncodedLabel>,
+}
+
+impl EncodedLabeling {
+    /// Wraps per-edge encoded labels.
+    pub fn new(labels: Vec<EncodedLabel>) -> Self {
+        Self { labels }
+    }
+
+    /// Encodes a typed label slice.
+    pub fn encode<L: Enc>(labels: &[L]) -> Self {
+        Self::new(labels.iter().map(EncodedLabel::of).collect())
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when there are no labels.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels as a slice.
+    pub fn as_slice(&self) -> &[EncodedLabel] {
+        &self.labels
+    }
+
+    /// Mutable access for adversarial tampering.
+    pub fn as_mut_slice(&mut self) -> &mut [EncodedLabel] {
+        &mut self.labels
+    }
+
+    /// Maximum label size in bits ([`EncodedLabel::measured_bits`], so
+    /// adversarial labelings cannot under-report their sizes).
+    pub fn max_bits(&self) -> usize {
+        self.labels
+            .iter()
+            .map(EncodedLabel::measured_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total label bits ([`EncodedLabel::measured_bits`] per label).
+    pub fn total_bits(&self) -> usize {
+        self.labels.iter().map(EncodedLabel::measured_bits).sum()
+    }
+}
+
+/// An object-safe proof labeling scheme over encoded byte labels.
+///
+/// Obtained from any typed [`Scheme`] via the blanket impl; boxed as
+/// [`BoxedScheme`] for registries and batch runners.
+pub trait DynScheme {
+    /// Registry/display name of the scheme instance.
+    fn name(&self) -> String;
+
+    /// Honest certificate assignment, already wire-encoded.
+    ///
+    /// # Errors
+    ///
+    /// Prover refusals and hint failures; see [`CertError`].
+    fn prove_encoded(
+        &self,
+        cfg: &Configuration,
+        hint: &ProverHint,
+    ) -> Result<EncodedLabeling, CertError>;
+
+    /// Runs the verifier at every vertex against encoded (possibly
+    /// adversarial) labels.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::LabelCountMismatch`] when `labels` has the wrong
+    /// length for `cfg`.
+    fn verify_encoded(
+        &self,
+        cfg: &Configuration,
+        labels: &EncodedLabeling,
+    ) -> Result<RunReport, CertError>;
+}
+
+/// Builds a vertex's view by decoding the incident encoded labels.
+fn view_of<L: Enc + Clone>(
+    cfg: &Configuration,
+    g: &Graph,
+    v: lanecert_graph::VertexId,
+    decoded: &[Option<L>],
+) -> VertexView<L> {
+    VertexView {
+        id: cfg.id_of(v),
+        incident: g
+            .incident(v)
+            .iter()
+            .map(|h| decoded[h.edge.index()].clone())
+            .collect(),
+    }
+}
+
+impl<S: Scheme> DynScheme for S {
+    fn name(&self) -> String {
+        Scheme::name(self)
+    }
+
+    fn prove_encoded(
+        &self,
+        cfg: &Configuration,
+        hint: &ProverHint,
+    ) -> Result<EncodedLabeling, CertError> {
+        let labels = self.prove(cfg, hint)?;
+        Ok(EncodedLabeling::encode(&labels))
+    }
+
+    fn verify_encoded(
+        &self,
+        cfg: &Configuration,
+        labels: &EncodedLabeling,
+    ) -> Result<RunReport, CertError> {
+        let g = cfg.graph();
+        if labels.len() != g.edge_count() {
+            return Err(CertError::LabelCountMismatch {
+                expected: g.edge_count(),
+                got: labels.len(),
+            });
+        }
+        let decoded: Vec<Option<S::Label>> = labels
+            .as_slice()
+            .iter()
+            .map(|l| if l.is_canonical() { l.decode() } else { None })
+            .collect();
+        let verdicts: Vec<Verdict> = g
+            .vertices()
+            .map(|v| self.verify_at(&view_of(cfg, g, v, &decoded)))
+            .collect();
+        Ok(RunReport {
+            verdicts,
+            max_label_bits: labels.max_bits(),
+            total_label_bits: labels.total_bits(),
+            edges: g.edge_count(),
+        })
+    }
+}
+
+/// A heap-allocated erased scheme — the registry's and builder's unit of
+/// currency.
+pub type BoxedScheme = Box<dyn DynScheme + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Labeling;
+    use lanecert_graph::generators;
+
+    /// A toy scheme for harness tests: each edge carries `7u64`, every
+    /// vertex checks all incident labels decode to 7.
+    struct Sevens;
+
+    impl Scheme for Sevens {
+        type Label = u64;
+        fn name(&self) -> String {
+            "sevens".into()
+        }
+        fn prove(
+            &self,
+            cfg: &Configuration,
+            _hint: &ProverHint,
+        ) -> Result<Labeling<u64>, CertError> {
+            Ok(vec![7u64; cfg.graph().edge_count()].into())
+        }
+        fn verify_at(&self, view: &VertexView<u64>) -> Verdict {
+            if view.incident.iter().all(|l| *l == Some(7)) {
+                Verdict::Accept
+            } else {
+                Verdict::reject("not seven")
+            }
+        }
+    }
+
+    #[test]
+    fn erased_roundtrip_matches_typed() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
+        let typed = Sevens.certify_and_run(&cfg, &ProverHint::auto()).unwrap();
+        let boxed: BoxedScheme = Box::new(Sevens);
+        let enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
+        let erased = boxed.verify_encoded(&cfg, &enc).unwrap();
+        assert_eq!(typed.verdicts, erased.verdicts);
+        assert_eq!(typed.max_label_bits, erased.max_label_bits);
+        assert_eq!(typed.total_label_bits, erased.total_label_bits);
+        assert_eq!(typed.edges, erased.edges);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
+        let boxed: BoxedScheme = Box::new(Sevens);
+        let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
+        enc.as_mut_slice()[0].flip_bit(1);
+        let report = boxed.verify_encoded(&cfg, &enc).unwrap();
+        assert!(!report.accepted());
+    }
+
+    #[test]
+    fn non_canonical_labels_are_rejected_and_sized_from_bytes() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
+        let boxed: BoxedScheme = Box::new(Sevens);
+        let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
+        // Lie about the size: kilobyte payload claiming one bit.
+        enc.as_mut_slice()[0] = EncodedLabel {
+            bytes: vec![0xFF; 128],
+            bits: 1,
+        };
+        assert!(!enc.as_slice()[0].is_canonical());
+        assert_eq!(enc.as_slice()[0].measured_bits(), 128 * 8);
+        assert!(enc.max_bits() >= 128 * 8);
+        let report = boxed.verify_encoded(&cfg, &enc).unwrap();
+        assert!(!report.accepted());
+        assert!(report.max_label_bits >= 128 * 8);
+        // Flipping a bit the lying `bits` field claims but the byte image
+        // lacks must not panic.
+        let mut tiny = EncodedLabel {
+            bytes: Vec::new(),
+            bits: 5,
+        };
+        tiny.flip_bit(3);
+        assert!(tiny.bytes.is_empty());
+    }
+
+    #[test]
+    fn erased_count_mismatch_is_an_error() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
+        let boxed: BoxedScheme = Box::new(Sevens);
+        let err = boxed
+            .verify_encoded(&cfg, &EncodedLabeling::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CertError::LabelCountMismatch {
+                expected: 5,
+                got: 0
+            }
+        );
+    }
+}

@@ -13,12 +13,39 @@
 //! everywhere (soundness). Label sizes are measured in bits of the actual
 //! wire encoding ([`bits`]).
 //!
+//! # The unified API
+//!
+//! Every scheme implements the [`Scheme`] trait ([`scheme`]); the
+//! [`erased`] layer makes them object-safe over encoded byte labels; the
+//! [`registry`] maps stable names to scheme factories; [`Certifier`]
+//! ([`certifier`]) is the fluent entry point; and [`BatchRunner`]
+//! ([`batch`]) certifies many configurations in one call. Failures travel
+//! through the single [`CertError`] type ([`error`]). Start here:
+//!
+//! ```
+//! use lanecert::{BatchJob, BatchRunner, Certifier, Configuration};
+//! use lanecert_algebra::{props::Connected, Algebra};
+//! use lanecert_graph::generators;
+//!
+//! let certifier = Certifier::builder()
+//!     .property(Algebra::shared(Connected))
+//!     .pathwidth(2)
+//!     .scheme("theorem1") // or "fmr-baseline", "bipartite-1bit", ...
+//!     .build()
+//!     .unwrap();
+//! let report = BatchRunner::new(certifier).run([
+//!     BatchJob::new(Configuration::with_random_ids(generators::cycle_graph(8), 1)),
+//!     BatchJob::new(Configuration::with_random_ids(generators::ladder(4), 2)),
+//! ]);
+//! assert!(report.all_accepted());
+//! ```
+//!
 //! # Contents
 //!
 //! * [`theorem1`] — the paper's scheme: certify `ϕ ∧ (pathwidth ≤ k)` with
 //!   `O(log n)`-bit labels, for any property `ϕ` given as a homomorphism
 //!   algebra (`lanecert-algebra`).
-//! * [`pointer`] — Proposition 2.2 (certify that a vertex with a given
+//! * [`mod@pointer`] — Proposition 2.2 (certify that a vertex with a given
 //!   identifier exists), via distance labels.
 //! * [`transform`] — Proposition 2.1 (edge labels → vertex labels along a
 //!   bounded-outdegree orientation, port-numbering model).
@@ -26,8 +53,8 @@
 //!   the trivial whole-graph scheme.
 //! * [`baseline`] — an FMR+24-style `O(log² n)` baseline for label-size
 //!   comparison.
-//! * [`attacks`] — soundness fuzzing and the classic `Ω(log n)`
-//!   cut-and-splice lower-bound demonstration.
+//! * [`attacks`] — soundness fuzzing (typed and wire-level) and the classic
+//!   `Ω(log n)` cut-and-splice lower-bound demonstration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,15 +63,30 @@ pub mod bits;
 pub mod config;
 pub use config::Configuration;
 
+pub mod error;
+pub use error::CertError;
+
 pub mod scheme;
-pub use scheme::{RunReport, Verdict, VertexView};
+pub use scheme::{Labeling, ProverHint, RunReport, Scheme, Verdict, VertexView};
+
+pub mod erased;
+pub use erased::{BoxedScheme, DynScheme, EncodedLabel, EncodedLabeling};
+
+pub mod registry;
+pub use registry::{SchemeRegistry, SchemeSpec};
+
+pub mod certifier;
+pub use certifier::{Certifier, CertifierBuilder};
+
+pub mod batch;
+pub use batch::{BatchJob, BatchReport, BatchRunner};
 
 pub mod pointer;
 pub mod simple;
 pub mod transform;
 
 pub mod theorem1;
-pub use theorem1::{PathwidthScheme, ProveError, SchemeOptions};
+pub use theorem1::{PathwidthScheme, SchemeOptions};
 
 pub mod baseline;
 

@@ -10,7 +10,7 @@
 //! so every connected region containing such labels contains *the* target.
 //! The same sub-labels anchor the `T`-node frames of the Theorem 1 scheme.
 
-use lanecert_graph::{traversal, VertexId};
+use lanecert_graph::traversal;
 
 use crate::bits::{BitReader, BitWriter, Enc};
 use crate::scheme::{Verdict, VertexView};
@@ -83,7 +83,7 @@ pub fn prove(cfg: &Configuration, target: u64) -> Vec<PointerLabel> {
 }
 
 /// Local verification at one vertex.
-pub fn verify_at(_cfg: &Configuration, _v: VertexId, view: &VertexView<PointerLabel>) -> Verdict {
+pub fn verify_at(view: &VertexView<PointerLabel>) -> Verdict {
     let mut my_dist: Option<u32> = None;
     let mut target: Option<u64> = None;
     let mut has_parent = false;
@@ -104,7 +104,7 @@ pub fn verify_at(_cfg: &Configuration, _v: VertexId, view: &VertexView<PointerLa
         if *my_dist.get_or_insert(mine) != mine {
             return Verdict::reject("inconsistent own distance");
         }
-        if other + 1 == mine {
+        if other.checked_add(1) == Some(mine) {
             has_parent = true;
         }
         if mine.abs_diff(other) > 1 {
@@ -122,7 +122,7 @@ pub fn verify_at(_cfg: &Configuration, _v: VertexId, view: &VertexView<PointerLa
 mod tests {
     use super::*;
     use crate::scheme::run_edge_scheme;
-    use lanecert_graph::generators;
+    use lanecert_graph::{generators, VertexId};
 
     #[test]
     fn completeness_on_families() {
@@ -135,7 +135,7 @@ mod tests {
             let cfg = Configuration::with_random_ids(g, 3);
             let target = cfg.id_of(VertexId(2));
             let labels = prove(&cfg, target);
-            let report = run_edge_scheme(&cfg, &labels, verify_at);
+            let report = run_edge_scheme(&cfg, &labels, verify_at).unwrap();
             assert!(report.accepted(), "{:?}", report.first_rejection());
         }
     }
@@ -148,7 +148,7 @@ mod tests {
         for l in &mut labels {
             l.target = 999; // nobody has this id; distance-0 vertex lies
         }
-        let report = run_edge_scheme(&cfg, &labels, verify_at);
+        let report = run_edge_scheme(&cfg, &labels, verify_at).unwrap();
         assert!(!report.accepted());
     }
 
@@ -162,7 +162,7 @@ mod tests {
             l.d_lo += 1;
             l.d_hi += 1;
         }
-        let report = run_edge_scheme(&cfg, &labels, verify_at);
+        let report = run_edge_scheme(&cfg, &labels, verify_at).unwrap();
         assert!(!report.accepted());
     }
 
@@ -171,7 +171,7 @@ mod tests {
         let g = generators::path_graph(1024);
         let cfg = Configuration::with_sequential_ids(g);
         let labels = prove(&cfg, 0);
-        let report = run_edge_scheme(&cfg, &labels, verify_at);
+        let report = run_edge_scheme(&cfg, &labels, verify_at).unwrap();
         assert!(report.accepted());
         // ids ≤ n, distances ≤ n: a handful of varints.
         assert!(report.max_label_bits < 200);

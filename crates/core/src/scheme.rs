@@ -1,16 +1,28 @@
-//! The edge-labeling proof-labeling-scheme harness.
+//! The unified proof-labeling-scheme API: the [`Scheme`] trait plus the
+//! shared edge-labeling harness.
 //!
 //! Labels live on edges (the paper's working model, Section 2.1). A
-//! verifier runs per vertex over a [`VertexView`] — its identifier, degree,
-//! and the **decoded** labels of its incident edges (each label is
-//! round-tripped through the bit encoding, so malformed labels surface as
-//! decode failures). The harness aggregates verdicts and label-size
-//! statistics into a [`RunReport`].
+//! scheme's prover maps a [`Configuration`] (plus an optional
+//! [`ProverHint`]) to a [`Labeling`]; its verifier runs per vertex over a
+//! [`VertexView`] — the vertex's identifier and the **decoded** labels of
+//! its incident edges (each label is round-tripped through the bit
+//! encoding, so malformed labels surface as decode failures). The harness
+//! aggregates verdicts and label-size statistics into a [`RunReport`].
+//!
+//! Every concrete scheme (Theorem 1, the FMR+24-style baseline, the 1-bit
+//! bipartiteness scheme, the whole-graph yardstick) implements [`Scheme`];
+//! the erased layer ([`crate::erased`]), registry ([`crate::registry`]),
+//! builder ([`crate::certifier`]) and batch runner ([`crate::batch`]) are
+//! built on top of this trait.
+
+use std::borrow::Cow;
+use std::ops::{Deref, DerefMut};
 
 use lanecert_graph::EdgeId;
+use lanecert_pathwidth::{solver, Interval, IntervalRep};
 
 use crate::bits::{self, Enc};
-use crate::Configuration;
+use crate::{CertError, Configuration};
 
 /// A per-vertex verdict.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,6 +57,13 @@ pub struct VertexView<L> {
     pub incident: Vec<Option<L>>,
 }
 
+impl<L> VertexView<L> {
+    /// The vertex's degree (number of incident edges).
+    pub fn degree(&self) -> usize {
+        self.incident.len()
+    }
+}
+
 /// The outcome of running a scheme on a configuration.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -54,6 +73,11 @@ pub struct RunReport {
     pub max_label_bits: usize,
     /// Total encoded label bits across all edges.
     pub total_label_bits: usize,
+    /// Number of labeled objects in the configuration — edges for edge
+    /// schemes, vertices for the Proposition 2.1 vertex transform —
+    /// folded into the report so size averages cannot be computed against
+    /// the wrong denominator.
+    pub edges: usize,
 }
 
 impl RunReport {
@@ -75,32 +99,218 @@ impl RunReport {
         })
     }
 
-    /// Average label size in bits per edge.
-    pub fn avg_label_bits(&self, edges: usize) -> f64 {
-        if edges == 0 {
+    /// Average label size in bits per labeled object (see
+    /// [`RunReport::edges`]).
+    pub fn avg_label_bits(&self) -> f64 {
+        if self.edges == 0 {
             0.0
         } else {
-            self.total_label_bits as f64 / edges as f64
+            self.total_label_bits as f64 / self.edges as f64
         }
+    }
+}
+
+/// An assignment of one label per edge of a configuration — the prover's
+/// output. Derefs to a slice for read access; [`Labeling::as_mut_slice`]
+/// and index-mutation support adversarial tampering in tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Labeling<L> {
+    labels: Vec<L>,
+}
+
+impl<L> Labeling<L> {
+    /// Wraps per-edge labels (`labels[e]` belongs to edge `e`).
+    pub fn new(labels: Vec<L>) -> Self {
+        Self { labels }
+    }
+
+    /// The labels as a slice.
+    pub fn as_slice(&self) -> &[L] {
+        &self.labels
+    }
+
+    /// Mutable access for adversarial tampering.
+    pub fn as_mut_slice(&mut self) -> &mut [L] {
+        &mut self.labels
+    }
+
+    /// Consumes the labeling, returning the raw vector.
+    pub fn into_vec(self) -> Vec<L> {
+        self.labels
+    }
+}
+
+impl<L> From<Vec<L>> for Labeling<L> {
+    fn from(labels: Vec<L>) -> Self {
+        Self::new(labels)
+    }
+}
+
+impl<L> Deref for Labeling<L> {
+    type Target = [L];
+    fn deref(&self) -> &[L] {
+        &self.labels
+    }
+}
+
+impl<L> DerefMut for Labeling<L> {
+    fn deref_mut(&mut self) -> &mut [L] {
+        &mut self.labels
+    }
+}
+
+/// Auxiliary input for the (centralized, computationally unbounded in the
+/// model; polynomial here) honest prover.
+///
+/// The Theorem 1 scheme and the baseline need an interval representation
+/// of the network. [`ProverHint::auto`] lets the prover compute an optimal
+/// one with the exact solver (small graphs only);
+/// [`ProverHint::with_representation`] supplies a known one, e.g. from the
+/// generator of a benchmark family, which is how experiments scale past
+/// the solver limit. Schemes that need no decomposition (the 1-bit and
+/// whole-graph schemes) ignore the hint.
+#[derive(Clone, Debug, Default)]
+pub struct ProverHint {
+    rep: Option<IntervalRep>,
+}
+
+impl ProverHint {
+    /// No hint: provers that need a representation compute one.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Supplies a known interval representation.
+    pub fn with_representation(rep: IntervalRep) -> Self {
+        Self { rep: Some(rep) }
+    }
+
+    /// The supplied representation, if any.
+    pub fn representation(&self) -> Option<&IntervalRep> {
+        self.rep.as_ref()
+    }
+
+    /// Resolves an interval representation for `cfg`: the supplied one if
+    /// present (validated against the graph, so a stale or wrong-graph
+    /// hint is an error rather than a downstream panic — provers may use
+    /// the result without re-validating), otherwise an optimal one from
+    /// the exact pathwidth solver. Borrows the supplied representation
+    /// instead of cloning it.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::InvalidSpec`] when the supplied representation does
+    /// not fit `cfg`; [`CertError::NeedRepresentation`] when no
+    /// representation was supplied and the graph exceeds the exact-solver
+    /// limit.
+    pub fn resolve(&self, cfg: &Configuration) -> Result<Cow<'_, IntervalRep>, CertError> {
+        if let Some(rep) = &self.rep {
+            check_rep_fits(rep, cfg)?;
+            return Ok(Cow::Borrowed(rep));
+        }
+        if cfg.n() <= 1 {
+            return Ok(Cow::Owned(IntervalRep::new(vec![
+                Interval::new(0, 0);
+                cfg.n()
+            ])));
+        }
+        let (_, pd) =
+            solver::pathwidth_exact(cfg.graph()).map_err(|_| CertError::NeedRepresentation)?;
+        Ok(Cow::Owned(IntervalRep::from_decomposition(&pd, cfg.n())))
+    }
+}
+
+/// Validates a caller-supplied interval representation against a
+/// configuration, mapping a mismatch to the API's typed error (shared by
+/// [`ProverHint::resolve`] and the schemes' typed `prove_with_rep`
+/// helpers, so wording and semantics stay in sync).
+pub(crate) fn check_rep_fits(rep: &IntervalRep, cfg: &Configuration) -> Result<(), CertError> {
+    rep.validate(cfg.graph()).map_err(|e| {
+        CertError::InvalidSpec(format!("hint representation does not fit the graph: {e}"))
+    })
+}
+
+/// A proof labeling scheme: an honest prover and a per-vertex verifier
+/// over one typed label format.
+///
+/// Completeness: `prove` succeeds exactly on yes-instances, and its output
+/// passed through [`Scheme::run`] is accepted at every vertex. Soundness:
+/// for a no-instance, *no* labeling (however adversarial) is accepted at
+/// every vertex. Label sizes are measured in bits of the wire encoding
+/// ([`crate::bits`]).
+pub trait Scheme {
+    /// The per-edge label format.
+    type Label: Enc + Clone;
+
+    /// Registry/display name of the scheme instance.
+    fn name(&self) -> String;
+
+    /// Honest certificate assignment.
+    ///
+    /// # Errors
+    ///
+    /// Prover refusals and hint failures; see [`CertError`].
+    fn prove(
+        &self,
+        cfg: &Configuration,
+        hint: &ProverHint,
+    ) -> Result<Labeling<Self::Label>, CertError>;
+
+    /// The local verification algorithm at one vertex.
+    fn verify_at(&self, view: &VertexView<Self::Label>) -> Verdict;
+
+    /// Runs the verifier at every vertex against the given (possibly
+    /// adversarial) labels, through the wire encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::LabelCountMismatch`] when `labels` has the wrong
+    /// length for `cfg`.
+    fn run(&self, cfg: &Configuration, labels: &[Self::Label]) -> Result<RunReport, CertError> {
+        run_edge_scheme(cfg, labels, |view| self.verify_at(view))
+    }
+
+    /// Convenience: prove then verify everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prover refusals and harness errors.
+    fn certify_and_run(
+        &self,
+        cfg: &Configuration,
+        hint: &ProverHint,
+    ) -> Result<RunReport, CertError> {
+        let labels = self.prove(cfg, hint)?;
+        self.run(cfg, &labels)
     }
 }
 
 /// Runs an edge-labeling scheme: encodes each label, decodes it back (the
 /// wire trip), builds each vertex's view, and applies `verify`.
 ///
-/// `labels[e]` is the label of edge `e`; `verify(cfg, v, view)` is the
-/// local verification algorithm.
+/// `labels[e]` is the label of edge `e`; `verify(view)` is the local
+/// verification algorithm.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `labels` has the wrong length.
-pub fn run_edge_scheme<L, F>(cfg: &Configuration, labels: &[L], verify: F) -> RunReport
+/// [`CertError::LabelCountMismatch`] if `labels` does not have one label
+/// per edge — adversarial truncations surface as an error, never a panic.
+pub fn run_edge_scheme<L, F>(
+    cfg: &Configuration,
+    labels: &[L],
+    verify: F,
+) -> Result<RunReport, CertError>
 where
     L: Enc + Clone,
-    F: Fn(&Configuration, lanecert_graph::VertexId, &VertexView<L>) -> Verdict,
+    F: Fn(&VertexView<L>) -> Verdict,
 {
     let g = cfg.graph();
-    assert_eq!(labels.len(), g.edge_count(), "one label per edge");
+    if labels.len() != g.edge_count() {
+        return Err(CertError::LabelCountMismatch {
+            expected: g.edge_count(),
+            got: labels.len(),
+        });
+    }
     let mut max_bits = 0;
     let mut total_bits = 0;
     let decoded: Vec<Option<L>> = labels
@@ -123,14 +333,15 @@ where
                     .map(|h| decoded[h.edge.index()].clone())
                     .collect(),
             };
-            verify(cfg, v, &view)
+            verify(&view)
         })
         .collect();
-    RunReport {
+    Ok(RunReport {
         verdicts,
         max_label_bits: max_bits,
         total_label_bits: total_bits,
-    }
+        edges: g.edge_count(),
+    })
 }
 
 /// Replaces the label of one edge (adversary helper used by
@@ -150,31 +361,68 @@ mod tests {
     fn harness_reports_sizes_and_verdicts() {
         let cfg = Configuration::with_sequential_ids(generators::cycle_graph(4));
         let labels: Vec<u64> = (0..4).collect();
-        let report = run_edge_scheme(&cfg, &labels, |_, _, view| {
-            if view.incident.len() == 2 {
+        let report = run_edge_scheme(&cfg, &labels, |view| {
+            if view.degree() == 2 {
                 Verdict::Accept
             } else {
                 Verdict::reject("bad degree")
             }
-        });
+        })
+        .unwrap();
         assert!(report.accepted());
         assert!(report.max_label_bits >= 5);
         assert_eq!(report.reject_count(), 0);
+        assert_eq!(report.edges, 4);
+        assert!(report.avg_label_bits() > 0.0);
     }
 
     #[test]
     fn rejections_are_counted() {
         let cfg = Configuration::with_sequential_ids(generators::path_graph(3));
         let labels = vec![0u64; 2];
-        let report = run_edge_scheme(&cfg, &labels, |_, v, _| {
-            if v.index() == 1 {
+        let report = run_edge_scheme(&cfg, &labels, |view| {
+            if view.degree() == 2 {
                 Verdict::reject("middle vertex complains")
             } else {
                 Verdict::Accept
             }
-        });
+        })
+        .unwrap();
         assert!(!report.accepted());
         assert_eq!(report.reject_count(), 1);
         assert_eq!(report.first_rejection(), Some("middle vertex complains"));
+    }
+
+    #[test]
+    fn wrong_label_count_is_an_error_not_a_panic() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
+        let labels = vec![0u64; 3]; // truncated
+        let err = run_edge_scheme(&cfg, &labels, |_| Verdict::Accept).unwrap_err();
+        assert_eq!(
+            err,
+            CertError::LabelCountMismatch {
+                expected: 5,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn hint_resolution() {
+        let cfg = Configuration::with_sequential_ids(generators::path_graph(5));
+        let auto = ProverHint::auto();
+        let rep = auto.resolve(&cfg).unwrap();
+        rep.validate(cfg.graph()).unwrap();
+        let supplied = ProverHint::with_representation(rep.clone().into_owned());
+        assert_eq!(supplied.resolve(&cfg).unwrap().intervals(), rep.intervals());
+    }
+
+    #[test]
+    fn labeling_wrapper_roundtrips() {
+        let mut l: Labeling<u64> = vec![1, 2, 3].into();
+        assert_eq!(l.len(), 3);
+        l.as_mut_slice()[0] = 9;
+        assert_eq!(l.as_slice(), &[9, 2, 3]);
+        assert_eq!(l.into_vec(), vec![9, 2, 3]);
     }
 }

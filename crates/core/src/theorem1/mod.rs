@@ -6,30 +6,40 @@
 //! representation → lane partition → completion → embedding → lanewidth
 //! construction → hierarchical decomposition, evaluates the algebra over
 //! the hierarchy (Proposition 6.1), and emits per-edge certificates
-//! ([`labels`]). The verifier ([`verifier`]) checks everything locally.
+//! ([`labels`]). The verifier (the private `verifier` submodule, reached
+//! through [`Scheme::verify_at`]) checks everything locally.
 //!
 //! An accepted labeling certifies `ϕ` on the real edge set **and**
 //! `pathwidth ≤ w − 1` where `w` is the number of lanes: with the greedy
 //! partition `w = width(I) ≤ k + 1`, so the certified bound is exactly
 //! `pathwidth ≤ k`; with the Proposition 4.6 partition it is the constant
 //! relaxation `f(k + 1) − 1` (see DESIGN.md).
+//!
+//! [`PathwidthScheme`] implements the unified [`Scheme`] trait; drive it
+//! through [`Scheme::prove`]/[`Scheme::run`], the
+//! [`Certifier`](crate::Certifier) builder (registry name
+//! [`crate::registry::THEOREM1`]), or the typed
+//! [`PathwidthScheme::prove_with_rep`] helper when a known interval
+//! representation is at hand.
 
 pub mod labels;
 mod prover;
 pub mod summary;
 mod verifier;
 
-use std::error::Error;
-use std::fmt;
-
 use lanecert_algebra::SharedAlgebra;
 use lanecert_lanes::{LaneStrategy, Layout};
-use lanecert_pathwidth::{solver, IntervalRep};
+use lanecert_pathwidth::IntervalRep;
 
 pub use labels::EdgeLabel;
 
-use crate::scheme::{run_edge_scheme, RunReport, Verdict, VertexView};
-use crate::Configuration;
+use crate::scheme::{Labeling, ProverHint, Scheme, Verdict, VertexView};
+use crate::{CertError, Configuration};
+
+/// The old name of the error type, kept for one release while downstreams
+/// migrate to the unified [`CertError`].
+#[deprecated(note = "use lanecert::CertError; prover refusals are CertError variants now")]
+pub type ProveError = CertError;
 
 /// Scheme parameters.
 #[derive(Copy, Clone, Debug)]
@@ -51,50 +61,6 @@ impl SchemeOptions {
         }
     }
 }
-
-/// Reasons the honest prover refuses to certify.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ProveError {
-    /// The network is disconnected (the model requires connectivity).
-    Disconnected,
-    /// The configuration does not satisfy the property `ϕ` — per the
-    /// completeness contract, the prover only labels yes-instances.
-    PropertyViolated,
-    /// The layout needs more lanes than `max_lanes` (the pathwidth bound
-    /// fails, or the recursive partition overshot the verifier's bound).
-    TooManyLanes {
-        /// Lanes required by the layout.
-        needed: usize,
-        /// The verifier's bound.
-        bound: usize,
-    },
-    /// No interval representation was supplied and the graph is too large
-    /// for the exact pathwidth solver.
-    NeedRepresentation,
-    /// Internal pipeline failure (a bug; surfaced for diagnosis).
-    Internal(String),
-}
-
-impl fmt::Display for ProveError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProveError::Disconnected => write!(f, "network must be connected"),
-            ProveError::PropertyViolated => write!(f, "configuration violates the property"),
-            ProveError::TooManyLanes { needed, bound } => {
-                write!(f, "layout needs {needed} lanes, verifier bound is {bound}")
-            }
-            ProveError::NeedRepresentation => {
-                write!(
-                    f,
-                    "graph too large for the exact solver; supply a representation"
-                )
-            }
-            ProveError::Internal(msg) => write!(f, "internal error: {msg}"),
-        }
-    }
-}
-
-impl Error for ProveError {}
 
 /// The Theorem 1 proof labeling scheme for one `(ϕ, k)` pair.
 pub struct PathwidthScheme {
@@ -119,69 +85,79 @@ impl PathwidthScheme {
     }
 
     /// Honest certificate assignment given an interval representation of
-    /// the network (e.g. from a known decomposition).
+    /// the network (e.g. from a known decomposition). Equivalent to
+    /// [`Scheme::prove`] with
+    /// [`ProverHint::with_representation`].
     ///
     /// # Errors
     ///
-    /// See [`ProveError`].
-    pub fn prove(
+    /// See [`CertError`]; a representation that does not fit the graph is
+    /// [`CertError::InvalidSpec`].
+    pub fn prove_with_rep(
         &self,
         cfg: &Configuration,
         rep: &IntervalRep,
-    ) -> Result<Vec<EdgeLabel>, ProveError> {
+    ) -> Result<Labeling<EdgeLabel>, CertError> {
+        crate::scheme::check_rep_fits(rep, cfg)?;
+        self.prove_validated(cfg, rep)
+    }
+
+    /// Prover over a representation known to fit the graph (see
+    /// [`ProverHint::resolve`]).
+    fn prove_validated(
+        &self,
+        cfg: &Configuration,
+        rep: &IntervalRep,
+    ) -> Result<Labeling<EdgeLabel>, CertError> {
         let g = cfg.graph();
         if g.vertex_count() == 0 {
-            return Ok(Vec::new());
+            return Ok(Labeling::new(Vec::new()));
         }
         if !lanecert_graph::components::is_connected(g) {
-            return Err(ProveError::Disconnected);
+            return Err(CertError::Disconnected);
         }
         if g.vertex_count() == 1 {
             // K1: no edges, no labels; the verifier special-cases it.
             let s = self.algebra.add_vertex(self.algebra.empty(), 0);
             return if self.algebra.accept(s) {
-                Ok(Vec::new())
+                Ok(Labeling::new(Vec::new()))
             } else {
-                Err(ProveError::PropertyViolated)
+                Err(CertError::PropertyViolated)
             };
         }
-        rep.validate(g)
-            .map_err(|e| ProveError::Internal(format!("bad representation: {e}")))?;
         let layout = Layout::build(g, rep, self.opts.strategy);
         if layout.lane_count() > self.opts.max_lanes {
-            return Err(ProveError::TooManyLanes {
+            return Err(CertError::TooManyLanes {
                 needed: layout.lane_count(),
                 bound: self.opts.max_lanes,
             });
         }
-        prover::build_labels(&self.algebra, cfg, &layout).map(|o| o.labels)
+        prover::build_labels(&self.algebra, cfg, &layout).map(|o| Labeling::new(o.labels))
+    }
+}
+
+impl Scheme for PathwidthScheme {
+    type Label = EdgeLabel;
+
+    fn name(&self) -> String {
+        format!(
+            "theorem1({}, w ≤ {})",
+            self.algebra.name(),
+            self.opts.max_lanes
+        )
     }
 
-    /// Honest certificate assignment, computing an optimal interval
-    /// representation with the exact solver.
-    ///
-    /// # Errors
-    ///
-    /// See [`ProveError`]; in particular [`ProveError::NeedRepresentation`]
-    /// for graphs beyond the exact-solver limit.
-    pub fn prove_auto(&self, cfg: &Configuration) -> Result<Vec<EdgeLabel>, ProveError> {
-        if cfg.n() <= 1 {
-            let rep = IntervalRep::new(vec![lanecert_pathwidth::Interval::new(0, 0); cfg.n()]);
-            return self.prove(cfg, &rep);
-        }
-        let (_, pd) =
-            solver::pathwidth_exact(cfg.graph()).map_err(|_| ProveError::NeedRepresentation)?;
-        let rep = IntervalRep::from_decomposition(&pd, cfg.n());
-        self.prove(cfg, &rep)
-    }
-
-    /// The local verification algorithm at one vertex.
-    pub fn verify_at(
+    fn prove(
         &self,
-        _cfg: &Configuration,
-        _v: lanecert_graph::VertexId,
-        view: &VertexView<EdgeLabel>,
-    ) -> Verdict {
+        cfg: &Configuration,
+        hint: &ProverHint,
+    ) -> Result<Labeling<EdgeLabel>, CertError> {
+        // `resolve` has already validated a supplied representation.
+        let rep = hint.resolve(cfg)?;
+        self.prove_validated(cfg, &rep)
+    }
+
+    fn verify_at(&self, view: &VertexView<EdgeLabel>) -> Verdict {
         let ctx = verifier::Ctx {
             alg: &self.algebra,
             max_lanes: self.opts.max_lanes,
@@ -189,27 +165,12 @@ impl PathwidthScheme {
         };
         verifier::verify(&ctx, view)
     }
-
-    /// Convenience: run the full scheme (prove + everywhere-verify).
-    ///
-    /// # Errors
-    ///
-    /// Propagates prover refusals.
-    pub fn run(&self, cfg: &Configuration, rep: &IntervalRep) -> Result<RunReport, ProveError> {
-        let labels = self.prove(cfg, rep)?;
-        Ok(self.run_with_labels(cfg, &labels))
-    }
-
-    /// Runs the verifier against externally supplied (possibly adversarial)
-    /// labels.
-    pub fn run_with_labels(&self, cfg: &Configuration, labels: &[EdgeLabel]) -> RunReport {
-        run_edge_scheme(cfg, labels, |c, v, view| self.verify_at(c, v, view))
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::RunReport;
     use lanecert_algebra::props::{And, Bipartite, Connected, Forest, HamiltonianCycle};
     use lanecert_algebra::Algebra;
     use lanecert_graph::{generators, Graph};
@@ -223,10 +184,10 @@ mod tests {
     fn run_case(scheme: &PathwidthScheme, g: Graph, expect_prove: bool) -> Option<RunReport> {
         let rep = rep_of(&g);
         let cfg = Configuration::with_random_ids(g, 99);
-        match scheme.prove(&cfg, &rep) {
+        match scheme.prove_with_rep(&cfg, &rep) {
             Ok(labels) => {
                 assert!(expect_prove, "prover should have refused");
-                let report = scheme.run_with_labels(&cfg, &labels);
+                let report = scheme.run(&cfg, &labels).unwrap();
                 assert!(
                     report.accepted(),
                     "completeness failed: {:?}",
@@ -234,7 +195,7 @@ mod tests {
                 );
                 Some(report)
             }
-            Err(ProveError::PropertyViolated) => {
+            Err(CertError::PropertyViolated) => {
                 assert!(!expect_prove, "prover refused a yes-instance");
                 None
             }
@@ -285,8 +246,8 @@ mod tests {
         let rep = rep_of(&g);
         let cfg = Configuration::with_sequential_ids(g);
         assert!(matches!(
-            scheme.prove(&cfg, &rep),
-            Err(ProveError::TooManyLanes { .. })
+            scheme.prove_with_rep(&cfg, &rep),
+            Err(CertError::TooManyLanes { .. })
         ));
     }
 
@@ -304,16 +265,19 @@ mod tests {
             lanecert_pathwidth::Interval::new(4, 5),
             lanecert_pathwidth::Interval::new(5, 6),
         ]);
-        assert_eq!(scheme.prove(&cfg, &rep), Err(ProveError::Disconnected));
+        assert_eq!(
+            scheme.prove_with_rep(&cfg, &rep),
+            Err(CertError::Disconnected)
+        );
     }
 
     #[test]
     fn single_vertex_graph() {
         let yes = PathwidthScheme::new(Algebra::shared(Forest), SchemeOptions::exact_pathwidth(1));
         let cfg = Configuration::with_sequential_ids(Graph::new(1));
-        let labels = yes.prove_auto(&cfg).unwrap();
+        let labels = yes.prove(&cfg, &ProverHint::auto()).unwrap();
         assert!(labels.is_empty());
-        assert!(yes.run_with_labels(&cfg, &labels).accepted());
+        assert!(yes.run(&cfg, &labels).unwrap().accepted());
     }
 
     #[test]
@@ -329,8 +293,8 @@ mod tests {
             let g = generators::caterpillar(3, 2);
             let rep = rep_of(&g);
             let cfg = Configuration::with_random_ids(g, 5);
-            let labels = scheme.prove(&cfg, &rep).unwrap();
-            let report = scheme.run_with_labels(&cfg, &labels);
+            let labels = scheme.prove_with_rep(&cfg, &rep).unwrap();
+            let report = scheme.run(&cfg, &labels).unwrap();
             assert!(
                 report.accepted(),
                 "{strategy:?}: {:?}",

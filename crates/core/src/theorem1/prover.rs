@@ -8,8 +8,7 @@ use lanecert_lanes::{Layout, NodeId, NodeKind};
 
 use super::labels::*;
 use super::summary::{self, Summary};
-use super::ProveError;
-use crate::Configuration;
+use crate::{CertError, Configuration};
 
 /// Per-edge frame templates plus the global summaries — everything needed
 /// to materialize [`EdgeLabel`]s.
@@ -34,7 +33,7 @@ pub(super) fn build_labels(
     alg: &Algebra,
     cfg: &Configuration,
     layout: &Layout,
-) -> Result<ProverOutput, ProveError> {
+) -> Result<ProverOutput, CertError> {
     let bg = &layout.construction.graph;
     let n_nodes = layout.hierarchy.nodes.len();
     // Mark flags: an edge of the built (completion) graph is marked iff it
@@ -56,9 +55,9 @@ pub(super) fn build_labels(
     };
     let root = fr
         .summarize(layout.hierarchy.root)
-        .map_err(ProveError::Internal)?;
+        .map_err(CertError::Internal)?;
     if !alg.accept(root.class) {
-        return Err(ProveError::PropertyViolated);
+        return Err(CertError::PropertyViolated);
     }
     fr.pointers();
     let mut chain = Vec::new();

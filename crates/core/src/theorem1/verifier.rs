@@ -131,6 +131,13 @@ fn parse_info(ctx: &Ctx<'_>, info: &BasicInfoLbl) -> VResult<Summary> {
     if !ctx.alg.knows(class) {
         return Err("unknown homomorphism class".into());
     }
+    // The class must summarize exactly the interface's boundary: without
+    // this check an adversarial class id of the wrong arity could drive
+    // slot-indexed algebra operations out of bounds (a panic, not a
+    // rejection).
+    if ctx.alg.arity(class) != iface.slot_ids().len() {
+        return Err("class arity does not match the claimed interface".into());
+    }
     Ok(Summary { class, iface })
 }
 
@@ -184,7 +191,7 @@ fn check_tnode(
         if mine.abs_diff(other) > 1 {
             return Err("pointer distance jump".into());
         }
-        if other + 1 == mine {
+        if other.checked_add(1) == Some(mine) {
             has_parent = true;
         }
     }
@@ -360,6 +367,9 @@ fn check_member_own(
             if (lo, hi) != (c.a, c.b) {
                 return Err("E-node terminals do not match the physical edge".into());
             }
+            if f.lane as usize >= ctx.max_lanes {
+                return Err("E-node lane exceeds the lane bound".into());
+            }
             summary::base_e(ctx.alg, f.lane as usize, f.tin, f.tout, c.marked)
         }
         1 => {
@@ -368,6 +378,9 @@ fn check_member_own(
             };
             if f0.node != member {
                 return Err("P frame names the wrong node".into());
+            }
+            if f0.ids.len() > ctx.max_lanes {
+                return Err("P-node wider than the lane bound".into());
             }
             let t = f0
                 .ids

@@ -146,15 +146,27 @@ where
 /// Runs a vertex-label scheme end to end: measures vertex label sizes and
 /// applies the port-model reconstruction + the edge verifier at every
 /// vertex.
+///
+/// # Errors
+///
+/// [`crate::CertError::LabelCountMismatch`] if `vertex_labels` does not
+/// have one label per vertex — adversarial truncations surface as an
+/// error, never a panic.
 pub fn run_vertex_scheme<L: Enc, F>(
     cfg: &Configuration,
     vertex_labels: &[VertexLabel],
     verify_edges: F,
-) -> crate::scheme::RunReport
+) -> Result<crate::scheme::RunReport, crate::CertError>
 where
-    F: Fn(&Configuration, VertexId, &VertexView<L>) -> Verdict,
+    F: Fn(&VertexView<L>) -> Verdict,
 {
     let g = cfg.graph();
+    if vertex_labels.len() != g.vertex_count() {
+        return Err(crate::CertError::LabelCountMismatch {
+            expected: g.vertex_count(),
+            got: vertex_labels.len(),
+        });
+    }
     let decoded: Vec<Option<VertexLabel>> = vertex_labels
         .iter()
         .map(|l| {
@@ -180,14 +192,17 @@ where
                 .iter()
                 .map(|h| decoded[h.to.index()].clone())
                 .collect();
-            verify_vertex_at(cfg, v, &own, &neighbors, |view| verify_edges(cfg, v, view))
+            verify_vertex_at(cfg, v, &own, &neighbors, |view| verify_edges(view))
         })
         .collect();
-    crate::scheme::RunReport {
+    Ok(crate::scheme::RunReport {
         verdicts,
         max_label_bits: max_bits,
         total_label_bits: total_bits,
-    }
+        // Labels live on vertices here, so the report's labeled-object
+        // count (and avg_label_bits denominator) is the vertex count.
+        edges: vertex_labels.len(),
+    })
 }
 
 #[cfg(test)]
@@ -202,7 +217,7 @@ mod tests {
         let target = cfg.id_of(VertexId(5));
         let edge_labels = pointer::prove(&cfg, target);
         let vertex_labels = edge_to_vertex_labels(&cfg, &edge_labels);
-        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at);
+        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at).unwrap();
         assert!(report.accepted(), "{:?}", report.first_rejection());
     }
 
@@ -217,7 +232,7 @@ mod tests {
             .find(|l| !l.claims.is_empty())
             .unwrap();
         victim.claims.pop();
-        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at);
+        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at).unwrap();
         assert!(!report.accepted());
     }
 
@@ -233,8 +248,26 @@ mod tests {
             .unwrap();
         let extra = victim.claims[0].clone();
         victim.claims.push(extra);
-        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at);
+        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at).unwrap();
         assert!(!report.accepted());
+    }
+
+    #[test]
+    fn truncated_vertex_labeling_is_an_error_not_a_panic() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(6));
+        let edge_labels = pointer::prove(&cfg, 0);
+        let mut vertex_labels = edge_to_vertex_labels(&cfg, &edge_labels);
+        vertex_labels.pop();
+        let err =
+            run_vertex_scheme::<pointer::PointerLabel, _>(&cfg, &vertex_labels, pointer::verify_at)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            crate::CertError::LabelCountMismatch {
+                expected: 6,
+                got: 5
+            }
+        );
     }
 
     #[test]
@@ -242,7 +275,7 @@ mod tests {
         let cfg = Configuration::with_sequential_ids(generators::caterpillar(30, 2));
         let edge_labels = pointer::prove(&cfg, 0);
         let vertex_labels = edge_to_vertex_labels(&cfg, &edge_labels);
-        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at);
+        let report = run_vertex_scheme(&cfg, &vertex_labels, pointer::verify_at).unwrap();
         assert!(report.accepted());
         // 1-degenerate graph: at most one claim per vertex.
         assert!(vertex_labels.iter().all(|l| l.claims.len() <= 1));

@@ -9,7 +9,8 @@
 //! * `B` — a `Bridge-merge` of two children (a `V` or `T` node each),
 //! * `T` — a `Tree-merge` of member nodes (each an `E`, `P`, or `B` node),
 //!
-//! built incrementally by replaying a [`Construction`]: `V-insert` adds an
+//! built incrementally by replaying a [`Construction`](crate::Construction):
+//! `V-insert` adds an
 //! `E`-node member under the lowest member holding the lane's terminal;
 //! `E-insert` adds a `B`-node over `V`-nodes and/or wrapped subtrees
 //! (cases 2.1–2.3 of Proposition 5.6). Observation 5.5 bounds every

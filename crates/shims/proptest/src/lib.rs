@@ -162,7 +162,7 @@ pub mod collection {
         VecStrategy { element, lo, hi }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lo: usize,

@@ -12,11 +12,14 @@
 
 use lanecert_suite::algebra::{props::Forest, Algebra};
 use lanecert_suite::graph::{generators, minor, Graph};
-use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
-use lanecert_suite::pls::Configuration;
+use lanecert_suite::{Certifier, Configuration};
 
 fn main() {
-    let scheme = PathwidthScheme::new(Algebra::shared(Forest), SchemeOptions::exact_pathwidth(1));
+    let certifier = Certifier::builder()
+        .property(Algebra::shared(Forest))
+        .pathwidth(1)
+        .build()
+        .expect("complete spec");
     let k3 = generators::complete_graph(3);
     let spider = minor::spider_s222();
 
@@ -29,9 +32,8 @@ fn main() {
     for (name, g) in cases {
         let minor_free = !minor::has_minor(&g, &k3) && !minor::has_minor(&g, &spider);
         let cfg = Configuration::with_random_ids(g, 23);
-        let certified = match scheme.prove_auto(&cfg) {
-            Ok(labels) => {
-                let report = scheme.run_with_labels(&cfg, &labels);
+        let certified = match certifier.run(&cfg) {
+            Ok(report) => {
                 assert!(report.accepted());
                 true
             }

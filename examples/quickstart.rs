@@ -1,28 +1,32 @@
-//! Quickstart: certify `bipartite ∧ (pathwidth ≤ 2)` on a ring network,
-//! then tamper with one certificate and watch a vertex reject.
+//! Quickstart: certify `bipartite ∧ (pathwidth ≤ 2)` on a ring network
+//! through the builder API, then tamper with one certificate bit and
+//! watch a vertex reject.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use lanecert_suite::algebra::{props::Bipartite, Algebra};
 use lanecert_suite::graph::generators;
-use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
-use lanecert_suite::pls::{attacks, Configuration};
+use lanecert_suite::{Certifier, Configuration};
 
 fn main() {
     // A ring of 12 processors with distinct identifiers.
     let network = generators::cycle_graph(12);
     let cfg = Configuration::with_random_ids(network, 42);
 
-    // The scheme certifies ϕ ∧ (pathwidth ≤ 2) with ϕ = bipartiteness.
-    let scheme = PathwidthScheme::new(
-        Algebra::shared(Bipartite),
-        SchemeOptions::exact_pathwidth(2),
-    );
+    // The scheme certifies ϕ ∧ (pathwidth ≤ k) with ϕ = bipartiteness.
+    // "theorem1" is the default registry scheme; spell it out anyway.
+    let certifier = Certifier::builder()
+        .property(Algebra::shared(Bipartite))
+        .pathwidth(2)
+        .scheme("theorem1")
+        .build()
+        .expect("complete spec");
 
     // Prover: computes an optimal path decomposition, the lane layout, the
-    // hierarchical decomposition, and per-edge O(log n)-bit certificates.
-    let labels = scheme.prove_auto(&cfg).expect("C12 is bipartite, pw 2");
-    let report = scheme.run_with_labels(&cfg, &labels);
+    // hierarchical decomposition, and per-edge O(log n)-bit certificates —
+    // already wire-encoded.
+    let labels = certifier.certify(&cfg).expect("C12 is bipartite, pw 2");
+    let report = certifier.verify(&cfg, &labels).unwrap();
     assert!(report.accepted());
     println!(
         "honest run: all {} vertices accept; max label = {} bits",
@@ -30,11 +34,10 @@ fn main() {
         report.max_label_bits
     );
 
-    // Adversary: flip the marked bit of one certificate.
-    let mut rng = generators::seeded_rng(7);
-    let corrupted =
-        attacks::corrupt(&labels, attacks::Corruption::FlipMark, &mut rng).expect("labels exist");
-    let report = scheme.run_with_labels(&cfg, &corrupted);
+    // Adversary: flip a single bit of one certificate on the wire.
+    let mut corrupted = labels.clone();
+    corrupted.as_mut_slice()[0].flip_bit(3);
+    let report = certifier.verify(&cfg, &corrupted).unwrap();
     assert!(!report.accepted());
     println!(
         "tampered run: {} vertices reject (first reason: {})",

@@ -1,52 +1,62 @@
-//! Domain scenario: a token-ring style network must maintain a global
-//! Hamiltonian cycle (every processor on one cycle). The scheme certifies
-//! Hamiltonicity together with the pathwidth bound, so after any
-//! reconfiguration each processor can re-check the invariant from its local
-//! labels alone — the self-stabilization use case that motivated proof
-//! labeling schemes.
+//! Domain scenario: a fleet of token-ring style networks must maintain a
+//! global Hamiltonian cycle (every processor on one cycle). The scheme
+//! certifies Hamiltonicity together with the pathwidth bound, so after any
+//! reconfiguration each processor can re-check the invariant from its
+//! local labels alone — the self-stabilization use case that motivated
+//! proof labeling schemes. The whole fleet goes through one
+//! [`BatchRunner`] sweep.
 //!
 //! Run with `cargo run --example ring_maintenance`.
 
 use lanecert_suite::algebra::{props::HamiltonianCycle, Algebra};
-use lanecert_suite::graph::{generators, Graph, VertexId};
-use lanecert_suite::pls::theorem1::{PathwidthScheme, ProveError, SchemeOptions};
-use lanecert_suite::pls::Configuration;
-
-fn certify(name: &str, g: Graph, scheme: &PathwidthScheme) {
-    let cfg = Configuration::with_random_ids(g, 17);
-    match scheme.prove_auto(&cfg) {
-        Ok(labels) => {
-            let report = scheme.run_with_labels(&cfg, &labels);
-            assert!(report.accepted());
-            println!(
-                "{name}: certified Hamiltonian ({} vertices, max label {} bits)",
-                cfg.n(),
-                report.max_label_bits
-            );
-        }
-        Err(ProveError::PropertyViolated) => {
-            println!("{name}: prover refuses — network is NOT Hamiltonian");
-        }
-        Err(e) => println!("{name}: {e}"),
-    }
-}
+use lanecert_suite::graph::{generators, VertexId};
+use lanecert_suite::{BatchJob, BatchRunner, CertError, Certifier, Configuration};
 
 fn main() {
-    let scheme = PathwidthScheme::new(
-        Algebra::shared(HamiltonianCycle),
-        SchemeOptions::exact_pathwidth(2),
-    );
+    let certifier = Certifier::builder()
+        .property(Algebra::shared(HamiltonianCycle))
+        .pathwidth(2)
+        .build()
+        .expect("complete spec");
 
     // Healthy ring with two maintenance chords (still Hamiltonian, pw 2).
     let mut ring = generators::cycle_graph(10);
     ring.add_edge(VertexId(0), VertexId(2)).unwrap();
     ring.add_edge(VertexId(5), VertexId(7)).unwrap();
-    certify("ring+chords", ring, &scheme);
 
-    // A ladder interconnect is also Hamiltonian with pathwidth 2.
-    certify("ladder", generators::ladder(6), &scheme);
+    let report = BatchRunner::new(certifier).run([
+        BatchJob::new(Configuration::with_random_ids(ring, 17)).named("ring+chords"),
+        // A ladder interconnect is also Hamiltonian with pathwidth 2.
+        BatchJob::new(Configuration::with_random_ids(generators::ladder(6), 17)).named("ladder"),
+        // A broken reconfiguration: a path is not a cycle — the prover
+        // refuses, and per soundness no adversarial labeling could fool
+        // the verifiers.
+        BatchJob::new(Configuration::with_random_ids(
+            generators::path_graph(10),
+            17,
+        ))
+        .named("broken (path)"),
+    ]);
 
-    // A broken reconfiguration: a path is not a cycle — the prover refuses,
-    // and per soundness no adversarial labeling could fool the verifiers.
-    certify("broken (path)", generators::path_graph(10), &scheme);
+    for outcome in &report.outcomes {
+        match &outcome.result {
+            Ok(r) => {
+                assert!(r.accepted());
+                println!(
+                    "{}: certified Hamiltonian (max label {} bits over {} edges)",
+                    outcome.name, r.max_label_bits, r.edges
+                );
+            }
+            Err(CertError::PropertyViolated) => {
+                println!(
+                    "{}: prover refuses — network is NOT Hamiltonian",
+                    outcome.name
+                );
+            }
+            Err(e) => println!("{}: {e}", outcome.name),
+        }
+    }
+    println!("\nfleet: {}", report.summary());
+    assert_eq!(report.accepted(), 2);
+    assert_eq!(report.refused(), 1);
 }

@@ -11,6 +11,23 @@
 //! * [`algebra`] — homomorphism-class algebras (Propositions 2.4/6.1).
 //! * [`pls`] — the proof labeling schemes themselves (Theorem 1 scheme,
 //!   baselines, attacks, harness).
+//!
+//! The unified certification API is additionally re-exported at the crate
+//! root, so the common path is one import away:
+//!
+//! ```
+//! use lanecert_suite::{Certifier, Configuration};
+//! use lanecert_suite::algebra::{props::Bipartite, Algebra};
+//! use lanecert_suite::graph::generators;
+//!
+//! let certifier = Certifier::builder()
+//!     .property(Algebra::shared(Bipartite))
+//!     .pathwidth(2)
+//!     .build()
+//!     .unwrap();
+//! let cfg = Configuration::with_random_ids(generators::cycle_graph(12), 7);
+//! assert!(certifier.run(&cfg).unwrap().accepted());
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -20,3 +37,9 @@ pub use lanecert_graph as graph;
 pub use lanecert_lanes as lanes;
 pub use lanecert_mso as mso;
 pub use lanecert_pathwidth as pathwidth;
+
+pub use lanecert::{
+    BatchJob, BatchReport, BatchRunner, BoxedScheme, CertError, Certifier, CertifierBuilder,
+    Configuration, DynScheme, EncodedLabel, EncodedLabeling, Labeling, ProverHint, RunReport,
+    Scheme, SchemeRegistry, SchemeSpec, Verdict, VertexView,
+};

@@ -1,12 +1,13 @@
 //! Cross-crate integration tests: the full Theorem 1 pipeline against the
-//! naive MSO₂ model checker, across properties and random graphs.
+//! naive MSO₂ model checker, across properties and random graphs, driven
+//! through the unified `Scheme` trait.
 
 use lanecert_suite::algebra::{props, Algebra, SharedAlgebra};
 use lanecert_suite::graph::{generators, Graph};
 use lanecert_suite::mso::{eval, props as formulas, Formula};
 use lanecert_suite::pathwidth::{solver, IntervalRep};
-use lanecert_suite::pls::theorem1::{PathwidthScheme, ProveError, SchemeOptions};
-use lanecert_suite::pls::Configuration;
+use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert_suite::{CertError, Configuration, ProverHint, Scheme};
 use rand::SeedableRng;
 
 fn rep_of(g: &Graph) -> IntervalRep {
@@ -22,22 +23,22 @@ fn scheme_matches_mso(alg: SharedAlgebra, phi: &Formula, k: usize, graphs: &[Gra
     for (i, g) in graphs.iter().enumerate() {
         let truth = eval::check(g, phi);
         let (pw, _) = solver::pathwidth_exact(g).unwrap();
-        let rep = rep_of(g);
+        let hint = ProverHint::with_representation(rep_of(g));
         let cfg = Configuration::with_random_ids(g.clone(), i as u64);
-        match scheme.prove(&cfg, &rep) {
+        match scheme.prove(&cfg, &hint) {
             Ok(labels) => {
                 assert!(truth && pw <= k, "graph {i}: prover accepted a no-instance");
-                let report = scheme.run_with_labels(&cfg, &labels);
+                let report = scheme.run(&cfg, &labels).unwrap();
                 assert!(
                     report.accepted(),
                     "graph {i}: completeness failed ({:?})",
                     report.first_rejection()
                 );
             }
-            Err(ProveError::PropertyViolated) => {
+            Err(CertError::PropertyViolated) => {
                 assert!(!truth, "graph {i}: prover refused a yes-instance");
             }
-            Err(ProveError::TooManyLanes { .. }) => {
+            Err(CertError::TooManyLanes { .. }) => {
                 assert!(pw > k, "graph {i}: lane bound refused pw {pw} ≤ {k}");
             }
             Err(e) => panic!("graph {i}: unexpected error {e}"),
@@ -151,12 +152,12 @@ fn hamiltonian_path_end_to_end() {
         (generators::caterpillar(3, 2), false),
     ] {
         let cfg = Configuration::with_random_ids(g, 31);
-        match scheme.prove_auto(&cfg) {
+        match scheme.prove(&cfg, &ProverHint::auto()) {
             Ok(labels) => {
                 assert!(expect);
-                assert!(scheme.run_with_labels(&cfg, &labels).accepted());
+                assert!(scheme.run(&cfg, &labels).unwrap().accepted());
             }
-            Err(ProveError::PropertyViolated) => assert!(!expect),
+            Err(CertError::PropertyViolated) => assert!(!expect),
             Err(e) => panic!("unexpected: {e}"),
         }
     }
@@ -175,7 +176,7 @@ fn pathwidth_bound_separates_families() {
         (generators::binary_tree(4), false), // pathwidth 2, still a forest
     ] {
         let cfg = Configuration::with_random_ids(g, 9);
-        let outcome = scheme.prove_auto(&cfg);
+        let outcome = scheme.prove(&cfg, &ProverHint::auto());
         assert_eq!(outcome.is_ok(), expect);
     }
 }
@@ -193,8 +194,10 @@ fn larger_networks_with_known_decompositions() {
         Algebra::shared(props::Connected),
         SchemeOptions::exact_pathwidth(2),
     );
-    let labels = scheme.prove(&cfg, &rep).unwrap();
-    let report = scheme.run_with_labels(&cfg, &labels);
+    let labels = scheme
+        .prove(&cfg, &ProverHint::with_representation(rep))
+        .unwrap();
+    let report = scheme.run(&cfg, &labels).unwrap();
     assert!(report.accepted(), "{:?}", report.first_rejection());
     // O(log n) labels: generous absolute cap for n = 120, w ≤ 3.
     assert!(report.max_label_bits < 20_000);

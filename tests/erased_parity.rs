@@ -1,0 +1,113 @@
+//! Property-based parity of the erased layer: for every scheme family,
+//! the erased round-trip (`prove_encoded` → `verify_encoded`, the path
+//! `BoxedScheme`/the registry serve) must produce bit-identical verdicts
+//! and label sizes to the typed `Scheme` path (`prove` → `run`), on
+//! random bounded-pathwidth graphs.
+
+use lanecert_suite::algebra::{props, Algebra};
+use lanecert_suite::graph::{generators, Graph};
+use lanecert_suite::pathwidth::{solver, IntervalRep};
+use lanecert_suite::pls::baseline::BaselineScheme;
+use lanecert_suite::pls::simple::{BipartiteScheme, WholeGraphScheme};
+use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert_suite::{CertError, Configuration, DynScheme, ProverHint, Scheme};
+use proptest::prelude::*;
+
+/// Arbitrary connected graph of pathwidth ≤ 2 with ≤ 12 vertices.
+fn small_pw2_graph() -> impl Strategy<Value = Graph> {
+    (6usize..=12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = generators::seeded_rng(seed);
+        generators::random_pathwidth_graph(n, 2, 0.4, &mut rng).0
+    })
+}
+
+fn rep_hint(g: &Graph) -> ProverHint {
+    let (_, pd) = solver::pathwidth_exact(g).unwrap();
+    ProverHint::with_representation(IntervalRep::from_decomposition(&pd, g.vertex_count()))
+}
+
+/// Drives `scheme` through both the typed and the erased path and asserts
+/// bit-identical outcomes. Returns the prover's refusal (which must agree
+/// between the paths) when the configuration is a no-instance.
+fn assert_parity<S: Scheme>(
+    scheme: &S,
+    cfg: &Configuration,
+    hint: &ProverHint,
+) -> Result<(), CertError> {
+    let erased: &dyn DynScheme = scheme;
+    let typed = scheme.prove(cfg, hint);
+    let encoded = erased.prove_encoded(cfg, hint);
+    match (typed, encoded) {
+        (Ok(labels), Ok(encoded)) => {
+            let typed_report = scheme.run(cfg, &labels).unwrap();
+            let erased_report = erased.verify_encoded(cfg, &encoded).unwrap();
+            assert_eq!(
+                typed_report.verdicts, erased_report.verdicts,
+                "verdicts diverge between typed and erased verification"
+            );
+            assert_eq!(typed_report.max_label_bits, erased_report.max_label_bits);
+            assert_eq!(
+                typed_report.total_label_bits,
+                erased_report.total_label_bits
+            );
+            assert_eq!(typed_report.edges, erased_report.edges);
+            assert!(
+                typed_report.accepted(),
+                "honest labeling rejected: {:?}",
+                typed_report.first_rejection()
+            );
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(a, b, "refusals diverge between typed and erased provers");
+            Err(a)
+        }
+        (Ok(_), Err(e)) => panic!("typed prover succeeded but erased refused: {e}"),
+        (Err(e), Ok(_)) => panic!("erased prover succeeded but typed refused: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 1: typed and erased paths agree bit for bit.
+    #[test]
+    fn theorem1_parity(g in small_pw2_graph()) {
+        let hint = rep_hint(&g);
+        let cfg = Configuration::with_random_ids(g, 5);
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(props::Connected),
+            SchemeOptions::exact_pathwidth(2),
+        );
+        // Generated graphs are connected with pathwidth ≤ 2: never refused.
+        prop_assert!(assert_parity(&scheme, &cfg, &hint).is_ok());
+    }
+
+    /// FMR baseline: typed and erased paths agree bit for bit.
+    #[test]
+    fn baseline_parity(g in small_pw2_graph()) {
+        let hint = rep_hint(&g);
+        let cfg = Configuration::with_random_ids(g, 9);
+        prop_assert!(assert_parity(&BaselineScheme, &cfg, &hint).is_ok());
+    }
+
+    /// 1-bit bipartiteness: parity on both yes-instances and refusals
+    /// (non-bipartite graphs refuse with `PropertyViolated` on both
+    /// paths).
+    #[test]
+    fn bipartite_parity(g in small_pw2_graph()) {
+        let cfg = Configuration::with_random_ids(g, 3);
+        match assert_parity(&BipartiteScheme, &cfg, &ProverHint::auto()) {
+            Ok(()) => {}
+            Err(refusal) => prop_assert_eq!(refusal, CertError::PropertyViolated),
+        }
+    }
+
+    /// Whole-graph yardstick: typed and erased paths agree bit for bit.
+    #[test]
+    fn whole_graph_parity(g in small_pw2_graph()) {
+        let cfg = Configuration::with_random_ids(g, 7);
+        let scheme = WholeGraphScheme::for_algebra(Algebra::shared(props::Connected));
+        prop_assert!(assert_parity(&scheme, &cfg, &ProverHint::auto()).is_ok());
+    }
+}

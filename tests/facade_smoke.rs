@@ -1,6 +1,7 @@
 //! Facade smoke test: every `lanecert_suite` re-export resolves to a live
-//! crate, and a trivial certify/verify round-trip runs entirely through
-//! `lanecert_suite::` paths.
+//! crate, and a certify/verify round-trip runs entirely through
+//! `lanecert_suite::` paths — both the typed `Scheme` trait and the
+//! root-level builder API.
 
 use lanecert_suite::algebra::{props as alg_props, Algebra};
 use lanecert_suite::graph::{components, generators};
@@ -8,7 +9,9 @@ use lanecert_suite::lanes::{bounds, LaneStrategy, Layout};
 use lanecert_suite::mso::{eval, props as mso_props};
 use lanecert_suite::pathwidth::{solver, IntervalRep};
 use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
-use lanecert_suite::pls::Configuration;
+use lanecert_suite::{
+    BatchJob, BatchRunner, Certifier, Configuration, ProverHint, Scheme, SchemeRegistry,
+};
 
 /// Touches one entry point behind each re-exported module, so a facade
 /// wiring regression (a dropped `pub use`, a renamed crate) fails here
@@ -39,14 +42,21 @@ fn every_reexport_resolves() {
     assert!(alg.knows(empty));
 
     // pls (labels are per-edge; a 3-path has 2 edges)
-    let labels = lanecert_suite::pls::simple::prove_whole_graph(
-        &Configuration::with_sequential_ids(generators::path_graph(3)),
-    );
+    let labels = lanecert_suite::pls::simple::WholeGraphScheme::trivially_true()
+        .prove(
+            &Configuration::with_sequential_ids(generators::path_graph(3)),
+            &ProverHint::auto(),
+        )
+        .unwrap();
     assert_eq!(labels.len(), 2);
+
+    // unified API at the crate root
+    let registry = SchemeRegistry::standard();
+    assert!(registry.contains("theorem1"));
 }
 
-/// A minimal certify → verify round-trip through the facade: connectedness
-/// on a 6-cycle with the Theorem 1 scheme.
+/// A minimal certify → verify round-trip through the typed trait:
+/// connectedness on a 6-cycle with the Theorem 1 scheme.
 #[test]
 fn certify_verify_roundtrip() {
     let g = generators::cycle_graph(6);
@@ -58,12 +68,35 @@ fn certify_verify_roundtrip() {
         Algebra::shared(alg_props::Connected),
         SchemeOptions::exact_pathwidth(3),
     );
-    let labels = scheme.prove(&cfg, &rep).expect("cycle is connected, pw 2");
-    let report = scheme.run_with_labels(&cfg, &labels);
+    let labels = scheme
+        .prove(&cfg, &ProverHint::with_representation(rep))
+        .expect("cycle is connected, pw 2");
+    let report = scheme.run(&cfg, &labels).unwrap();
     assert!(
         report.accepted(),
         "honest labels rejected: {:?}",
         report.first_rejection()
     );
     assert!(report.max_label_bits > 0);
+}
+
+/// The same round-trip through the builder facade and the batch runner.
+#[test]
+fn builder_batch_roundtrip() {
+    let certifier = Certifier::builder()
+        .property(Algebra::shared(alg_props::Connected))
+        .pathwidth(2)
+        .build()
+        .unwrap();
+    let report = BatchRunner::new(certifier).run([
+        BatchJob::new(Configuration::with_random_ids(
+            generators::cycle_graph(6),
+            1,
+        ))
+        .named("C6"),
+        BatchJob::new(Configuration::with_random_ids(generators::ladder(3), 2)).named("L3"),
+    ]);
+    assert!(report.all_accepted(), "{}", report.summary());
+    assert!(report.max_label_bits() > 0);
+    assert!(report.avg_label_bits() > 0.0);
 }

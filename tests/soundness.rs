@@ -1,17 +1,21 @@
 //! Integration-level soundness: adversarial labelings across properties and
-//! graphs must always be caught by some vertex.
+//! graphs must always be caught by some vertex — including malformed
+//! labelings (wrong label counts), which surface as typed errors, never
+//! panics.
 
 use lanecert_suite::algebra::{props, Algebra};
 use lanecert_suite::graph::generators;
 use lanecert_suite::pathwidth::{solver, IntervalRep};
+use lanecert_suite::pls::attacks;
 use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
-use lanecert_suite::pls::{attacks, Configuration};
+use lanecert_suite::{CertError, Configuration, ProverHint, Scheme};
 
 #[test]
 fn fuzzing_many_properties() {
     let g = generators::ladder(5);
     let (_, pd) = solver::pathwidth_exact(&g).unwrap();
     let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+    let hint = ProverHint::with_representation(rep);
     let cfg = Configuration::with_random_ids(g, 3);
     let algebras = [
         Algebra::shared(props::Connected),
@@ -21,10 +25,10 @@ fn fuzzing_many_properties() {
     ];
     for alg in algebras {
         let scheme = PathwidthScheme::new(alg, SchemeOptions::exact_pathwidth(2));
-        let Ok(labels) = scheme.prove(&cfg, &rep) else {
+        let Ok(labels) = scheme.prove(&cfg, &hint) else {
             continue; // property does not hold on the ladder; fine
         };
-        assert!(scheme.run_with_labels(&cfg, &labels).accepted());
+        assert!(scheme.run(&cfg, &labels).unwrap().accepted());
         let (attempted, rejected) = attacks::fuzz_scheme(&scheme, &cfg, &labels, 11, 50);
         assert!(attempted > 0);
         assert_eq!(attempted, rejected, "{}", scheme.algebra().name());
@@ -44,7 +48,9 @@ fn labels_from_satisfying_twin_rejected() {
         Algebra::shared(props::Bipartite),
         SchemeOptions::exact_pathwidth(2),
     );
-    let labels = scheme.prove(&cfg8, &rep).unwrap();
+    let labels = scheme
+        .prove(&cfg8, &ProverHint::with_representation(rep))
+        .unwrap();
 
     let mut chord = g8;
     chord
@@ -54,10 +60,21 @@ fn labels_from_satisfying_twin_rejected() {
         )
         .unwrap();
     let cfg_chord = Configuration::with_sequential_ids(chord);
+
+    // Presenting the unmodified 8-label assignment on the 9-edge graph is
+    // a malformed labeling: a typed error, not a panic.
+    assert_eq!(
+        scheme.run(&cfg_chord, &labels).unwrap_err(),
+        CertError::LabelCountMismatch {
+            expected: 9,
+            got: 8
+        }
+    );
+
     // The chord edge needs *some* label; replicate an existing one.
-    let mut transplanted = labels.clone();
-    transplanted.push(labels[0].clone());
-    let report = scheme.run_with_labels(&cfg_chord, &transplanted);
+    let mut transplanted = labels.into_vec();
+    transplanted.push(transplanted[0].clone());
+    let report = scheme.run(&cfg_chord, &transplanted).unwrap();
     assert!(!report.accepted());
 }
 
@@ -73,7 +90,9 @@ fn every_single_label_is_load_bearing() {
         Algebra::shared(props::Connected),
         SchemeOptions::exact_pathwidth(2),
     );
-    let labels = scheme.prove(&cfg, &rep).unwrap();
+    let labels = scheme
+        .prove(&cfg, &ProverHint::with_representation(rep))
+        .unwrap();
     for i in 0..labels.len() {
         for j in 0..labels.len() {
             if i == j {
@@ -81,7 +100,7 @@ fn every_single_label_is_load_bearing() {
             }
             let mut mutated = labels.clone();
             mutated[i] = labels[j].clone();
-            let report = scheme.run_with_labels(&cfg, &mutated);
+            let report = scheme.run(&cfg, &mutated).unwrap();
             assert!(!report.accepted(), "copying label {j} over {i} accepted");
         }
     }
