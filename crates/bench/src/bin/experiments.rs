@@ -1,8 +1,12 @@
-//! Prints the experiment tables (T1–T9) and records a machine-readable
-//! summary so successive PRs have a perf trajectory to compare against.
+//! Prints the experiment tables (T1–T9) plus the engine throughput sweep
+//! and records a machine-readable summary so successive PRs have a perf
+//! trajectory to compare against.
 //!
 //! Flags:
-//! * `--table tN` — run a single table.
+//! * `--table tN` — run a single table (`--table throughput` for the
+//!   scaling sweep alone).
+//! * `--threads N` — engine worker count for the table sweeps (default:
+//!   available parallelism; the throughput sweep always visits 1/2/4/8).
 //! * `--out PATH` — where to write the JSON summary (default
 //!   `BENCH_results.json` in the current directory).
 //! * `--no-json` — skip writing the summary.
@@ -11,7 +15,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use lanecert_bench::Scale;
+use lanecert_bench::{throughput, RunCtx, Scale};
 
 /// Minimal JSON string escaping (the workspace has no serde offline).
 fn json_escape(s: &str) -> String {
@@ -55,6 +59,16 @@ fn main() {
     } else {
         Scale::Full
     };
+    let mut ctx = RunCtx::new(scale);
+    if let Some(threads) = flag_value("--threads") {
+        match threads.parse::<usize>() {
+            Ok(t) if t >= 1 => ctx = ctx.with_threads(t),
+            _ => {
+                eprintln!("--threads requires a positive integer, got {threads:?}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let mut results: Vec<(&'static str, f64, String)> = Vec::new();
     for (name, table) in lanecert_bench::all_tables() {
@@ -64,20 +78,32 @@ fn main() {
             }
         }
         let start = Instant::now();
-        let rendered = table(scale);
+        let rendered = table(&ctx);
         let seconds = start.elapsed().as_secs_f64();
         println!("==== {} ({seconds:.2}s) ====", name.to_uppercase());
         println!("{rendered}");
         results.push((name, seconds, rendered));
     }
 
-    if results.is_empty() {
+    // The scaling sweep: part of every full run (it is the perf
+    // trajectory), selectable alone via `--table throughput`.
+    let run_sweep = selected.as_deref().is_none_or(|s| s == "throughput");
+    let sweep = run_sweep.then(|| {
+        let start = Instant::now();
+        let report = throughput::sweep(scale);
+        let seconds = start.elapsed().as_secs_f64();
+        println!("==== THROUGHPUT ({seconds:.2}s) ====");
+        println!("{}", report.render());
+        report
+    });
+
+    if results.is_empty() && sweep.is_none() {
         let known: Vec<&str> = lanecert_bench::all_tables()
             .iter()
             .map(|(n, _)| *n)
             .collect();
         eprintln!(
-            "no table matched {:?}; known tables: {}",
+            "no table matched {:?}; known tables: {}, throughput",
             selected.as_deref().unwrap_or("<none>"),
             known.join(", ")
         );
@@ -87,7 +113,9 @@ fn main() {
     if !write_json {
         return;
     }
-    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/1\",\n  \"tables\": [\n");
+    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/2\",\n");
+    let _ = writeln!(json, "  \"threads\": {},", ctx.threads);
+    json.push_str("  \"tables\": [\n");
     for (i, (name, seconds, rendered)) in results.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -98,7 +126,12 @@ fn main() {
             if i + 1 == results.len() { "" } else { "," }
         );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if let Some(report) = &sweep {
+        json.push_str(",\n  \"throughput\": ");
+        json.push_str(&report.to_json(json_escape));
+    }
+    json.push_str("\n}\n");
     match std::fs::write(&out_path, json) {
         Ok(()) => eprintln!("wrote {out_path}"),
         Err(e) => {

@@ -4,27 +4,32 @@
 //! Every table that certifies or verifies goes through the unified
 //! certification API — [`Certifier`] builders resolved against the
 //! [`lanecert::registry`] names (`theorem1`, `fmr-baseline`,
-//! `bipartite-1bit`, `whole-graph`), with [`BatchRunner`] aggregating
-//! multi-configuration sweeps — so the harness exercises exactly the
-//! surface users call.
+//! `bipartite-1bit`, `whole-graph`), with the parallel [`Engine`]
+//! executing multi-configuration sweeps (bit-identical to the sequential
+//! `BatchRunner` path) — so the
+//! harness exercises exactly the surface users call. The [`throughput`]
+//! module adds the scaling sweep behind the `throughput` section of
+//! `BENCH_results.json`.
 //!
 //! Run `cargo run -p lanecert_bench --bin experiments` to print every
-//! table; pass `--table tN` for a single one and `--quick` for the
-//! CI-sized variant.
+//! table; pass `--table tN` for a single one, `--quick` for the CI-sized
+//! variant, and `--threads N` to pin the engine worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use lanecert::theorem1::PathwidthScheme;
 use lanecert::{
-    attacks, registry, BatchJob, BatchRunner, Certifier, Configuration, ProverHint, Scheme,
-    SchemeOptions,
+    attacks, registry, BatchJob, Certifier, Configuration, ProverHint, Scheme, SchemeOptions,
 };
 use lanecert_algebra::props::{Bipartite, Connected, Forest, HamiltonianCycle, PerfectMatching};
 use lanecert_algebra::{mirror::oracles, Algebra, SharedAlgebra};
+use lanecert_engine::Engine;
 use lanecert_graph::{generators, Graph};
 use lanecert_lanes::{bounds, pipeline::LaneStrategy, recursive, Completion, Layout};
 use lanecert_pathwidth::{Interval, IntervalRep};
+
+pub mod throughput;
 
 /// Table sizing: the full paper-scale runs, or the small CI smoke scale
 /// that keeps the perf-trajectory file exercised on every push.
@@ -45,6 +50,45 @@ impl Scale {
     }
 }
 
+/// How a harness invocation runs: table sizing plus the engine worker
+/// count the certification sweeps fan out over.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RunCtx {
+    /// Table sizing.
+    pub scale: Scale,
+    /// Engine workers for batched sweeps (`--threads`; 1 = sequential).
+    pub threads: usize,
+}
+
+impl RunCtx {
+    /// A context at `scale` with the machine's available parallelism.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            scale,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Wraps a certifier in an engine at the context's worker count (the
+/// sweeps' execution layer; reports stay bit-identical to the sequential
+/// `BatchRunner` path by the engine's parity guarantee).
+fn engine_for(ctx: &RunCtx, certifier: Certifier) -> Engine {
+    Engine::builder()
+        .certifier(certifier)
+        .workers(ctx.threads)
+        .build()
+        .expect("certifier supplied")
+}
+
 /// A named benchmark family with a known-width interval representation
 /// (so experiments scale past the exact solver).
 pub struct Family {
@@ -54,7 +98,7 @@ pub struct Family {
     pub make: fn(usize) -> (Graph, IntervalRep),
 }
 
-fn path_family(n: usize) -> (Graph, IntervalRep) {
+pub(crate) fn path_family(n: usize) -> (Graph, IntervalRep) {
     let g = generators::path_graph(n);
     let rep = IntervalRep::new((0..n as u32).map(|i| Interval::new(i, i + 1)).collect());
     (g, rep)
@@ -141,7 +185,7 @@ pub fn families() -> Vec<Family> {
 
 /// A theorem1 certifier with a generous lane bound (experiments certify
 /// structure at family widths ≤ 3).
-fn theorem1_certifier(alg: SharedAlgebra) -> Certifier {
+pub(crate) fn theorem1_certifier(alg: SharedAlgebra) -> Certifier {
     Certifier::builder()
         .property(alg)
         .scheme(registry::THEOREM1)
@@ -152,17 +196,20 @@ fn theorem1_certifier(alg: SharedAlgebra) -> Certifier {
 
 /// T1: label size (bits) vs n — this paper vs the `O(log² n)` baseline vs
 /// the trivial whole-graph scheme, across the benchmark families. The
-/// theorem1 and baseline columns come from full [`BatchRunner`] sweeps
-/// (prove + everywhere-verify); the trivial column only measures the
-/// honest labeling's size.
-pub fn table_t1(scale: Scale) -> String {
+/// theorem1 and baseline columns come from full [`Engine`] sweeps
+/// (prove + everywhere-verify, fanned over the context's workers; reports
+/// are bit-identical to the sequential path); the trivial column only
+/// measures the honest labeling's size.
+pub fn table_t1(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let sizes: &[usize] = scale.pick(&[32usize, 128, 512, 2048], &[32usize, 128]);
     let mut out = String::from(
         "T1: max label bits vs n (property: connected)\n\
          family        n     ours  ours/log2(n)  baseline  base/log2^2(n)  trivial\n",
     );
-    let ours = BatchRunner::new(theorem1_certifier(Algebra::shared(Connected)));
-    let base = BatchRunner::new(
+    let ours = engine_for(ctx, theorem1_certifier(Algebra::shared(Connected)));
+    let base = engine_for(
+        ctx,
         Certifier::builder()
             .scheme(registry::FMR_BASELINE)
             .build()
@@ -191,8 +238,8 @@ pub fn table_t1(scale: Scale) -> String {
                 })
                 .collect::<Vec<_>>()
         };
-        let ours_report = ours.run(jobs(&cases));
-        let base_report = base.run(jobs(&cases));
+        let ours_report = ours.run(jobs(&cases)).batch;
+        let base_report = base.run(jobs(&cases)).batch;
         assert!(
             ours_report.all_accepted() && base_report.all_accepted(),
             "{}: ours [{}], baseline [{}]",
@@ -234,7 +281,8 @@ pub fn table_t1(scale: Scale) -> String {
 
 /// T2: lanes used vs the `f(k)` bound (recursive partition) and the width
 /// (greedy partition).
-pub fn table_t2(scale: Scale) -> String {
+pub fn table_t2(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let n = scale.pick(60, 30);
     let mut out = String::from(
         "T2: lane counts vs bounds\nfamily        n   width k  greedy w  recursive w  f(k)\n",
@@ -258,7 +306,8 @@ pub fn table_t2(scale: Scale) -> String {
 }
 
 /// T3: measured embedding congestion vs `g(k)`/`h(k)`.
-pub fn table_t3(scale: Scale) -> String {
+pub fn table_t3(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let n = scale.pick(60, 30);
     let mut out = String::from(
         "T3: embedding congestion vs bounds (recursive partition)\n\
@@ -292,7 +341,8 @@ pub fn table_t3(scale: Scale) -> String {
 }
 
 /// T4: hierarchy depth vs the `2k` bound (Observation 5.5).
-pub fn table_t4(scale: Scale) -> String {
+pub fn table_t4(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let n = scale.pick(60, 30);
     let mut out = String::from(
         "T4: hierarchical decomposition depth vs 2w\nfamily        n   lanes w  depth  2w\n",
@@ -316,12 +366,15 @@ pub fn table_t4(scale: Scale) -> String {
 }
 
 /// T5: prover/verifier wall-clock scaling (rough, single run per point),
-/// timed through the erased certify/verify entry points.
-pub fn table_t5(scale: Scale) -> String {
+/// timed through the erased certify/verify entry points — plus the
+/// sharded [`Certifier::par_verify`] at the context's worker count.
+pub fn table_t5(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let sizes: &[usize] = scale.pick(&[64usize, 256, 1024, 4096], &[64usize, 256]);
-    let mut out = String::from(
-        "T5: runtime scaling (connected, path family)\n\
-         n      prove(ms)  verify-all(ms)  per-vertex(us)\n",
+    let mut out = format!(
+        "T5: runtime scaling (connected, path family; par-verify at {} threads)\n\
+         n      prove(ms)  verify-all(ms)  par-verify(ms)  per-vertex(us)\n",
+        ctx.threads,
     );
     let certifier = theorem1_certifier(Algebra::shared(Connected));
     for &n in sizes {
@@ -335,11 +388,16 @@ pub fn table_t5(scale: Scale) -> String {
         let report = certifier.verify(&cfg, &labels).unwrap();
         let ver_ms = t1.elapsed().as_secs_f64() * 1e3;
         assert!(report.accepted());
+        let t2 = std::time::Instant::now();
+        let par_report = certifier.par_verify(&cfg, &labels, ctx.threads).unwrap();
+        let par_ms = t2.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(par_report, report, "par-verify must be bit-identical");
         out += &format!(
-            "{:<6} {:>9.2}  {:>14.2}  {:>13.2}\n",
+            "{:<6} {:>9.2}  {:>14.2}  {:>14.2}  {:>13.2}\n",
             n,
             prove_ms,
             ver_ms,
+            par_ms,
             ver_ms * 1e3 / n as f64,
         );
     }
@@ -348,7 +406,8 @@ pub fn table_t5(scale: Scale) -> String {
 
 /// T6: soundness fuzzing — typed corruptions (which must all be rejected)
 /// plus wire-level bit flips through the erased layer.
-pub fn table_t6(scale: Scale) -> String {
+pub fn table_t6(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let n = scale.pick(40, 24);
     let rounds = scale.pick(60, 30);
     let mut out = String::from(
@@ -391,7 +450,7 @@ pub fn table_t6(scale: Scale) -> String {
 }
 
 /// T7: algebra verdict vs brute force vs the naive MSO₂ checker.
-pub fn table_t7(_scale: Scale) -> String {
+pub fn table_t7(_ctx: &RunCtx) -> String {
     use lanecert_mso::{eval, props};
     let mut out = String::from("T7: semantics agreement (algebra == brute force == MSO eval)\nproperty            graphs  agreements\n");
     let graphs: Vec<Graph> = vec![
@@ -465,7 +524,8 @@ pub fn table_t7(_scale: Scale) -> String {
 
 /// T8: the `Ω(log n)` cut-and-splice attack — smallest label width where
 /// no accepted cycle can be spliced.
-pub fn table_t8(scale: Scale) -> String {
+pub fn table_t8(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let sizes: &[usize] = scale.pick(&[40usize, 100], &[40usize]);
     let mut out = String::from(
         "T8: pigeonhole splice attack on b-bit path certificates\nn     bits  spliced-cycle\n",
@@ -487,7 +547,8 @@ pub fn table_t8(scale: Scale) -> String {
 
 /// T9 (ablation): greedy vs recursive lane strategy, selected through the
 /// builder's `.strategy(...)` knob.
-pub fn table_t9(scale: Scale) -> String {
+pub fn table_t9(ctx: &RunCtx) -> String {
+    let scale = ctx.scale;
     let n = scale.pick(120, 60);
     let mut out = String::from(
         "T9: lane strategy ablation (connected)\n\
@@ -524,7 +585,7 @@ pub fn table_t9(scale: Scale) -> String {
 }
 
 /// A table renderer: `(name, render)`.
-pub type Table = (&'static str, fn(Scale) -> String);
+pub type Table = (&'static str, fn(&RunCtx) -> String);
 
 /// All tables in order.
 pub fn all_tables() -> Vec<Table> {
@@ -572,9 +633,10 @@ mod tests {
     #[test]
     fn small_tables_run() {
         // The cheap tables execute end to end (their asserts are the test).
+        let ctx = RunCtx::new(Scale::Quick).with_threads(2);
         for (name, f) in all_tables() {
             if ["t2", "t3", "t4", "t7"].contains(&name) {
-                let s = f(Scale::Quick);
+                let s = f(&ctx);
                 assert!(!s.is_empty());
             }
         }
@@ -582,12 +644,13 @@ mod tests {
 
     #[test]
     fn quick_scale_certification_tables_run() {
-        // The API-heavy tables at CI scale: T1 (batch sweeps across all
+        // The API-heavy tables at CI scale: T1 (engine sweeps across all
         // three registry schemes), T6 (typed + wire-level fuzzing), T9
         // (builder strategy ablation).
+        let ctx = RunCtx::new(Scale::Quick).with_threads(2);
         for (name, f) in all_tables() {
             if ["t1", "t6", "t9"].contains(&name) {
-                let s = f(Scale::Quick);
+                let s = f(&ctx);
                 assert!(!s.is_empty(), "{name}");
             }
         }

@@ -1,0 +1,285 @@
+//! The scaling sweep behind the `throughput` section of
+//! `BENCH_results.json`: the same corpus pushed through the engine at
+//! 1/2/4/8 workers, plus a pure verify-stage sweep.
+//!
+//! Two measurements, because the pipeline has two very different stages:
+//!
+//! * **Pipeline**: a [`CorpusSpec`] streamed end to end (prove + encode +
+//!   verify) per worker count, in `parallel_prove` mode so the whole
+//!   pipeline scales (throughput mode trades the bit-identical label-size
+//!   statistics for wall-clock; verdicts stay identical).
+//! * **Verify-only**: one large instance proven once, then
+//!   everywhere-verified via [`lanecert::Certifier::par_verify`] per
+//!   thread count — the paper's verifier is embarrassingly parallel, and
+//!   this isolates exactly that stage.
+//!
+//! Speedups are reported against the 1-worker run of the same sweep.
+//! They are honest wall-clock measurements: on a single-core machine
+//! expect ≈ 1×.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lanecert::{Configuration, ProverHint};
+use lanecert_algebra::{props::Connected, Algebra};
+use lanecert_engine::{CorpusSpec, Engine};
+
+use crate::{path_family, theorem1_certifier, Scale};
+
+/// Worker counts every sweep visits.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One pipeline run at a fixed worker count.
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// Engine workers.
+    pub workers: usize,
+    /// Jobs streamed.
+    pub jobs: usize,
+    /// Vertices verified.
+    pub vertices: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Jobs per second.
+    pub jobs_per_sec: f64,
+    /// Vertices per second.
+    pub vertices_per_sec: f64,
+    /// Throughput relative to the 1-worker run.
+    pub speedup_vs_1: f64,
+}
+
+/// One verify-only run at a fixed thread count.
+#[derive(Clone, Debug)]
+pub struct VerifyRun {
+    /// Verification threads.
+    pub workers: usize,
+    /// Vertices verified.
+    pub vertices: usize,
+    /// Wall-clock seconds of the verify pass.
+    pub seconds: f64,
+    /// Vertices per second.
+    pub vertices_per_sec: f64,
+    /// Throughput relative to the 1-thread run.
+    pub speedup_vs_1: f64,
+}
+
+/// The full scaling sweep: pipeline and verify-only series.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Description of the streamed corpus.
+    pub corpus: String,
+    /// End-to-end pipeline runs, one per [`WORKER_COUNTS`] entry.
+    pub pipeline: Vec<PipelineRun>,
+    /// Verify-only runs, one per [`WORKER_COUNTS`] entry.
+    pub verify_only: Vec<VerifyRun>,
+}
+
+const FULL_SIZES: &[usize] = &[64, 256, 1024];
+const QUICK_SIZES: &[usize] = &[16, 48];
+const FULL_SEEDS: &[u64] = &[1, 2, 3, 4];
+const QUICK_SEEDS: &[u64] = &[1, 2];
+
+fn corpus_spec(scale: Scale) -> CorpusSpec {
+    CorpusSpec::new()
+        .families(CorpusSpec::benchmark_families())
+        .sizes(scale.pick(FULL_SIZES, QUICK_SIZES).iter().copied())
+        .seeds(scale.pick(FULL_SEEDS, QUICK_SEEDS).iter().copied())
+}
+
+/// Runs the sweep at `scale` (T-scale corpus on `Full`, CI-sized on
+/// `Quick`).
+pub fn sweep(scale: Scale) -> ThroughputReport {
+    let spec = corpus_spec(scale);
+    let corpus = format!(
+        "benchmark families × sizes {:?} × seeds {:?} ({} jobs)",
+        scale.pick(FULL_SIZES, QUICK_SIZES),
+        scale.pick(FULL_SEEDS, QUICK_SEEDS),
+        spec.len(),
+    );
+
+    let mut pipeline = Vec::new();
+    let mut base_rate = 0.0;
+    for workers in WORKER_COUNTS {
+        let engine = Engine::builder()
+            .certifier(theorem1_certifier(Algebra::shared(Connected)))
+            .workers(workers)
+            .shard_threshold(512)
+            .parallel_prove(true)
+            .build()
+            .expect("spec is complete");
+        let report = engine.run(spec.jobs());
+        assert_eq!(
+            report.batch.refused() + report.batch.failed(),
+            0,
+            "throughput corpus must certify cleanly: {}",
+            report.batch.summary()
+        );
+        let t = report.throughput;
+        let rate = t.vertices_per_sec();
+        if workers == 1 {
+            base_rate = rate;
+        }
+        pipeline.push(PipelineRun {
+            workers,
+            jobs: t.jobs,
+            vertices: t.vertices,
+            seconds: t.wall_seconds,
+            jobs_per_sec: t.jobs_per_sec(),
+            vertices_per_sec: rate,
+            speedup_vs_1: if base_rate > 0.0 {
+                rate / base_rate
+            } else {
+                0.0
+            },
+        });
+    }
+
+    // Verify-only: one big path instance, proven once; the verify stage is
+    // then re-run per thread count over the same labels. 8192 stays well
+    // inside the prover's recursion depth (its hierarchy walk is
+    // chain-deep and overflows the default stack somewhere above 12k
+    // vertices).
+    let n = scale.pick(8192, 512);
+    let (g, rep) = path_family(n);
+    let cfg = Configuration::with_random_ids(g, 17);
+    let certifier = theorem1_certifier(Algebra::shared(Connected));
+    let labels = certifier
+        .certify_with(&cfg, &ProverHint::with_representation(rep))
+        .expect("path family certifies");
+    let mut verify_only = Vec::new();
+    let mut base_rate = 0.0;
+    for workers in WORKER_COUNTS {
+        let t0 = Instant::now();
+        let report = certifier
+            .par_verify(&cfg, &labels, workers)
+            .expect("honest labels verify");
+        let seconds = t0.elapsed().as_secs_f64();
+        assert!(report.accepted());
+        let rate = if seconds > 0.0 {
+            n as f64 / seconds
+        } else {
+            0.0
+        };
+        if workers == 1 {
+            base_rate = rate;
+        }
+        verify_only.push(VerifyRun {
+            workers,
+            vertices: n,
+            seconds,
+            vertices_per_sec: rate,
+            speedup_vs_1: if base_rate > 0.0 {
+                rate / base_rate
+            } else {
+                0.0
+            },
+        });
+    }
+
+    ThroughputReport {
+        corpus,
+        pipeline,
+        verify_only,
+    }
+}
+
+impl ThroughputReport {
+    /// The human-readable table (rendered alongside T1–T9).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Throughput: {}\npipeline (parallel prove + sharded verify)\n\
+             workers  jobs  vertices  wall(s)   jobs/s    vert/s  speedup\n",
+            self.corpus,
+        );
+        for r in &self.pipeline {
+            let _ = writeln!(
+                out,
+                "{:>7}  {:>4}  {:>8}  {:>7.3}  {:>7.1}  {:>8.0}  {:>6.2}x",
+                r.workers,
+                r.jobs,
+                r.vertices,
+                r.seconds,
+                r.jobs_per_sec,
+                r.vertices_per_sec,
+                r.speedup_vs_1,
+            );
+        }
+        out.push_str("verify-only (one instance, par_verify)\nworkers  vertices  wall(s)    vert/s  speedup\n");
+        for r in &self.verify_only {
+            let _ = writeln!(
+                out,
+                "{:>7}  {:>8}  {:>7.4}  {:>8.0}  {:>6.2}x",
+                r.workers, r.vertices, r.seconds, r.vertices_per_sec, r.speedup_vs_1,
+            );
+        }
+        out
+    }
+
+    /// The `throughput` JSON section of `BENCH_results.json` (the
+    /// workspace has no serde offline; the structure is flat enough to
+    /// print by hand).
+    pub fn to_json(&self, escape: impl Fn(&str) -> String) -> String {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "    \"corpus\": \"{}\",", escape(&self.corpus));
+        json.push_str("    \"pipeline\": [\n");
+        for (i, r) in self.pipeline.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"workers\": {}, \"jobs\": {}, \"vertices\": {}, \"seconds\": {:.6}, \
+                 \"jobs_per_sec\": {:.3}, \"vertices_per_sec\": {:.3}, \"speedup_vs_1\": {:.4}}}{}",
+                r.workers,
+                r.jobs,
+                r.vertices,
+                r.seconds,
+                r.jobs_per_sec,
+                r.vertices_per_sec,
+                r.speedup_vs_1,
+                comma(i, self.pipeline.len()),
+            );
+        }
+        json.push_str("    ],\n    \"verify_only\": [\n");
+        for (i, r) in self.verify_only.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"workers\": {}, \"vertices\": {}, \"seconds\": {:.6}, \
+                 \"vertices_per_sec\": {:.3}, \"speedup_vs_1\": {:.4}}}{}",
+                r.workers,
+                r.vertices,
+                r.seconds,
+                r.vertices_per_sec,
+                r.speedup_vs_1,
+                comma(i, self.verify_only.len()),
+            );
+        }
+        json.push_str("    ]\n  }");
+        json
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_runs_and_serializes() {
+        let report = sweep(Scale::Quick);
+        assert_eq!(report.pipeline.len(), WORKER_COUNTS.len());
+        assert_eq!(report.verify_only.len(), WORKER_COUNTS.len());
+        assert!((report.pipeline[0].speedup_vs_1 - 1.0).abs() < 1e-9);
+        assert!(report.pipeline.iter().all(|r| r.vertices > 0));
+        let rendered = report.render();
+        assert!(rendered.contains("verify-only"));
+        let json = report.to_json(|s| s.to_string());
+        assert!(json.contains("\"pipeline\""));
+        assert!(json.contains("\"verify_only\""));
+        assert!(json.contains("\"speedup_vs_1\""));
+    }
+}

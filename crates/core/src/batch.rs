@@ -50,7 +50,11 @@ impl BatchJob {
 }
 
 /// Per-job outcome plus its display name.
-#[derive(Debug)]
+///
+/// Equality is field-by-field (names, verdicts, sizes, errors), so two
+/// outcomes compare equal exactly when they are bit-identical — the
+/// engine's sequential-vs-parallel parity suite relies on this.
+#[derive(Debug, PartialEq, Eq)]
 pub struct BatchOutcome {
     /// The job's display name (or its index, stringified).
     pub name: String,
@@ -59,7 +63,7 @@ pub struct BatchOutcome {
 }
 
 /// Aggregated results of a batch run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct BatchReport {
     /// One outcome per job, in job order.
     pub outcomes: Vec<BatchOutcome>,
@@ -222,15 +226,30 @@ mod tests {
 
     #[test]
     fn batch_survives_harness_errors() {
-        // A job the solver cannot handle (too large, no representation)
-        // becomes a failed outcome, not a panic.
+        // A job no solver tier can handle (past the heuristic fallback
+        // limit, no representation) becomes a failed outcome, not a panic.
         let runner = BatchRunner::new(bipartite_certifier());
-        let big = Configuration::with_sequential_ids(generators::cycle_graph(200));
+        let big = Configuration::with_sequential_ids(generators::cycle_graph(
+            crate::scheme::AUTO_HEURISTIC_LIMIT + 2,
+        ));
         let report = runner.run([BatchJob::new(big)]);
         assert_eq!(report.failed(), 1);
         assert!(matches!(
             report.outcomes[0].result,
             Err(CertError::NeedRepresentation)
         ));
+    }
+
+    #[test]
+    fn hintless_jobs_past_exact_limit_use_the_heuristic() {
+        // 40 vertices exceeds the exact solver; the heuristic fallback
+        // derives a decomposition so hintless batch jobs still certify.
+        let runner = BatchRunner::new(bipartite_certifier());
+        let report = runner.run([BatchJob::new(Configuration::with_random_ids(
+            generators::cycle_graph(40),
+            4,
+        ))
+        .named("C40")]);
+        assert!(report.all_accepted(), "{}", report.summary());
     }
 }

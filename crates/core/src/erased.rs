@@ -131,8 +131,12 @@ impl EncodedLabeling {
 /// An object-safe proof labeling scheme over encoded byte labels.
 ///
 /// Obtained from any typed [`Scheme`] via the blanket impl; boxed as
-/// [`BoxedScheme`] for registries and batch runners.
-pub trait DynScheme {
+/// [`BoxedScheme`] for registries and batch runners. `Send + Sync` are
+/// supertraits: every vertex verifies from its local view alone, so
+/// erased schemes are shareable across threads by construction — the
+/// parallel entry points ([`DynScheme::par_verify_encoded`], the
+/// `lanecert-engine` pipeline) rely on it.
+pub trait DynScheme: Send + Sync {
     /// Registry/display name of the scheme instance.
     fn name(&self) -> String;
 
@@ -159,6 +163,81 @@ pub trait DynScheme {
         cfg: &Configuration,
         labels: &EncodedLabeling,
     ) -> Result<RunReport, CertError>;
+
+    /// Runs the verifier at the contiguous vertex slice
+    /// `range.start..range.end` only, returning one verdict per vertex in
+    /// index order — the sharding primitive behind
+    /// [`DynScheme::par_verify_encoded`] and the engine's per-vertex
+    /// fan-out. Each shard decodes exactly the labels incident to its
+    /// vertices, so a vertex's view (and therefore its verdict) is
+    /// bit-identical to the full [`DynScheme::verify_encoded`] pass.
+    ///
+    /// `range` is clamped to the vertex count.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::LabelCountMismatch`] when `labels` has the wrong
+    /// length for `cfg`.
+    fn verify_encoded_range(
+        &self,
+        cfg: &Configuration,
+        labels: &EncodedLabeling,
+        range: std::ops::Range<usize>,
+    ) -> Result<Vec<Verdict>, CertError>;
+
+    /// Runs the verifier everywhere, sharding the vertex set across
+    /// `threads` OS threads (scoped; clamped to `1..=n`). Verdict order,
+    /// verdict values, and label-size statistics are bit-identical to
+    /// [`DynScheme::verify_encoded`] — shards are contiguous vertex
+    /// ranges concatenated in index order, and every per-vertex check is
+    /// a pure function of the vertex's view.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::LabelCountMismatch`] when `labels` has the wrong
+    /// length for `cfg`.
+    fn par_verify_encoded(
+        &self,
+        cfg: &Configuration,
+        labels: &EncodedLabeling,
+        threads: usize,
+    ) -> Result<RunReport, CertError> {
+        let g = cfg.graph();
+        if labels.len() != g.edge_count() {
+            return Err(CertError::LabelCountMismatch {
+                expected: g.edge_count(),
+                got: labels.len(),
+            });
+        }
+        let n = g.vertex_count();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            return self.verify_encoded(cfg, labels);
+        }
+        let chunk = n.div_ceil(threads);
+        let shards: Vec<Result<Vec<Verdict>, CertError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let range = (t * chunk)..((t + 1) * chunk).min(n);
+                    s.spawn(move || self.verify_encoded_range(cfg, labels, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verifier shard panicked"))
+                .collect()
+        });
+        let mut verdicts = Vec::with_capacity(n);
+        for shard in shards {
+            verdicts.extend(shard?);
+        }
+        Ok(RunReport {
+            verdicts,
+            max_label_bits: labels.max_bits(),
+            total_label_bits: labels.total_bits(),
+            edges: g.edge_count(),
+        })
+    }
 }
 
 /// Builds a vertex's view by decoding the incident encoded labels.
@@ -178,7 +257,7 @@ fn view_of<L: Enc + Clone>(
     }
 }
 
-impl<S: Scheme> DynScheme for S {
+impl<S: Scheme + Send + Sync> DynScheme for S {
     fn name(&self) -> String {
         Scheme::name(self)
     }
@@ -220,11 +299,54 @@ impl<S: Scheme> DynScheme for S {
             edges: g.edge_count(),
         })
     }
+
+    fn verify_encoded_range(
+        &self,
+        cfg: &Configuration,
+        labels: &EncodedLabeling,
+        range: std::ops::Range<usize>,
+    ) -> Result<Vec<Verdict>, CertError> {
+        let g = cfg.graph();
+        if labels.len() != g.edge_count() {
+            return Err(CertError::LabelCountMismatch {
+                expected: g.edge_count(),
+                got: labels.len(),
+            });
+        }
+        let lo = range.start.min(g.vertex_count());
+        let hi = range.end.min(g.vertex_count());
+        let slice = labels.as_slice();
+        // Decode per incident edge rather than all labels up front: a
+        // shard touches only its own boundary, and each decode is a pure
+        // function of the bytes, so views match the full pass exactly.
+        let decode = |e: usize| -> Option<S::Label> {
+            let l = &slice[e];
+            if l.is_canonical() {
+                l.decode()
+            } else {
+                None
+            }
+        };
+        Ok((lo..hi)
+            .map(|v| {
+                let v = lanecert_graph::VertexId::new(v);
+                let view = VertexView {
+                    id: cfg.id_of(v),
+                    incident: g
+                        .incident(v)
+                        .iter()
+                        .map(|h| decode(h.edge.index()))
+                        .collect(),
+                };
+                self.verify_at(&view)
+            })
+            .collect())
+    }
 }
 
 /// A heap-allocated erased scheme — the registry's and builder's unit of
-/// currency.
-pub type BoxedScheme = Box<dyn DynScheme + Send + Sync>;
+/// currency. `Send + Sync` come from the [`DynScheme`] supertraits.
+pub type BoxedScheme = Box<dyn DynScheme>;
 
 #[cfg(test)]
 mod tests {
@@ -304,6 +426,47 @@ mod tests {
         };
         tiny.flip_bit(3);
         assert!(tiny.bytes.is_empty());
+    }
+
+    #[test]
+    fn range_verify_matches_full_pass() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(9));
+        let boxed: BoxedScheme = Box::new(Sevens);
+        let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
+        enc.as_mut_slice()[4].flip_bit(0); // make verdicts non-uniform
+        let full = boxed.verify_encoded(&cfg, &enc).unwrap();
+        for split in [0, 1, 4, 9] {
+            let mut verdicts = boxed.verify_encoded_range(&cfg, &enc, 0..split).unwrap();
+            verdicts.extend(
+                boxed
+                    .verify_encoded_range(&cfg, &enc, split..usize::MAX)
+                    .unwrap(),
+            );
+            assert_eq!(verdicts, full.verdicts, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn par_verify_is_bit_identical_to_sequential() {
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(17));
+        let boxed: BoxedScheme = Box::new(Sevens);
+        let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
+        enc.as_mut_slice()[3].flip_bit(2);
+        let sequential = boxed.verify_encoded(&cfg, &enc).unwrap();
+        for threads in [1, 2, 4, 32] {
+            let parallel = boxed.par_verify_encoded(&cfg, &enc, threads).unwrap();
+            assert_eq!(parallel, sequential, "{threads} threads");
+        }
+        // Count mismatches surface as the same error, not a panic.
+        assert_eq!(
+            boxed
+                .par_verify_encoded(&cfg, &EncodedLabeling::default(), 4)
+                .unwrap_err(),
+            CertError::LabelCountMismatch {
+                expected: 17,
+                got: 0
+            }
+        );
     }
 
     #[test]

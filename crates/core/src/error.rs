@@ -35,7 +35,9 @@ pub enum CertError {
     },
     /// No interval representation was supplied (via
     /// [`ProverHint`](crate::ProverHint)) and the graph is too large for
-    /// the exact pathwidth solver.
+    /// automatic derivation — past both the exact pathwidth solver and
+    /// the beam-search heuristic fallback
+    /// ([`AUTO_HEURISTIC_LIMIT`](crate::scheme::AUTO_HEURISTIC_LIMIT)).
     NeedRepresentation,
     /// A labeling with the wrong number of labels was presented to the
     /// verifier harness (adversarial truncation/extension). Surfaced as an
@@ -71,7 +73,8 @@ impl fmt::Display for CertError {
             CertError::NeedRepresentation => {
                 write!(
                     f,
-                    "graph too large for the exact solver; supply a representation"
+                    "graph too large for automatic decomposition (exact solver \
+                     and heuristic fallback); supply a representation"
                 )
             }
             CertError::LabelCountMismatch { expected, got } => {

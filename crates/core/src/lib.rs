@@ -67,7 +67,9 @@ pub mod error;
 pub use error::CertError;
 
 pub mod scheme;
-pub use scheme::{Labeling, ProverHint, RunReport, Scheme, Verdict, VertexView};
+pub use scheme::{
+    Labeling, ProverHint, RunReport, Scheme, Verdict, VertexView, AUTO_HEURISTIC_LIMIT,
+};
 
 pub mod erased;
 pub use erased::{BoxedScheme, DynScheme, EncodedLabel, EncodedLabeling};
@@ -79,7 +81,7 @@ pub mod certifier;
 pub use certifier::{Certifier, CertifierBuilder};
 
 pub mod batch;
-pub use batch::{BatchJob, BatchReport, BatchRunner};
+pub use batch::{BatchJob, BatchOutcome, BatchReport, BatchRunner};
 
 pub mod pointer;
 pub mod simple;

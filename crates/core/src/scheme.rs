@@ -65,7 +65,11 @@ impl<L> VertexView<L> {
 }
 
 /// The outcome of running a scheme on a configuration.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq`/`Eq` compare every field, so two reports are equal exactly
+/// when they are bit-identical — the invariant the parallel engine's
+/// parity suite checks against the sequential path.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Per-vertex verdicts (indexed by vertex).
     pub verdicts: Vec<Verdict>,
@@ -163,12 +167,14 @@ impl<L> DerefMut for Labeling<L> {
 /// model; polynomial here) honest prover.
 ///
 /// The Theorem 1 scheme and the baseline need an interval representation
-/// of the network. [`ProverHint::auto`] lets the prover compute an optimal
-/// one with the exact solver (small graphs only);
-/// [`ProverHint::with_representation`] supplies a known one, e.g. from the
-/// generator of a benchmark family, which is how experiments scale past
-/// the solver limit. Schemes that need no decomposition (the 1-bit and
-/// whole-graph schemes) ignore the hint.
+/// of the network. [`ProverHint::auto`] lets the prover compute one: an
+/// optimal one with the exact solver on small graphs, and a beam-search
+/// upper bound ([`lanecert_pathwidth::solver::pathwidth_heuristic`]) up to
+/// [`AUTO_HEURISTIC_LIMIT`] vertices. [`ProverHint::with_representation`]
+/// supplies a known one, e.g. from the generator of a benchmark family,
+/// which is how experiments scale past the derivation limits. Schemes that
+/// need no decomposition (the 1-bit and whole-graph schemes) ignore the
+/// hint.
 #[derive(Clone, Debug, Default)]
 pub struct ProverHint {
     rep: Option<IntervalRep>,
@@ -193,16 +199,20 @@ impl ProverHint {
     /// Resolves an interval representation for `cfg`: the supplied one if
     /// present (validated against the graph, so a stale or wrong-graph
     /// hint is an error rather than a downstream panic — provers may use
-    /// the result without re-validating), otherwise an optimal one from
-    /// the exact pathwidth solver. Borrows the supplied representation
-    /// instead of cloning it.
+    /// the result without re-validating), otherwise a derived one — an
+    /// optimal one from the exact pathwidth solver when the graph fits its
+    /// limit, falling back to the beam-search heuristic up to
+    /// [`AUTO_HEURISTIC_LIMIT`] vertices (an upper-bound decomposition: the
+    /// verifier's lane bound may still refuse it when the heuristic
+    /// overshoots). Borrows the supplied representation instead of cloning
+    /// it.
     ///
     /// # Errors
     ///
     /// [`CertError::InvalidSpec`] when the supplied representation does
     /// not fit `cfg`; [`CertError::NeedRepresentation`] when no
-    /// representation was supplied and the graph exceeds the exact-solver
-    /// limit.
+    /// representation was supplied and the graph exceeds
+    /// [`AUTO_HEURISTIC_LIMIT`].
     pub fn resolve(&self, cfg: &Configuration) -> Result<Cow<'_, IntervalRep>, CertError> {
         if let Some(rep) = &self.rep {
             check_rep_fits(rep, cfg)?;
@@ -214,11 +224,27 @@ impl ProverHint {
                 cfg.n()
             ])));
         }
-        let (_, pd) =
-            solver::pathwidth_exact(cfg.graph()).map_err(|_| CertError::NeedRepresentation)?;
+        let pd = match solver::pathwidth_exact(cfg.graph()) {
+            Ok((_, pd)) => pd,
+            Err(_) if cfg.n() <= AUTO_HEURISTIC_LIMIT => {
+                let (_, pd) = solver::pathwidth_heuristic(cfg.graph(), AUTO_HEURISTIC_BEAM);
+                pd
+            }
+            Err(_) => return Err(CertError::NeedRepresentation),
+        };
         Ok(Cow::Owned(IntervalRep::from_decomposition(&pd, cfg.n())))
     }
 }
+
+/// Largest vertex count for which [`ProverHint::resolve`] derives a
+/// decomposition itself (exact solver below its own limit, beam-search
+/// heuristic beyond). Larger graphs must supply a representation — the
+/// heuristic's cost grows cubically, which would turn a missing hint into
+/// a silent multi-second stall per batch job.
+pub const AUTO_HEURISTIC_LIMIT: usize = 256;
+
+/// Beam width used by the automatic heuristic fallback.
+const AUTO_HEURISTIC_BEAM: usize = 8;
 
 /// Validates a caller-supplied interval representation against a
 /// configuration, mapping a mismatch to the API's typed error (shared by
@@ -239,8 +265,10 @@ pub(crate) fn check_rep_fits(rep: &IntervalRep, cfg: &Configuration) -> Result<(
 /// every vertex. Label sizes are measured in bits of the wire encoding
 /// ([`crate::bits`]).
 pub trait Scheme {
-    /// The per-edge label format.
-    type Label: Enc + Clone;
+    /// The per-edge label format. Labels are plain wire data; the
+    /// `Send + Sync` bounds let the erased layer shard verification across
+    /// threads ([`DynScheme::par_verify_encoded`](crate::DynScheme)).
+    type Label: Enc + Clone + Send + Sync;
 
     /// Registry/display name of the scheme instance.
     fn name(&self) -> String;
@@ -404,6 +432,23 @@ mod tests {
                 expected: 5,
                 got: 3
             }
+        );
+    }
+
+    #[test]
+    fn auto_hint_falls_back_to_heuristic_past_exact_limit() {
+        // 40 vertices is past the exact solver's limit but within the
+        // heuristic fallback, so an auto hint still resolves.
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(40));
+        let hint = ProverHint::auto();
+        let rep = hint.resolve(&cfg).unwrap();
+        rep.validate(cfg.graph()).unwrap();
+        // Beyond the fallback limit the caller must supply one.
+        let big =
+            Configuration::with_sequential_ids(generators::cycle_graph(AUTO_HEURISTIC_LIMIT + 1));
+        assert_eq!(
+            ProverHint::auto().resolve(&big).unwrap_err(),
+            CertError::NeedRepresentation
         );
     }
 

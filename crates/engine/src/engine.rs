@@ -1,0 +1,563 @@
+//! The streaming certification pipeline on top of the work-stealing pool.
+//!
+//! [`Engine::run`] pulls [`BatchJob`]s from any job source (an iterator —
+//! e.g. [`CorpusSpec::jobs`](crate::CorpusSpec::jobs) — is one), keeps a
+//! bounded window of them in flight, and fans each job through
+//! prove → encode → verify. Large configurations additionally shard their
+//! per-vertex verification across workers in continuation style: one leaf
+//! task per contiguous vertex range, and the *last* shard to finish
+//! assembles the report, so no worker ever blocks on another (the pool's
+//! no-waiting rule).
+//!
+//! # Stage placement and parity
+//!
+//! By default the **prover runs on the driver thread, in job order**,
+//! while every verification fans out to the pool. This mirrors the
+//! paper's model — the prover is the centralized entity, the per-vertex
+//! verifier is what's embarrassingly parallel — and it is also what makes
+//! the engine *bit-identical* to the sequential
+//! [`BatchRunner`](lanecert::BatchRunner): proving mutates the property
+//! algebra's state interner (arrival order assigns the class ids that
+//! labels carry on the wire), so proves must happen in submission order,
+//! whereas verifying honest labels only replays classes the prover
+//! already interned and is therefore side-effect-free. Outcomes land in
+//! submission-indexed slots and shard verdicts in range-indexed slots, so
+//! the folded [`BatchReport`] is identical for any worker count and any
+//! scheduling — pinned for every registered scheme family by the parity
+//! proptests in `tests/engine_parity.rs`.
+//!
+//! [`EngineBuilder::parallel_prove`] opts into proving on the pool too:
+//! maximal wall-clock parallelism, same verdicts, but label-size
+//! statistics may drift from the sequential path while the interner is
+//! still warming up (concurrent first-sight interning perturbs id
+//! assignment, and id magnitude leaks into varint label sizes).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use lanecert::{
+    BatchJob, BatchOutcome, BatchReport, CertError, Certifier, Configuration, EncodedLabeling,
+    RunReport, Verdict,
+};
+
+use crate::pool::{Spawner, WorkStealingPool};
+
+/// Throughput accounting for one engine run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Throughput {
+    /// Worker threads the engine ran with.
+    pub workers: usize,
+    /// Jobs pulled from the source.
+    pub jobs: usize,
+    /// Jobs that produced a full report (accepted or rejected), as
+    /// opposed to prover refusals/errors.
+    pub certified: usize,
+    /// Vertices verified across all certified jobs.
+    pub vertices: usize,
+    /// Edges labeled across all certified jobs.
+    pub edges: usize,
+    /// Wall-clock duration of the whole run, in seconds.
+    pub wall_seconds: f64,
+    /// Time the driver spent proving (the sequential stage; zero when
+    /// [`EngineBuilder::parallel_prove`] moves proving onto the pool).
+    /// `wall_seconds - prove_seconds` bounds the verify stage's critical
+    /// path from above.
+    pub prove_seconds: f64,
+}
+
+impl Throughput {
+    /// Jobs per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        per_second(self.jobs, self.wall_seconds)
+    }
+
+    /// Verified vertices per wall-clock second.
+    pub fn vertices_per_sec(&self) -> f64 {
+        per_second(self.vertices, self.wall_seconds)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} workers: {} jobs ({} certified), {} vertices in {:.3}s ({:.3}s proving) — {:.0} jobs/s, {:.0} vertices/s",
+            self.workers,
+            self.jobs,
+            self.certified,
+            self.vertices,
+            self.wall_seconds,
+            self.prove_seconds,
+            self.jobs_per_sec(),
+            self.vertices_per_sec(),
+        )
+    }
+}
+
+fn per_second(count: usize, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        count as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+/// What an engine run returns: the batch outcomes (bit-identical to the
+/// sequential path) plus throughput accounting.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// Per-job outcomes folded into the standard batch report.
+    pub batch: BatchReport,
+    /// Rate accounting for the run.
+    pub throughput: Throughput,
+}
+
+/// The parallel certification engine: a work-stealing pool plus one
+/// certifier, streaming jobs through prove → encode → verify.
+///
+/// ```
+/// use lanecert_engine::{CorpusFamily, CorpusSpec, Engine};
+/// use lanecert::Certifier;
+/// use lanecert_algebra::{props::Connected, Algebra};
+///
+/// let engine = Engine::builder()
+///     .certifier(
+///         Certifier::builder()
+///             .property(Algebra::shared(Connected))
+///             .pathwidth(2)
+///             .build()
+///             .unwrap(),
+///     )
+///     .workers(2)
+///     .build()
+///     .unwrap();
+/// let spec = CorpusSpec::new()
+///     .families(CorpusSpec::benchmark_families())
+///     .sizes([12, 24])
+///     .seed(1);
+/// let report = engine.run(spec.jobs());
+/// assert!(report.batch.all_accepted());
+/// assert_eq!(report.throughput.jobs, spec.len());
+/// ```
+pub struct Engine {
+    pool: WorkStealingPool,
+    certifier: Arc<Certifier>,
+    shard_threshold: usize,
+    window_per_worker: usize,
+    parallel_prove: bool,
+}
+
+impl Engine {
+    /// Starts a builder.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The engine's certifier.
+    pub fn certifier(&self) -> &Certifier {
+        &self.certifier
+    }
+
+    /// Streams `jobs` through the pipeline and folds the outcomes, in
+    /// submission order, into a [`BatchReport`] bit-identical to the
+    /// sequential [`BatchRunner`](lanecert::BatchRunner) run of the same
+    /// jobs (see the module docs for why; under
+    /// [`EngineBuilder::parallel_prove`] only verdicts are guaranteed
+    /// identical), alongside [`Throughput`] accounting.
+    ///
+    /// The source is pulled lazily: at most `window_per_worker × workers`
+    /// jobs are in flight at once, so arbitrarily long corpora stream in
+    /// bounded memory.
+    pub fn run(&self, jobs: impl IntoIterator<Item = BatchJob>) -> EngineReport {
+        let start = Instant::now();
+        let window = (self.window_per_worker * self.workers()).max(1);
+        let state = Arc::new(RunState {
+            slots: Mutex::new(Vec::new()),
+            in_flight: Mutex::new(0),
+            job_done: Condvar::new(),
+        });
+        let mut prove_seconds = 0.0;
+
+        for (index, job) in jobs.into_iter().enumerate() {
+            {
+                let mut in_flight = state.in_flight.lock().expect("engine state poisoned");
+                while *in_flight >= window {
+                    in_flight = state
+                        .job_done
+                        .wait(in_flight)
+                        .expect("engine state poisoned");
+                }
+                *in_flight += 1;
+            }
+            state
+                .slots
+                .lock()
+                .expect("engine state poisoned")
+                .push(None);
+            let task = JobTask {
+                state: Arc::clone(&state),
+                certifier: Arc::clone(&self.certifier),
+                index,
+                shards: self.shard_plan(),
+                spawner: self.pool.spawner(),
+            };
+            if self.parallel_prove {
+                self.pool.spawn(move || task.prove_and_verify(job));
+            } else {
+                // Prove here on the driver, in job order (the parity
+                // invariant); hand only the verification to the pool.
+                let t0 = Instant::now();
+                let proved = task.prove(job);
+                prove_seconds += t0.elapsed().as_secs_f64();
+                if let Some((task, cfg, labels)) = proved {
+                    task.submit_verify(cfg, labels);
+                }
+            }
+        }
+
+        // Drain: wait for the window to empty.
+        {
+            let mut in_flight = state.in_flight.lock().expect("engine state poisoned");
+            while *in_flight > 0 {
+                in_flight = state
+                    .job_done
+                    .wait(in_flight)
+                    .expect("engine state poisoned");
+            }
+        }
+
+        let outcomes: Vec<BatchOutcome> = state
+            .slots
+            .lock()
+            .expect("engine state poisoned")
+            .drain(..)
+            .map(|slot| slot.expect("every submitted job reports"))
+            .collect();
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let mut throughput = Throughput {
+            workers: self.workers(),
+            jobs: outcomes.len(),
+            wall_seconds,
+            prove_seconds,
+            ..Throughput::default()
+        };
+        for outcome in &outcomes {
+            if let Ok(report) = &outcome.result {
+                throughput.certified += 1;
+                throughput.vertices += report.verdicts.len();
+                throughput.edges += report.edges;
+            }
+        }
+        EngineReport {
+            batch: BatchReport { outcomes },
+            throughput,
+        }
+    }
+
+    fn shard_plan(&self) -> ShardPlan {
+        ShardPlan {
+            threshold: self.shard_threshold,
+            workers: self.workers(),
+        }
+    }
+}
+
+struct RunState {
+    /// One slot per submitted job, in submission order.
+    slots: Mutex<Vec<Option<BatchOutcome>>>,
+    /// Jobs submitted but not yet reported.
+    in_flight: Mutex<usize>,
+    /// Signalled on every job completion (feeds both the window gate and
+    /// the final drain).
+    job_done: Condvar,
+}
+
+impl RunState {
+    fn finish(&self, index: usize, name: String, result: Result<RunReport, CertError>) {
+        self.slots.lock().expect("engine state poisoned")[index] =
+            Some(BatchOutcome { name, result });
+        let mut in_flight = self.in_flight.lock().expect("engine state poisoned");
+        *in_flight -= 1;
+        drop(in_flight);
+        self.job_done.notify_all();
+    }
+}
+
+#[derive(Copy, Clone)]
+struct ShardPlan {
+    threshold: usize,
+    workers: usize,
+}
+
+impl ShardPlan {
+    /// Contiguous vertex ranges for a configuration of `n` vertices, or
+    /// `None` when the job should verify as one task (small instance or a
+    /// single worker — sharding would only pay coordination overhead).
+    fn ranges(&self, n: usize) -> Option<Vec<std::ops::Range<usize>>> {
+        if self.workers < 2 || n < self.threshold.max(2) {
+            return None;
+        }
+        // Two shards per worker keeps the tail balanced without flooding
+        // the queues with tiny ranges.
+        let shards = (self.workers * 2).min(n);
+        let chunk = n.div_ceil(shards);
+        Some(
+            (0..shards)
+                .map(|s| (s * chunk)..((s + 1) * chunk).min(n))
+                .filter(|r| !r.is_empty())
+                .collect(),
+        )
+    }
+}
+
+/// One job's pipeline context; carries the job across stages. The name is
+/// resolved at prove time, the outcome slot at `index` is reserved by the
+/// driver.
+struct JobTask {
+    state: Arc<RunState>,
+    certifier: Arc<Certifier>,
+    index: usize,
+    shards: ShardPlan,
+    spawner: Spawner,
+}
+
+impl JobTask {
+    /// The prove stage. On refusal/error the outcome is reported and
+    /// `None` returned; on success the encoded labels move on to the
+    /// verify stage together with the (name-carrying) task.
+    ///
+    /// A panicking scheme becomes an outcome, not a hung run: the driver
+    /// waits for every slot, so an unwound task would otherwise strand it
+    /// (the sequential `BatchRunner` would propagate the panic; schemes
+    /// are hardened against label-induced panics since the erased layer
+    /// landed).
+    fn prove(self, job: BatchJob) -> Option<(NamedTask, Configuration, EncodedLabeling)> {
+        let BatchJob { name, cfg, hint } = job;
+        let name = name.unwrap_or_else(|| self.index.to_string());
+        // Borrow the certifier's default hint rather than cloning it per
+        // job — this runs on the sequential prove critical path.
+        let hint = hint.as_ref().unwrap_or_else(|| self.certifier.hint());
+        match no_panic(|| self.certifier.scheme().prove_encoded(&cfg, hint)) {
+            Ok(labels) => Some((NamedTask { task: self, name }, cfg, labels)),
+            Err(e) => {
+                self.state.finish(self.index, name, Err(e));
+                None
+            }
+        }
+    }
+
+    /// The full pipeline on a pool worker (`parallel_prove` mode).
+    fn prove_and_verify(self, job: BatchJob) {
+        if let Some((task, cfg, labels)) = self.prove(job) {
+            task.submit_verify(cfg, labels);
+        }
+    }
+}
+
+/// A job past its prove stage: name resolved, outcome still owed.
+struct NamedTask {
+    task: JobTask,
+    name: String,
+}
+
+impl NamedTask {
+    /// The verify stage: one pool task for small configurations, a
+    /// continuation-style shard fan-out for large ones. Never blocks —
+    /// the last shard to finish assembles and reports, which is what
+    /// keeps the executor deadlock-free.
+    fn submit_verify(self, cfg: Configuration, labels: EncodedLabeling) {
+        let NamedTask { task, name } = self;
+        match task.shards.ranges(cfg.n()) {
+            None => {
+                let certifier = Arc::clone(&task.certifier);
+                let state = Arc::clone(&task.state);
+                let index = task.index;
+                task.spawner.spawn(move || {
+                    let result = no_panic(|| certifier.scheme().verify_encoded(&cfg, &labels));
+                    state.finish(index, name, result);
+                });
+            }
+            Some(ranges) => {
+                let gather = Arc::new(ShardGather {
+                    state: Arc::clone(&task.state),
+                    certifier: Arc::clone(&task.certifier),
+                    cfg: Arc::new(cfg),
+                    labels: Arc::new(labels),
+                    index: task.index,
+                    name: Mutex::new(Some(name)),
+                    verdicts: Mutex::new((0..ranges.len()).map(|_| None).collect()),
+                    remaining: AtomicUsize::new(ranges.len()),
+                });
+                for (shard, range) in ranges.into_iter().enumerate() {
+                    let gather = Arc::clone(&gather);
+                    task.spawner
+                        .spawn(move || gather.verify_shard(shard, range));
+                }
+            }
+        }
+    }
+}
+
+/// One shard's pending result slot.
+type ShardSlot = Option<Result<Vec<Verdict>, CertError>>;
+
+/// Continuation state for one sharded verification: range-indexed verdict
+/// slots plus a countdown; the last shard assembles the report.
+struct ShardGather {
+    state: Arc<RunState>,
+    certifier: Arc<Certifier>,
+    cfg: Arc<Configuration>,
+    labels: Arc<EncodedLabeling>,
+    index: usize,
+    name: Mutex<Option<String>>,
+    verdicts: Mutex<Vec<ShardSlot>>,
+    remaining: AtomicUsize,
+}
+
+/// Runs `f`, mapping an unwind to [`CertError::Internal`] so pipeline
+/// tasks always report an outcome.
+fn no_panic<T>(f: impl FnOnce() -> Result<T, CertError>) -> Result<T, CertError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|_| {
+        Err(CertError::Internal(
+            "scheme panicked in the pipeline".into(),
+        ))
+    })
+}
+
+impl ShardGather {
+    fn verify_shard(&self, shard: usize, range: std::ops::Range<usize>) {
+        let result = no_panic(|| {
+            self.certifier
+                .scheme()
+                .verify_encoded_range(&self.cfg, &self.labels, range)
+        });
+        self.verdicts.lock().expect("shard state poisoned")[shard] = Some(result);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.assemble();
+        }
+    }
+
+    /// Runs on whichever worker finishes last; concatenates the verdict
+    /// ranges in vertex order (deterministic regardless of which worker
+    /// ran which shard) and reports the job outcome.
+    fn assemble(&self) {
+        let shards = std::mem::take(&mut *self.verdicts.lock().expect("shard state poisoned"));
+        let mut verdicts = Vec::with_capacity(self.cfg.n());
+        let mut error = None;
+        for slot in shards {
+            match slot.expect("all shards reported") {
+                Ok(vs) => verdicts.extend(vs),
+                Err(e) => {
+                    // Shard errors are per-job-global conditions (count
+                    // mismatch, panic); keep the first in range order so
+                    // the outcome is deterministic.
+                    error = error.or(Some(e));
+                }
+            }
+        }
+        let result = match error {
+            Some(e) => Err(e),
+            None => Ok(RunReport {
+                verdicts,
+                max_label_bits: self.labels.max_bits(),
+                total_label_bits: self.labels.total_bits(),
+                edges: self.cfg.graph().edge_count(),
+            }),
+        };
+        let name = self
+            .name
+            .lock()
+            .expect("shard state poisoned")
+            .take()
+            .expect("assemble runs once");
+        self.state.finish(self.index, name, result);
+    }
+}
+
+/// Fluent configuration for an [`Engine`].
+pub struct EngineBuilder {
+    certifier: Option<Certifier>,
+    workers: Option<usize>,
+    shard_threshold: usize,
+    window_per_worker: usize,
+    parallel_prove: bool,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self {
+            certifier: None,
+            workers: None,
+            shard_threshold: 1024,
+            window_per_worker: 4,
+            parallel_prove: false,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// The certifier every job runs through (required).
+    pub fn certifier(mut self, certifier: Certifier) -> Self {
+        self.certifier = Some(certifier);
+        self
+    }
+
+    /// Worker thread count (default: the machine's available
+    /// parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Vertex count at which a job's verification is sharded across
+    /// workers instead of running as one task (default 1024). Has no
+    /// effect on results — only on scheduling.
+    pub fn shard_threshold(mut self, vertices: usize) -> Self {
+        self.shard_threshold = vertices;
+        self
+    }
+
+    /// In-flight jobs per worker the streaming window admits (default 4).
+    pub fn window_per_worker(mut self, jobs: usize) -> Self {
+        self.window_per_worker = jobs.max(1);
+        self
+    }
+
+    /// Moves the prove stage onto the pool as well (default: off). Fully
+    /// parallel wall-clock, identical verdicts — but label-size
+    /// statistics may drift from the sequential path while the property
+    /// algebra's interner is warming up (see the module docs), so leave
+    /// this off when reports must be bit-identical to
+    /// [`BatchRunner`](lanecert::BatchRunner).
+    pub fn parallel_prove(mut self, enabled: bool) -> Self {
+        self.parallel_prove = enabled;
+        self
+    }
+
+    /// Builds the engine, spawning its workers.
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::InvalidSpec`] when no certifier was supplied.
+    pub fn build(self) -> Result<Engine, CertError> {
+        let certifier = self.certifier.ok_or_else(|| {
+            CertError::InvalidSpec("the engine needs a certifier (.certifier(...))".into())
+        })?;
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Ok(Engine {
+            pool: WorkStealingPool::new(workers),
+            certifier: Arc::new(certifier),
+            shard_threshold: self.shard_threshold,
+            window_per_worker: self.window_per_worker,
+            parallel_prove: self.parallel_prove,
+        })
+    }
+}

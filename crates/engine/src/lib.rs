@@ -1,0 +1,217 @@
+//! `lanecert-engine` — the parallel certification engine.
+//!
+//! The paper's verifier is embarrassingly parallel by construction: every
+//! vertex accepts or rejects from its local view alone. This crate turns
+//! that into throughput. It has three layers:
+//!
+//! * [`pool`] — a hand-rolled work-stealing executor on `std::thread`
+//!   (no crates.io in the build environment): per-worker chunked deques,
+//!   parker-based idle handling, and deterministic result ordering via
+//!   submission-indexed slots.
+//! * [`corpus`] — declarative streaming corpora: a [`CorpusSpec`]
+//!   (families × sizes × seeds over the `lanecert_graph` generators)
+//!   lazily streams [`BatchJob`](lanecert::BatchJob)s, attaching
+//!   known-width interval representations where the family provides one.
+//! * [`engine`] — the pipeline: [`Engine::run`] fans each job through
+//!   prove → encode → verify on the pool, sharding per-vertex
+//!   verification of large configurations across workers in continuation
+//!   style, and folds outcomes into the standard
+//!   [`BatchReport`](lanecert::BatchReport) — **bit-identical** to the
+//!   sequential [`BatchRunner`](lanecert::BatchRunner), regardless of
+//!   worker count or scheduling (pinned by the parity proptests).
+//!
+//! ```
+//! use lanecert::Certifier;
+//! use lanecert_algebra::{props::Connected, Algebra};
+//! use lanecert_engine::{CorpusFamily, CorpusSpec, Engine};
+//!
+//! let engine = Engine::builder()
+//!     .certifier(
+//!         Certifier::builder()
+//!             .property(Algebra::shared(Connected))
+//!             .pathwidth(2)
+//!             .build()
+//!             .unwrap(),
+//!     )
+//!     .workers(2)
+//!     .build()
+//!     .unwrap();
+//! let corpus = CorpusSpec::new()
+//!     .family(CorpusFamily::Cycle)
+//!     .sizes([16, 48])
+//!     .seeds([1, 2]);
+//! let report = engine.run(corpus.jobs());
+//! assert!(report.batch.all_accepted());
+//! println!("{}", report.throughput.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub use pool::{ChunkedDeque, Parker, Spawner, WorkStealingPool};
+
+pub mod corpus;
+pub use corpus::{CorpusFamily, CorpusSpec};
+
+pub mod engine;
+pub use engine::{Engine, EngineBuilder, EngineReport, Throughput};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert::{BatchJob, BatchRunner, CertError, Certifier, Configuration};
+    use lanecert_algebra::{props::Bipartite, props::Connected, Algebra};
+    use lanecert_graph::generators;
+
+    fn connected_certifier() -> Certifier {
+        Certifier::builder()
+            .property(Algebra::shared(Connected))
+            .pathwidth(2)
+            .build()
+            .unwrap()
+    }
+
+    fn mixed_corpus() -> CorpusSpec {
+        CorpusSpec::new()
+            .families(CorpusSpec::benchmark_families())
+            .family(CorpusFamily::DisjointPaths)
+            .sizes([8, 20])
+            .seeds([3, 9])
+    }
+
+    #[test]
+    fn engine_report_matches_batch_runner_exactly() {
+        let corpus = mixed_corpus();
+        let sequential = BatchRunner::new(connected_certifier()).run(corpus.jobs());
+        for workers in [1, 2, 5] {
+            let engine = Engine::builder()
+                .certifier(connected_certifier())
+                .workers(workers)
+                .build()
+                .unwrap();
+            let parallel = engine.run(corpus.jobs());
+            assert_eq!(parallel.batch, sequential, "{workers} workers");
+            assert_eq!(parallel.throughput.jobs, corpus.len());
+            assert_eq!(parallel.throughput.workers, workers);
+            // Disjoint-paths jobs refuse; the rest certify.
+            assert_eq!(parallel.throughput.certified, sequential.accepted());
+            assert!(parallel.throughput.vertices > 0);
+            assert!(parallel.throughput.wall_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn sharded_verification_is_bit_identical() {
+        // Force the per-vertex shard path with a low threshold and check
+        // against the inline path job by job.
+        let jobs = || {
+            (0..6u64).map(|s| {
+                BatchJob::new(Configuration::with_random_ids(
+                    generators::cycle_graph(64),
+                    s,
+                ))
+                .named(format!("C64/{s}"))
+            })
+        };
+        let inline = Engine::builder()
+            .certifier(connected_certifier())
+            .workers(1)
+            .build()
+            .unwrap()
+            .run(jobs());
+        let sharded = Engine::builder()
+            .certifier(connected_certifier())
+            .workers(4)
+            .shard_threshold(16)
+            .build()
+            .unwrap()
+            .run(jobs());
+        assert_eq!(sharded.batch, inline.batch);
+        assert!(inline.batch.all_accepted());
+    }
+
+    #[test]
+    fn parallel_prove_agrees_on_verdicts() {
+        // With proving moved onto the pool only verdict-level agreement is
+        // promised (label sizes may drift while the algebra interner
+        // warms; see the engine module docs).
+        let corpus = mixed_corpus();
+        let sequential = BatchRunner::new(connected_certifier()).run(corpus.jobs());
+        let engine = Engine::builder()
+            .certifier(connected_certifier())
+            .workers(4)
+            .parallel_prove(true)
+            .build()
+            .unwrap();
+        let parallel = engine.run(corpus.jobs());
+        assert_eq!(parallel.batch.outcomes.len(), sequential.outcomes.len());
+        for (p, s) in parallel.batch.outcomes.iter().zip(&sequential.outcomes) {
+            assert_eq!(p.name, s.name);
+            match (&p.result, &s.result) {
+                (Ok(pr), Ok(sr)) => assert_eq!(pr.verdicts, sr.verdicts, "{}", p.name),
+                (Err(pe), Err(se)) => assert_eq!(pe, se, "{}", p.name),
+                _ => panic!("{}: outcome kind diverged", p.name),
+            }
+        }
+        assert_eq!(parallel.throughput.prove_seconds, 0.0);
+    }
+
+    #[test]
+    fn empty_source_yields_empty_report() {
+        let engine = Engine::builder()
+            .certifier(connected_certifier())
+            .workers(2)
+            .build()
+            .unwrap();
+        let report = engine.run(std::iter::empty());
+        assert!(report.batch.outcomes.is_empty());
+        assert_eq!(report.throughput.jobs, 0);
+        assert_eq!(report.throughput.jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn builder_requires_a_certifier() {
+        assert!(matches!(
+            Engine::builder().build().err().unwrap(),
+            CertError::InvalidSpec(_)
+        ));
+    }
+
+    #[test]
+    fn streaming_window_bounds_do_not_drop_or_reorder_jobs() {
+        // Many more jobs than the window admits; names must come back in
+        // submission order with nothing lost.
+        let engine = Engine::builder()
+            .certifier(
+                Certifier::builder()
+                    .property(Algebra::shared(Bipartite))
+                    .pathwidth(2)
+                    .build()
+                    .unwrap(),
+            )
+            .workers(3)
+            .window_per_worker(1)
+            .build()
+            .unwrap();
+        let total = 40usize;
+        let report = engine.run((0..total).map(|i| {
+            // Odd cycles refuse (non-bipartite); even ones accept.
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(i + 3),
+                i as u64,
+            ))
+        }));
+        assert_eq!(report.batch.outcomes.len(), total);
+        for (i, outcome) in report.batch.outcomes.iter().enumerate() {
+            assert_eq!(outcome.name, i.to_string());
+            let odd_cycle = (i + 3) % 2 == 1;
+            assert_eq!(
+                matches!(outcome.result, Err(CertError::PropertyViolated)),
+                odd_cycle,
+                "job {i}"
+            );
+        }
+        assert_eq!(report.batch.refused(), total / 2);
+    }
+}

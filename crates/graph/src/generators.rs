@@ -184,6 +184,90 @@ pub fn random_pathwidth_graph(
     (g, bags)
 }
 
+/// The disjoint union of two graphs: `b`'s vertices are appended after
+/// `a`'s (vertex `i` of `b` becomes `a.vertex_count() + i`). The result is
+/// disconnected whenever both operands are non-empty — the standard
+/// negative instance for connectivity-requiring schemes, which certifiers
+/// refuse with a `Disconnected`-style error rather than certify.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    let offset = a.vertex_count();
+    let mut g = a.clone();
+    for _ in 0..b.vertex_count() {
+        g.add_vertex();
+    }
+    for (_, e) in b.edges() {
+        g.add_edge(
+            VertexId::new(offset + e.u.index()),
+            VertexId::new(offset + e.v.index()),
+        )
+        .unwrap();
+    }
+    g
+}
+
+/// A random interval graph: `n` intervals with integer endpoints in
+/// `[0, span]` and lengths in `[0, max_len]`; vertices are adjacent
+/// exactly when their intervals overlap. Returns the graph together with
+/// the generating intervals as `(lo, hi)` pairs — they form a valid
+/// interval representation of the graph by construction (every edge is an
+/// overlap), so callers get a pathwidth witness for free. Smaller
+/// `max_len` relative to `span / n` keeps the clique number (and hence
+/// the width) low; the graph may be disconnected.
+///
+/// # Panics
+///
+/// Panics if `max_len > span`.
+pub fn random_interval_graph(
+    n: usize,
+    span: u32,
+    max_len: u32,
+    rng: &mut StdRng,
+) -> (Graph, Vec<(u32, u32)>) {
+    assert!(max_len <= span, "interval length cannot exceed the span");
+    let intervals: Vec<(u32, u32)> = (0..n)
+        .map(|_| {
+            let len = rng.random_range(0..=max_len);
+            let lo = rng.random_range(0..=(span - len));
+            (lo, lo + len)
+        })
+        .collect();
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (alo, ahi) = intervals[i];
+            let (blo, bhi) = intervals[j];
+            if alo <= bhi && blo <= ahi {
+                g.add_edge(VertexId::new(i), VertexId::new(j)).unwrap();
+            }
+        }
+    }
+    (g, intervals)
+}
+
+/// A preferential-attachment tree on `n` vertices (Barabási–Albert with
+/// one edge per arrival): each new vertex attaches to an existing vertex
+/// chosen with probability proportional to its current degree, yielding a
+/// power-law degree distribution — a hub-heavy counterpoint to the
+/// uniform [`random_tree`]. Implemented by sampling a uniform edge
+/// endpoint (each vertex appears once per incident edge).
+pub fn power_law_tree(n: usize, rng: &mut StdRng) -> Graph {
+    let mut g = Graph::new(n);
+    if n < 2 {
+        return g;
+    }
+    g.add_edge(VertexId::new(0), VertexId::new(1)).unwrap();
+    // endpoints[i] lists each vertex once per incident edge, so a uniform
+    // draw is a degree-proportional draw.
+    let mut endpoints: Vec<usize> = vec![0, 1];
+    for v in 2..n {
+        let target = endpoints[rng.random_range(0..endpoints.len())];
+        g.add_edge(VertexId::new(target), VertexId::new(v)).unwrap();
+        endpoints.push(target);
+        endpoints.push(v);
+    }
+    g
+}
+
 /// A convenience deterministic RNG for examples and tests.
 pub fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
@@ -234,6 +318,61 @@ mod tests {
             // Bag width bound.
             assert!(bags.iter().all(|b| b.len() <= k + 1));
         }
+    }
+
+    #[test]
+    fn disjoint_union_offsets_and_disconnects() {
+        let g = disjoint_union(&path_graph(3), &cycle_graph(4));
+        assert_eq!(g.vertex_count(), 7);
+        assert_eq!(g.edge_count(), 2 + 4);
+        assert!(!components::is_connected(&g));
+        // b's edges land on the offset vertices, untouched by a's.
+        assert!(g.has_edge(VertexId::new(3), VertexId::new(4)));
+        assert!(!g.has_edge(VertexId::new(2), VertexId::new(3)));
+        // Union with an empty graph is a no-op on edges.
+        let same = disjoint_union(&path_graph(3), &Graph::new(0));
+        assert_eq!(same.edge_count(), 2);
+        assert_eq!(same.vertex_count(), 3);
+    }
+
+    #[test]
+    fn random_interval_graph_edges_match_overlaps() {
+        let mut rng = seeded_rng(5);
+        let (g, ivs) = random_interval_graph(24, 60, 6, &mut rng);
+        assert_eq!(ivs.len(), 24);
+        for (i, &(alo, ahi)) in ivs.iter().enumerate() {
+            assert!(alo <= ahi && ahi <= 60 && ahi - alo <= 6);
+            for (j, &(blo, bhi)) in ivs.iter().enumerate().skip(i + 1) {
+                let overlap = alo <= bhi && blo <= ahi;
+                assert_eq!(
+                    g.has_edge(VertexId::new(i), VertexId::new(j)),
+                    overlap,
+                    "({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_law_tree_is_hubbier_than_uniform() {
+        let mut rng = seeded_rng(9);
+        for n in [1, 2, 5, 64] {
+            let t = power_law_tree(n, &mut rng);
+            assert!(components::is_tree(&t), "n = {n}");
+        }
+        // Preferential attachment concentrates degree: over a few draws
+        // the max degree beats the uniform-attachment tree's on average.
+        let (mut hub_sum, mut uni_sum) = (0usize, 0usize);
+        for seed in 0..8 {
+            let mut r1 = seeded_rng(seed);
+            let mut r2 = seeded_rng(seed);
+            let hub = power_law_tree(200, &mut r1);
+            let uni = random_tree(200, &mut r2);
+            let max_deg = |g: &Graph| g.vertices().map(|v| g.degree(v)).max().unwrap();
+            hub_sum += max_deg(&hub);
+            uni_sum += max_deg(&uni);
+        }
+        assert!(hub_sum > uni_sum, "hub {hub_sum} vs uniform {uni_sum}");
     }
 
     #[test]

@@ -232,6 +232,47 @@ mod tests {
     }
 
     #[test]
+    fn stream_is_pinned_across_platforms_and_refactors() {
+        // The exact first-16 draws of a fixed seed, hardcoded. Every
+        // engine corpus, generator, and proptest case in the workspace is
+        // derived from this stream, so a silent change to the seeding or
+        // the xoshiro256** step would quietly reshape every "reproducible"
+        // experiment. If this test fails, the RNG changed: either revert
+        // the change or treat it as a breaking re-baseline of all seeded
+        // corpora.
+        let mut rng = StdRng::seed_from_u64(0x5eed_1ab5_c0ff_ee00);
+        let draws: Vec<u64> = (0..16).map(|_| rng.random::<u64>()).collect();
+        assert_eq!(
+            draws,
+            vec![
+                0x81b9_5aa3_8aee_c909,
+                0x89dd_c269_b949_6fb3,
+                0xd2ea_9c1c_a2a5_acbe,
+                0xe582_b9e0_cbfb_4523,
+                0x83d0_b66b_44cf_f4e2,
+                0x9e40_a169_c6bd_9c09,
+                0x8728_f9d4_6528_3f14,
+                0x2b5d_986d_e287_4231,
+                0x464e_9607_2d95_ffff,
+                0x28d7_5383_788a_38ae,
+                0x5381_dcc2_f495_3f88,
+                0xb003_a4e6_e4df_dac2,
+                0x8495_63ef_52f3_f854,
+                0x3506_c13f_313e_086c,
+                0x4398_844b_f23a_0582,
+                0x600d_332d_17bc_00ee,
+            ]
+        );
+        // The derived draws corpora actually consume (ranges, floats) are
+        // pure functions of the raw stream; pin one of each so the
+        // derivation rules are covered too.
+        let mut rng = StdRng::seed_from_u64(42);
+        assert_eq!(rng.random_range(0..1000u64), 83);
+        assert_eq!(rng.random::<f64>(), 0.3789802506626686);
+        assert!(rng.random_bool(0.9));
+    }
+
+    #[test]
     fn distinct_seeds_diverge() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(2);

@@ -11,6 +11,9 @@
 //! * [`algebra`] — homomorphism-class algebras (Propositions 2.4/6.1).
 //! * [`pls`] — the proof labeling schemes themselves (Theorem 1 scheme,
 //!   baselines, attacks, harness).
+//! * [`engine`] — the parallel certification engine: a work-stealing
+//!   executor plus a streaming corpus pipeline ([`Engine`],
+//!   [`CorpusSpec`]).
 //!
 //! The unified certification API is additionally re-exported at the crate
 //! root, so the common path is one import away:
@@ -33,13 +36,17 @@
 
 pub use lanecert as pls;
 pub use lanecert_algebra as algebra;
+pub use lanecert_engine as engine;
 pub use lanecert_graph as graph;
 pub use lanecert_lanes as lanes;
 pub use lanecert_mso as mso;
 pub use lanecert_pathwidth as pathwidth;
 
 pub use lanecert::{
-    BatchJob, BatchReport, BatchRunner, BoxedScheme, CertError, Certifier, CertifierBuilder,
-    Configuration, DynScheme, EncodedLabel, EncodedLabeling, Labeling, ProverHint, RunReport,
-    Scheme, SchemeRegistry, SchemeSpec, Verdict, VertexView,
+    BatchJob, BatchOutcome, BatchReport, BatchRunner, BoxedScheme, CertError, Certifier,
+    CertifierBuilder, Configuration, DynScheme, EncodedLabel, EncodedLabeling, Labeling,
+    ProverHint, RunReport, Scheme, SchemeRegistry, SchemeSpec, Verdict, VertexView,
+    AUTO_HEURISTIC_LIMIT,
 };
+
+pub use lanecert_engine::{CorpusFamily, CorpusSpec, Engine, EngineBuilder, EngineReport};

@@ -1,0 +1,125 @@
+//! Sequential-vs-parallel parity: for every registered scheme family, the
+//! engine at 1, 2, and 8 workers produces a `BatchReport` **bit-identical**
+//! to the sequential `BatchRunner` — same names, same per-vertex verdicts
+//! in the same order, same label-size statistics, same refusal errors —
+//! regardless of scheduling (the shard threshold is forced low so the
+//! per-vertex fan-out path is exercised too).
+
+use proptest::prelude::*;
+
+use lanecert_suite::algebra::{props, Algebra};
+use lanecert_suite::engine::{CorpusFamily, CorpusSpec};
+use lanecert_suite::graph::generators;
+use lanecert_suite::pls::registry;
+use lanecert_suite::{BatchJob, BatchRunner, Certifier, Configuration, Engine};
+
+/// A named, rebuildable certifier constructor.
+type Factory = (&'static str, fn() -> Certifier);
+
+/// Every scheme family in the standard registry, as a rebuildable factory
+/// (the engine and the runner each need their own certifier instance, and
+/// the parity claim is per-scheme).
+fn scheme_factories() -> Vec<Factory> {
+    vec![
+        (registry::THEOREM1, || {
+            Certifier::builder()
+                .property(Algebra::shared(props::Connected))
+                .scheme(registry::THEOREM1)
+                .max_lanes(64)
+                .build()
+                .unwrap()
+        }),
+        (registry::FMR_BASELINE, || {
+            Certifier::builder()
+                .scheme(registry::FMR_BASELINE)
+                .build()
+                .unwrap()
+        }),
+        (registry::BIPARTITE_1BIT, || {
+            Certifier::builder()
+                .property(Algebra::shared(props::Bipartite))
+                .scheme(registry::BIPARTITE_1BIT)
+                .build()
+                .unwrap()
+        }),
+        (registry::WHOLE_GRAPH, || {
+            Certifier::builder()
+                .property(Algebra::shared(props::Connected))
+                .scheme(registry::WHOLE_GRAPH)
+                .build()
+                .unwrap()
+        }),
+    ]
+}
+
+/// A mixed corpus for one scheme: accepting instances, refusing instances
+/// (odd cycles for the 1-bit scheme, disconnected unions elsewhere), and
+/// both hinted and hintless jobs.
+fn jobs_for(scheme: &str, seed: u64, small: usize, large: usize) -> Vec<BatchJob> {
+    if scheme == registry::BIPARTITE_1BIT {
+        // Structure-free 1-bit scheme: parity of the cycle decides.
+        return vec![
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(2 * small),
+                seed,
+            ))
+            .named("even"),
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(2 * small + 1),
+                seed ^ 1,
+            ))
+            .named("odd"),
+            BatchJob::new(Configuration::with_random_ids(
+                generators::path_graph(large),
+                seed ^ 2,
+            ))
+            .named("path"),
+        ];
+    }
+    CorpusSpec::new()
+        .families([
+            CorpusFamily::Path,
+            CorpusFamily::Cycle,
+            CorpusFamily::Ladder,
+            CorpusFamily::DisjointPaths,
+        ])
+        .sizes([small, large])
+        .seed(seed)
+        .jobs()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn engine_is_bit_identical_to_batch_runner_for_every_scheme(
+        seed in any::<u64>(),
+        small in 4usize..12,
+        large in 16usize..40,
+    ) {
+        for (name, certifier) in scheme_factories() {
+            let sequential =
+                BatchRunner::new(certifier()).run(jobs_for(name, seed, small, large));
+            for workers in [1usize, 2, 8] {
+                let engine = Engine::builder()
+                    .certifier(certifier())
+                    .workers(workers)
+                    // Low threshold: even the small instances take the
+                    // sharded per-vertex path when workers > 1.
+                    .shard_threshold(16)
+                    .build()
+                    .unwrap();
+                let parallel = engine.run(jobs_for(name, seed, small, large));
+                prop_assert_eq!(
+                    &parallel.batch,
+                    &sequential,
+                    "{} at {} workers",
+                    name,
+                    workers
+                );
+                prop_assert_eq!(parallel.throughput.jobs, sequential.outcomes.len());
+            }
+        }
+    }
+}

@@ -29,7 +29,7 @@ fn rep_hint(g: &Graph) -> ProverHint {
 /// Drives `scheme` through both the typed and the erased path and asserts
 /// bit-identical outcomes. Returns the prover's refusal (which must agree
 /// between the paths) when the configuration is a no-instance.
-fn assert_parity<S: Scheme>(
+fn assert_parity<S: Scheme + Send + Sync>(
     scheme: &S,
     cfg: &Configuration,
     hint: &ProverHint,

@@ -105,8 +105,11 @@ fn lane_overflow_maps_to_too_many_lanes() {
 
 #[test]
 fn solver_limit_maps_to_need_representation() {
-    // Past the exact-solver limit with no supplied representation.
-    let cfg = Configuration::with_sequential_ids(generators::cycle_graph(64));
+    // Past both derivation tiers (exact solver and the beam-search
+    // heuristic fallback) with no supplied representation.
+    let cfg = Configuration::with_sequential_ids(generators::cycle_graph(
+        lanecert_suite::AUTO_HEURISTIC_LIMIT + 1,
+    ));
     assert_refusal_everywhere(
         &theorem1(2),
         &connected_certifier(2),
@@ -114,6 +117,16 @@ fn solver_limit_maps_to_need_representation() {
         &ProverHint::auto(),
         &CertError::NeedRepresentation,
     );
+}
+
+#[test]
+fn heuristic_fallback_certifies_past_the_exact_limit() {
+    // Between the exact-solver limit and the heuristic limit an auto hint
+    // now resolves instead of refusing: the fallback derives an
+    // upper-bound decomposition good enough for low-width families.
+    let cfg = Configuration::with_sequential_ids(generators::cycle_graph(64));
+    let report = connected_certifier(2).run(&cfg).unwrap();
+    assert!(report.accepted(), "{:?}", report.first_rejection());
 }
 
 #[test]
