@@ -1,168 +1,198 @@
-//! Type-erased, state-interning wrapper around a [`Property`].
+//! Type-erased, **value-semantics** wrapper around a [`Property`].
+//!
+//! An [`Algebra`] applies the five primitive operations to erased state
+//! values ([`Class`]) — it holds no table, no lock, and no mutable state,
+//! so every operation is a pure function and an `Algebra` can be shared
+//! freely across threads. Canonical `O(1)`-bit identifiers for classes
+//! (what certificates carry on the wire) are the job of
+//! [`FrozenAlgebra`](crate::FrozenAlgebra), which is built *once* per
+//! `(property, interface width)` and never depends on the order in which
+//! a prover happens to visit states.
 
-use std::collections::HashMap;
+use std::any::Any;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use std::sync::RwLock;
-
 use crate::{Property, Slot};
-
-/// An interned homomorphism class — the `O(1)`-bit value certificates carry
-/// (the class space `C` of Proposition 2.4 depends only on `ϕ` and `k`).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct StateId(pub u32);
-
-impl fmt::Display for StateId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "c{}", self.0)
-    }
-}
 
 /// An `Algebra` shared between the prover and all verifier invocations.
 pub type SharedAlgebra = Arc<Algebra>;
 
-struct Interner<S> {
-    /// Keyed by `(arity, state)`: a property state that under-determines
-    /// its boundary size still gets one id per arity, so [`Algebra::arity`]
-    /// is well defined for every interned id.
-    ids: HashMap<(usize, S), u32>,
-    states: Vec<S>,
-    arities: Vec<usize>,
+/// A type-erased homomorphism-class *value*: the property state together
+/// with its boundary arity (number of live terminal slots).
+///
+/// `Class` is a value, not a table index: cloning is an `Arc` bump,
+/// equality and hashing are structural (two classes are equal exactly
+/// when they came from the same state type and compare equal as states
+/// at the same arity). The wire-level [`StateId`](crate::StateId)s are
+/// assigned by [`FrozenAlgebra`](crate::FrozenAlgebra).
+#[derive(Clone)]
+pub struct Class {
+    state: Arc<dyn ErasedState>,
+    arity: usize,
 }
 
-impl<S: Clone + Eq + std::hash::Hash> Interner<S> {
-    fn intern(&mut self, s: S, arity: usize) -> u32 {
-        use std::collections::hash_map::Entry;
-        let next = self.states.len() as u32;
-        match self.ids.entry((arity, s)) {
-            Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
-                // Clone only on first sight; the hot path (already
-                // interned, once per algebra op) is clone-free.
-                self.states.push(e.key().1.clone());
-                self.arities.push(arity);
-                e.insert(next);
-                next
-            }
+impl Class {
+    /// Number of boundary slots of this class. Verifiers check a
+    /// certificate's claimed class against its claimed interface size
+    /// before applying slot-indexed operations, so adversarial class ids
+    /// can never drive a property implementation out of bounds.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The canonical structural key used for the freeze pass's sort and
+    /// fingerprinting: the arity plus the state's `Debug` rendering.
+    /// Derived `Debug` impls are faithful renderings of the state, so the
+    /// key orders distinct states deterministically across runs and
+    /// builds.
+    pub(crate) fn structural_key(&self) -> (usize, String) {
+        (self.arity, format!("{:?}", self.state))
+    }
+}
+
+impl PartialEq for Class {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.state.eq_dyn(other.state.as_ref())
+    }
+}
+
+impl Eq for Class {}
+
+impl Hash for Class {
+    fn hash<H: Hasher>(&self, h: &mut H) {
+        self.arity.hash(h);
+        self.state.hash_dyn(h);
+    }
+}
+
+impl fmt::Debug for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Class")
+            .field("arity", &self.arity)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+/// Object-safe view of a property state: `Any` for downcasting plus
+/// dynamic equality/hashing (states of different property types never
+/// compare equal).
+trait ErasedState: Any + Send + Sync + fmt::Debug {
+    fn eq_dyn(&self, other: &dyn ErasedState) -> bool;
+    fn hash_dyn(&self, h: &mut dyn Hasher);
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<S: Eq + Hash + fmt::Debug + Send + Sync + 'static> ErasedState for S {
+    fn eq_dyn(&self, other: &dyn ErasedState) -> bool {
+        other.as_any().downcast_ref::<S>() == Some(self)
+    }
+
+    fn hash_dyn(&self, mut h: &mut dyn Hasher) {
+        self.as_any().type_id().hash(&mut h);
+        self.hash(&mut h);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+trait ErasedProp: Send + Sync {
+    fn name(&self) -> String;
+    fn enumerable(&self) -> bool;
+    fn empty(&self) -> Class;
+    fn add_vertex(&self, s: Class, label: u32) -> Class;
+    fn add_edge(&self, s: Class, a: Slot, b: Slot, marked: bool) -> Class;
+    fn glue(&self, s: Class, a: Slot, b: Slot) -> Class;
+    fn forget(&self, s: Class, a: Slot) -> Class;
+    fn union(&self, s1: Class, s2: Class) -> Class;
+    fn swap(&self, s: Class, a: Slot, b: Slot) -> Class;
+    fn accept(&self, s: &Class) -> bool;
+}
+
+struct TypedProp<P: Property>(P);
+
+impl<P: Property> TypedProp<P> {
+    fn state<'a>(&self, c: &'a Class) -> &'a P::State {
+        c.state
+            .as_any()
+            .downcast_ref()
+            .expect("class value belongs to a different property algebra")
+    }
+
+    fn wrap(&self, state: P::State, arity: usize) -> Class {
+        Class {
+            state: Arc::new(state),
+            arity,
         }
     }
 }
 
-trait Erased: Send + Sync {
-    fn name(&self) -> String;
-    fn empty(&self) -> u32;
-    fn add_vertex(&self, s: u32, label: u32) -> u32;
-    fn add_edge(&self, s: u32, a: Slot, b: Slot, marked: bool) -> u32;
-    fn glue(&self, s: u32, a: Slot, b: Slot) -> u32;
-    fn forget(&self, s: u32, a: Slot) -> u32;
-    fn union(&self, s1: u32, s2: u32) -> u32;
-    fn swap(&self, s: u32, a: Slot, b: Slot) -> u32;
-    fn accept(&self, s: u32) -> bool;
-    fn state_count(&self) -> usize;
-    fn arity(&self, s: u32) -> usize;
-}
-
-struct ErasedProperty<P: Property> {
-    prop: P,
-    table: RwLock<Interner<P::State>>,
-}
-
-impl<P: Property> ErasedProperty<P> {
-    fn get(&self, id: u32) -> (P::State, usize) {
-        let table = self.table.read().expect("algebra interner lock poisoned");
-        (
-            table.states[id as usize].clone(),
-            table.arities[id as usize],
-        )
-    }
-
-    fn put(&self, s: P::State, arity: usize) -> u32 {
-        self.table
-            .write()
-            .expect("algebra interner lock poisoned")
-            .intern(s, arity)
-    }
-}
-
-impl<P: Property> Erased for ErasedProperty<P> {
+impl<P: Property> ErasedProp for TypedProp<P> {
     fn name(&self) -> String {
-        self.prop.name()
+        self.0.name()
     }
-    fn empty(&self) -> u32 {
-        let s = self.prop.empty();
-        self.put(s, 0)
+    fn enumerable(&self) -> bool {
+        self.0.enumerable()
     }
-    fn add_vertex(&self, s: u32, label: u32) -> u32 {
-        let (s, arity) = self.get(s);
-        let s = self.prop.add_vertex(&s, label);
-        self.put(s, arity + 1)
+    fn empty(&self) -> Class {
+        self.wrap(self.0.empty(), 0)
     }
-    fn add_edge(&self, s: u32, a: Slot, b: Slot, marked: bool) -> u32 {
-        let (s, arity) = self.get(s);
-        let s = self.prop.add_edge(&s, a, b, marked);
-        self.put(s, arity)
+    fn add_vertex(&self, s: Class, label: u32) -> Class {
+        let out = self.0.add_vertex(self.state(&s), label);
+        self.wrap(out, s.arity + 1)
     }
-    fn glue(&self, s: u32, a: Slot, b: Slot) -> u32 {
-        let (s, arity) = self.get(s);
-        let s = self.prop.glue(&s, a, b);
-        self.put(s, arity.saturating_sub(1))
+    fn add_edge(&self, s: Class, a: Slot, b: Slot, marked: bool) -> Class {
+        let out = self.0.add_edge(self.state(&s), a, b, marked);
+        self.wrap(out, s.arity)
     }
-    fn forget(&self, s: u32, a: Slot) -> u32 {
-        let (s, arity) = self.get(s);
-        let s = self.prop.forget(&s, a);
-        self.put(s, arity.saturating_sub(1))
+    fn glue(&self, s: Class, a: Slot, b: Slot) -> Class {
+        let out = self.0.glue(self.state(&s), a, b);
+        self.wrap(out, s.arity.saturating_sub(1))
     }
-    fn union(&self, s1: u32, s2: u32) -> u32 {
-        let (s1, a1) = self.get(s1);
-        let (s2, a2) = self.get(s2);
-        let s = self.prop.union(&s1, &s2);
-        self.put(s, a1 + a2)
+    fn forget(&self, s: Class, a: Slot) -> Class {
+        let out = self.0.forget(self.state(&s), a);
+        self.wrap(out, s.arity.saturating_sub(1))
     }
-    fn swap(&self, s: u32, a: Slot, b: Slot) -> u32 {
-        let (s, arity) = self.get(s);
-        let s = self.prop.swap(&s, a, b);
-        self.put(s, arity)
+    fn union(&self, s1: Class, s2: Class) -> Class {
+        let out = self.0.union(self.state(&s1), self.state(&s2));
+        self.wrap(out, s1.arity + s2.arity)
     }
-    fn accept(&self, s: u32) -> bool {
-        self.prop.accept(&self.get(s).0)
+    fn swap(&self, s: Class, a: Slot, b: Slot) -> Class {
+        let out = self.0.swap(self.state(&s), a, b);
+        self.wrap(out, s.arity)
     }
-    fn state_count(&self) -> usize {
-        self.table
-            .read()
-            .expect("algebra interner lock poisoned")
-            .states
-            .len()
-    }
-    fn arity(&self, s: u32) -> usize {
-        self.table
-            .read()
-            .expect("algebra interner lock poisoned")
-            .arities[s as usize]
+    fn accept(&self, s: &Class) -> bool {
+        self.0.accept(self.state(s))
     }
 }
 
-/// A type-erased homomorphism algebra with interned states.
+/// A type-erased homomorphism algebra operating on [`Class`] values.
 ///
-/// All methods take `&self`; interior mutability (a [`std::sync::RwLock`]
-/// around the interner) lets one `Arc<Algebra>` serve the prover and every
-/// simulated verifier concurrently.
+/// All methods are pure: they take state values and return new state
+/// values, with no interior mutability anywhere — one `Arc<Algebra>`
+/// serves the prover and every simulated verifier concurrently without
+/// a single lock.
+///
+/// # Panics
+///
+/// Operations panic when handed a [`Class`] produced by a *different*
+/// property algebra (a programming error, not an adversarial input —
+/// adversarial wire ids are resolved through
+/// [`FrozenAlgebra::class_of`](crate::FrozenAlgebra::class_of), which
+/// returns `None` for unknown ids).
 pub struct Algebra {
-    inner: Box<dyn Erased>,
+    inner: Box<dyn ErasedProp>,
 }
 
 impl Algebra {
     /// Wraps a property.
     pub fn new<P: Property>(prop: P) -> Self {
         Self {
-            inner: Box::new(ErasedProperty {
-                prop,
-                table: RwLock::new(Interner {
-                    ids: HashMap::new(),
-                    states: Vec::new(),
-                    arities: Vec::new(),
-                }),
-            }),
+            inner: Box::new(TypedProp(prop)),
         }
     }
 
@@ -176,69 +206,51 @@ impl Algebra {
         self.inner.name()
     }
 
+    /// Whether the property declares its reachable state space small
+    /// enough for the freeze pass to enumerate (see
+    /// [`Property::enumerable`]).
+    pub fn enumerable(&self) -> bool {
+        self.inner.enumerable()
+    }
+
     /// State of the empty graph.
-    pub fn empty(&self) -> StateId {
-        StateId(self.inner.empty())
+    pub fn empty(&self) -> Class {
+        self.inner.empty()
     }
 
     /// Introduce a labelled vertex as a new trailing slot.
-    pub fn add_vertex(&self, s: StateId, label: u32) -> StateId {
-        StateId(self.inner.add_vertex(s.0, label))
+    pub fn add_vertex(&self, s: Class, label: u32) -> Class {
+        self.inner.add_vertex(s, label)
     }
 
     /// Introduce an edge between two slots.
-    pub fn add_edge(&self, s: StateId, a: Slot, b: Slot, marked: bool) -> StateId {
-        StateId(self.inner.add_edge(s.0, a, b, marked))
+    pub fn add_edge(&self, s: Class, a: Slot, b: Slot, marked: bool) -> Class {
+        self.inner.add_edge(s, a, b, marked)
     }
 
     /// Identify two slots.
-    pub fn glue(&self, s: StateId, a: Slot, b: Slot) -> StateId {
-        StateId(self.inner.glue(s.0, a, b))
+    pub fn glue(&self, s: Class, a: Slot, b: Slot) -> Class {
+        self.inner.glue(s, a, b)
     }
 
     /// Retire a slot.
-    pub fn forget(&self, s: StateId, a: Slot) -> StateId {
-        StateId(self.inner.forget(s.0, a))
+    pub fn forget(&self, s: Class, a: Slot) -> Class {
+        self.inner.forget(s, a)
     }
 
     /// Disjoint union (slots of `s2` appended).
-    pub fn union(&self, s1: StateId, s2: StateId) -> StateId {
-        StateId(self.inner.union(s1.0, s2.0))
+    pub fn union(&self, s1: Class, s2: Class) -> Class {
+        self.inner.union(s1, s2)
     }
 
     /// Exchanges two slots (pure relabelling).
-    pub fn swap(&self, s: StateId, a: Slot, b: Slot) -> StateId {
-        StateId(self.inner.swap(s.0, a, b))
+    pub fn swap(&self, s: Class, a: Slot, b: Slot) -> Class {
+        self.inner.swap(s, a, b)
     }
 
     /// Acceptance of the summarized graph.
-    pub fn accept(&self, s: StateId) -> bool {
-        self.inner.accept(s.0)
-    }
-
-    /// Number of distinct states interned so far (diagnostics; the paper's
-    /// `|C|` restricted to reachable classes).
-    pub fn state_count(&self) -> usize {
-        self.inner.state_count()
-    }
-
-    /// Returns `true` if `id` has been interned (verifiers reject
-    /// certificates naming unknown classes).
-    pub fn knows(&self, id: StateId) -> bool {
-        (id.0 as usize) < self.inner.state_count()
-    }
-
-    /// Number of boundary slots of an interned state. Verifiers check a
-    /// certificate's claimed class against its claimed interface size
-    /// before applying slot-indexed operations, so adversarial class ids
-    /// can never drive a property implementation out of bounds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` was never interned (callers gate on
-    /// [`Algebra::knows`]).
-    pub fn arity(&self, id: StateId) -> usize {
-        self.inner.arity(id.0)
+    pub fn accept(&self, s: &Class) -> bool {
+        self.inner.accept(s)
     }
 }
 
@@ -246,7 +258,65 @@ impl fmt::Debug for Algebra {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Algebra")
             .field("property", &self.inner.name())
-            .field("states", &self.inner.state_count())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{Bipartite, Connected};
+
+    #[test]
+    fn class_values_compare_structurally() {
+        let alg = Algebra::new(Connected);
+        let a = alg.add_vertex(alg.empty(), 0);
+        let b = alg.add_vertex(alg.empty(), 0);
+        assert_eq!(a, b);
+        assert_eq!(a.arity(), 1);
+        let c = alg.add_vertex(a.clone(), 0);
+        assert_ne!(a, c);
+        use std::collections::HashSet;
+        let set: HashSet<Class> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn classes_of_different_properties_never_equal() {
+        let conn = Algebra::new(Connected);
+        let bip = Algebra::new(Bipartite);
+        // Both are "one fresh vertex", but the state types differ.
+        let a = conn.add_vertex(conn.empty(), 0);
+        let b = bip.add_vertex(bip.empty(), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different property algebra")]
+    fn foreign_class_is_a_programming_error() {
+        let conn = Algebra::new(Connected);
+        let bip = Algebra::new(Bipartite);
+        let s = conn.empty();
+        let _ = bip.add_vertex(s, 0);
+    }
+
+    #[test]
+    fn operations_are_pure_and_shareable() {
+        let alg = Algebra::shared(Connected);
+        let base = alg.add_vertex(alg.empty(), 0);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let alg = Arc::clone(&alg);
+                let base = base.clone();
+                std::thread::spawn(move || {
+                    let s = alg.add_vertex(base, 0);
+                    let s = alg.add_edge(s, 0, 1, true);
+                    alg.accept(&s)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
     }
 }

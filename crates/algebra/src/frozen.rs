@@ -1,0 +1,653 @@
+//! Canonical state interning: the two-phase freeze pass.
+//!
+//! # The canonical-id invariant
+//!
+//! A [`StateId`] on the wire must be a function of `(property, interface
+//! width)` alone — never of the order in which a prover happened to visit
+//! states. This is what makes proving a *pure* function of
+//! `(graph, property, hint)`: two provers labelling different graphs on
+//! different threads, in any interleaving, assign the same id to the same
+//! homomorphism class, so label bytes (and therefore varint label sizes)
+//! are reproducible at any worker count.
+//!
+//! The freeze pass ([`FrozenAlgebra::freeze`]) enumerates the reachable
+//! `(arity, state)` space of a property under the five primitive
+//! operations, bounded by an arity cap and a state/op budget, then sorts
+//! the discovered classes by a **structural key** (arity, then the
+//! state's `Debug` rendering — insertion order plays no part) and assigns
+//! dense ids `0..n` in that order. The resulting table is immutable and
+//! shared via `Arc`; lookups are content-addressed and lock-free.
+//!
+//! # The sealed fallback
+//!
+//! Some algebras are too large to pre-enumerate (set-valued states such
+//! as [`HamiltonianCycle`](crate::props::HamiltonianCycle) explode
+//! combinatorially; such properties opt out via
+//! [`Property::enumerable`](crate::Property::enumerable), and budget
+//! overruns catch the rest). These fall back to a *sealed* table: the
+//! canonically sorted prefix of whatever the budgeted enumeration
+//! reached, plus a lock-guarded dynamic tail that interns unseen states
+//! in arrival order. Sealed tables keep prover/verifier agreement (they
+//! share the instance), but tail ids are order-dependent — so label
+//! *sizes* under a sealed algebra are only reproducible for sequential
+//! proving. [`FrozenAlgebra::is_total`] reports which regime a table is
+//! in; everything shipped in the standard registry at the widths the
+//! benchmarks use freezes totally.
+//!
+//! Total freeze results are memoized process-wide per `(property name,
+//! options)` — property names must therefore faithfully identify
+//! semantics (all built-in names do). Sealed tables are never shared
+//! between scheme instances.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::{Algebra, Class, SharedAlgebra};
+
+/// An interned homomorphism class id — the `O(1)`-bit value certificates
+/// carry (the class space `C` of Proposition 2.4 depends only on `ϕ` and
+/// `k`). Assigned canonically by [`FrozenAlgebra`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(pub u32);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A [`FrozenAlgebra`] shared between the prover and all verifier
+/// invocations.
+pub type SharedFrozenAlgebra = Arc<FrozenAlgebra>;
+
+/// Largest arity cap the freeze pass will attempt to enumerate; wider
+/// requests seal immediately (the reachable space of a partition-shaped
+/// property already has millions of states past eight slots).
+pub const MAX_FREEZE_ARITY: usize = 8;
+
+/// Default bound on enumerated states before the freeze pass gives up
+/// and seals.
+pub const DEFAULT_STATE_BUDGET: usize = 60_000;
+
+/// Default bound on primitive-operation applications before the freeze
+/// pass gives up and seals (the abort path for algebras whose state
+/// count grows slowly but whose states are expensive).
+pub const DEFAULT_OP_BUDGET: usize = 4_000_000;
+
+/// Tuning for [`FrozenAlgebra::freeze`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FreezeOptions {
+    /// Enumerate states with at most this many boundary slots. Requests
+    /// above [`MAX_FREEZE_ARITY`] seal immediately.
+    pub max_arity: usize,
+    /// Abort enumeration (and seal) past this many distinct states.
+    pub state_budget: usize,
+    /// Abort enumeration (and seal) past this many operation
+    /// applications.
+    pub op_budget: usize,
+    /// Vertex labels the enumeration introduces (the certification
+    /// pipeline only ever uses label `0`).
+    pub vertex_labels: Vec<u32>,
+}
+
+impl Default for FreezeOptions {
+    fn default() -> Self {
+        Self {
+            max_arity: MAX_FREEZE_ARITY,
+            state_budget: DEFAULT_STATE_BUDGET,
+            op_budget: DEFAULT_OP_BUDGET,
+            vertex_labels: vec![0],
+        }
+    }
+}
+
+impl FreezeOptions {
+    /// Options for interfaces of at most `arity` slots (the Theorem 1
+    /// scheme passes `2 × max_lanes`: an interface has at most one in-
+    /// and one out-terminal per lane).
+    pub fn for_interface_arity(arity: usize) -> Self {
+        Self {
+            max_arity: arity,
+            ..Self::default()
+        }
+    }
+}
+
+/// The dynamic tail of a sealed table.
+#[derive(Default)]
+struct Tail {
+    classes: Vec<Class>,
+    index: HashMap<Class, u32>,
+}
+
+/// An immutable, canonically ordered class table over an [`Algebra`] —
+/// see the crate docs for the invariant. Dereferences to the
+/// underlying [`Algebra`], so the primitive operations are available
+/// directly on a `FrozenAlgebra`.
+pub struct FrozenAlgebra {
+    algebra: SharedAlgebra,
+    /// Canonically sorted classes; `canonical[i]` has id `i`.
+    canonical: Vec<Class>,
+    index: HashMap<Class, u32>,
+    /// `true` when the enumeration completed: the table is the entire
+    /// reachable space under the arity cap and the tail stays empty.
+    total: bool,
+    fingerprint: u64,
+    max_arity: usize,
+    tail: RwLock<Tail>,
+}
+
+impl FrozenAlgebra {
+    /// Runs the freeze pass: enumerates the reachable state space under
+    /// `opts`, canonically sorts it, and returns the immutable table.
+    /// Falls back to a *sealed* table — keeping the canonically sorted
+    /// prefix the budgeted enumeration reached — when a budget is
+    /// exceeded, or with an empty prefix when the property opts out of
+    /// enumeration or the arity cap is oversized. Enumeration results
+    /// (complete or aborted) are memoized process-wide per
+    /// `(property name, options)`, so repeated scheme construction never
+    /// re-runs the pass; sealed *tables* are still one per call (their
+    /// dynamic tails must never be shared).
+    pub fn freeze(algebra: SharedAlgebra, opts: &FreezeOptions) -> SharedFrozenAlgebra {
+        if !algebra.enumerable() || opts.max_arity > MAX_FREEZE_ARITY {
+            return Self::sealed_with_prefix(algebra, Vec::new(), opts.max_arity);
+        }
+        let key = (algebra.name(), opts.clone());
+        {
+            let cache = freeze_cache().lock().expect("freeze cache poisoned");
+            match cache.get(&key) {
+                Some(CachedFreeze::Total(hit)) => return Arc::clone(hit),
+                Some(CachedFreeze::Partial(prefix)) => {
+                    return Self::sealed_with_prefix(
+                        algebra,
+                        prefix.as_ref().clone(),
+                        opts.max_arity,
+                    )
+                }
+                None => {}
+            }
+        }
+        let (classes, complete) = enumerate(&algebra, opts);
+        let mut cache = freeze_cache().lock().expect("freeze cache poisoned");
+        if complete {
+            let frozen = Self::total_with(algebra, classes, opts.max_arity);
+            cache.insert(key, CachedFreeze::Total(Arc::clone(&frozen)));
+            frozen
+        } else {
+            cache.insert(key, CachedFreeze::Partial(Arc::new(classes.clone())));
+            drop(cache);
+            Self::sealed_with_prefix(algebra, classes, opts.max_arity)
+        }
+    }
+
+    /// A sealed table with an empty canonical prefix: every class interns
+    /// dynamically, in arrival order (the pre-freeze behaviour, kept for
+    /// algebras that cannot be enumerated at all).
+    pub fn sealed(algebra: SharedAlgebra) -> SharedFrozenAlgebra {
+        Self::sealed_with_prefix(algebra, Vec::new(), MAX_FREEZE_ARITY)
+    }
+
+    fn total_with(
+        algebra: SharedAlgebra,
+        classes: Vec<Class>,
+        max_arity: usize,
+    ) -> SharedFrozenAlgebra {
+        Self::build(algebra, classes, true, max_arity)
+    }
+
+    fn sealed_with_prefix(
+        algebra: SharedAlgebra,
+        classes: Vec<Class>,
+        max_arity: usize,
+    ) -> SharedFrozenAlgebra {
+        Self::build(algebra, classes, false, max_arity)
+    }
+
+    fn build(
+        algebra: SharedAlgebra,
+        classes: Vec<Class>,
+        total: bool,
+        max_arity: usize,
+    ) -> SharedFrozenAlgebra {
+        // Canonical order: structural sort, never insertion order.
+        let mut keyed: Vec<((usize, String), Class)> = classes
+            .into_iter()
+            .map(|c| (c.structural_key(), c))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        algebra.name().hash(&mut hasher);
+        max_arity.hash(&mut hasher);
+        total.hash(&mut hasher);
+        keyed.len().hash(&mut hasher);
+        for (key, _) in &keyed {
+            key.hash(&mut hasher);
+        }
+        if !total {
+            // A sealed table's tail ids are *instance-local* (arrival
+            // order), so two sealed instances must never look
+            // interchangeable to the fingerprint check — not within this
+            // process (counter) and not across processes or persisted
+            // corpora (process id + wall-clock entropy): a sealed corpus
+            // only ever verifies against the instance that produced it.
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEALED_NONCE: AtomicU64 = AtomicU64::new(0);
+            SEALED_NONCE
+                .fetch_add(1, Ordering::Relaxed)
+                .hash(&mut hasher);
+            std::process::id().hash(&mut hasher);
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+                .hash(&mut hasher);
+        }
+        let canonical: Vec<Class> = keyed.into_iter().map(|(_, c)| c).collect();
+        let index = canonical
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), i as u32))
+            .collect();
+        Arc::new(Self {
+            algebra,
+            canonical,
+            index,
+            total,
+            fingerprint: hasher.finish(),
+            max_arity,
+            tail: RwLock::new(Tail::default()),
+        })
+    }
+
+    /// The wrapped algebra (also reachable through `Deref`).
+    pub fn algebra(&self) -> &SharedAlgebra {
+        &self.algebra
+    }
+
+    /// The property's name.
+    pub fn name(&self) -> String {
+        self.algebra.name()
+    }
+
+    /// `true` when the enumeration completed and every reachable class
+    /// under the arity cap has a canonical id (the tail is permanently
+    /// empty and ids are order-independent).
+    pub fn is_total(&self) -> bool {
+        self.total
+    }
+
+    /// The arity cap the table was frozen at.
+    pub fn max_arity(&self) -> usize {
+        self.max_arity
+    }
+
+    /// Number of canonically enumerated classes (the stable prefix).
+    pub fn canonical_state_count(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Total number of known classes: the canonical prefix plus any
+    /// sealed-tail entries interned so far.
+    pub fn state_count(&self) -> usize {
+        self.canonical.len()
+            + self
+                .tail
+                .read()
+                .expect("sealed tail poisoned")
+                .classes
+                .len()
+    }
+
+    /// A digest of `(property name, options, canonical table)` — two
+    /// tables agree on every canonical id exactly when their
+    /// fingerprints match (within one build of the workspace; the digest
+    /// is not guaranteed stable across releases, which is precisely what
+    /// lets label corpora from other versions fail loudly). Sealed
+    /// tables additionally fold in a per-instance nonce: their tail ids
+    /// are instance-local, so no two sealed tables ever fingerprint the
+    /// same — a sealed corpus only verifies against the instance that
+    /// produced it.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Returns `true` if `id` names a known class (verifiers reject
+    /// certificates naming unknown classes).
+    pub fn knows(&self, id: StateId) -> bool {
+        self.class_of(id).is_some()
+    }
+
+    /// Resolves a wire id to its class value; `None` for ids outside the
+    /// table (an adversarial label — callers reject, nothing panics).
+    pub fn class_of(&self, id: StateId) -> Option<Class> {
+        let i = id.0 as usize;
+        if let Some(c) = self.canonical.get(i) {
+            return Some(c.clone());
+        }
+        self.tail
+            .read()
+            .expect("sealed tail poisoned")
+            .classes
+            .get(i - self.canonical.len())
+            .cloned()
+    }
+
+    /// Arity of a known class id; `None` for unknown ids.
+    pub fn arity_of(&self, id: StateId) -> Option<usize> {
+        self.class_of(id).map(|c| c.arity())
+    }
+
+    /// Canonical id of a class value without interning; `None` when the
+    /// class is not in the table (total mode: not reachable under the
+    /// cap; sealed mode: not yet interned).
+    pub fn id_of(&self, class: &Class) -> Option<StateId> {
+        if let Some(&i) = self.index.get(class) {
+            return Some(StateId(i));
+        }
+        self.tail
+            .read()
+            .expect("sealed tail poisoned")
+            .index
+            .get(class)
+            .map(|&i| StateId(self.canonical.len() as u32 + i))
+    }
+
+    /// The id a prover writes into a label for `class`.
+    ///
+    /// Total tables resolve by content alone and return `None` for
+    /// classes outside the enumerated space (the prover surfaces this as
+    /// an internal error — it cannot happen for interfaces within the
+    /// arity cap). Sealed tables intern unseen classes into the dynamic
+    /// tail and always return an id.
+    pub fn intern(&self, class: &Class) -> Option<StateId> {
+        if let Some(&i) = self.index.get(class) {
+            return Some(StateId(i));
+        }
+        if self.total {
+            return None;
+        }
+        let mut tail = self.tail.write().expect("sealed tail poisoned");
+        let next = tail.classes.len() as u32;
+        let i = *tail.index.entry(class.clone()).or_insert(next);
+        if i == next {
+            tail.classes.push(class.clone());
+        }
+        Some(StateId(self.canonical.len() as u32 + i))
+    }
+}
+
+impl Deref for FrozenAlgebra {
+    type Target = Algebra;
+    fn deref(&self) -> &Algebra {
+        &self.algebra
+    }
+}
+
+impl fmt::Debug for FrozenAlgebra {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrozenAlgebra")
+            .field("property", &self.name())
+            .field("total", &self.total)
+            .field("canonical_states", &self.canonical.len())
+            .field("max_arity", &self.max_arity)
+            .finish()
+    }
+}
+
+/// What the freeze pass memoizes: a finished (shareable) total table,
+/// or the canonically unsorted class set of an aborted enumeration — the
+/// sealed prefix every later construction reuses without re-enumerating.
+enum CachedFreeze {
+    Total(SharedFrozenAlgebra),
+    Partial(Arc<Vec<Class>>),
+}
+
+type FreezeCache = Mutex<HashMap<(String, FreezeOptions), CachedFreeze>>;
+
+fn freeze_cache() -> &'static FreezeCache {
+    static CACHE: OnceLock<FreezeCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Deterministic closure of the reachable state space under the
+/// primitive operations, bounded by `opts`. Returns the discovered
+/// classes plus whether the closure *completed* (`false` = a budget was
+/// hit and the set is a partial prefix). The worklist order is fixed
+/// (FIFO over discovery, operations in a fixed order), so the set — all
+/// that matters, since ids come from the structural sort — is a pure
+/// function of `(property, opts)` either way.
+fn enumerate(alg: &Algebra, opts: &FreezeOptions) -> (Vec<Class>, bool) {
+    let mut order: Vec<Class> = Vec::new();
+    let mut seen: HashMap<Class, ()> = HashMap::new();
+    // Processed states, indexed by arity, for the union closure.
+    let mut by_arity: Vec<Vec<usize>> = vec![Vec::new(); opts.max_arity + 1];
+    let mut ops = 0usize;
+
+    let push = |c: Class, order: &mut Vec<Class>, seen: &mut HashMap<Class, ()>| -> bool {
+        if c.arity() <= opts.max_arity && seen.insert(c.clone(), ()).is_none() {
+            order.push(c);
+        }
+        order.len() <= opts.state_budget
+    };
+
+    if !push(alg.empty(), &mut order, &mut seen) {
+        return (order, false);
+    }
+    let mut next = 0usize;
+    while next < order.len() {
+        let s = order[next].clone();
+        let a = s.arity();
+        by_arity[a].push(next);
+        next += 1;
+
+        let mut apply = |c: Class, order: &mut Vec<Class>, seen: &mut HashMap<Class, ()>| -> bool {
+            ops += 1;
+            ops <= opts.op_budget && push(c, order, seen)
+        };
+
+        if a < opts.max_arity {
+            for &label in &opts.vertex_labels {
+                if !apply(alg.add_vertex(s.clone(), label), &mut order, &mut seen) {
+                    return (order, false);
+                }
+            }
+        }
+        for x in 0..a {
+            for y in 0..a {
+                if x == y {
+                    continue;
+                }
+                for marked in [false, true] {
+                    if !apply(alg.add_edge(s.clone(), x, y, marked), &mut order, &mut seen) {
+                        return (order, false);
+                    }
+                }
+            }
+        }
+        for x in 0..a {
+            for y in (x + 1)..a {
+                if !apply(alg.glue(s.clone(), x, y), &mut order, &mut seen) {
+                    return (order, false);
+                }
+                if !apply(alg.swap(s.clone(), x, y), &mut order, &mut seen) {
+                    return (order, false);
+                }
+            }
+        }
+        for x in 0..a {
+            if !apply(alg.forget(s.clone(), x), &mut order, &mut seen) {
+                return (order, false);
+            }
+        }
+        // Unions with every already-processed state whose arity fits the
+        // cap (both operand orders; later states pick up earlier ones
+        // when their own turn comes, so all pairs are covered).
+        for b in 0..=(opts.max_arity - a) {
+            for i in 0..by_arity[b].len() {
+                let t = order[by_arity[b][i]].clone();
+                if !apply(alg.union(s.clone(), t.clone()), &mut order, &mut seen) {
+                    return (order, false);
+                }
+                if !apply(alg.union(t, s.clone()), &mut order, &mut seen) {
+                    return (order, false);
+                }
+            }
+        }
+    }
+    (order, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props::{Bipartite, Connected, HamiltonianCycle};
+
+    fn freeze_connected(arity: usize) -> SharedFrozenAlgebra {
+        FrozenAlgebra::freeze(
+            Algebra::shared(Connected),
+            &FreezeOptions::for_interface_arity(arity),
+        )
+    }
+
+    #[test]
+    fn small_connected_table_is_total_and_pinned() {
+        // Arity ≤ 2: partitions of ≤ 2 slots × dead ∈ {0, 1, 2} = 12
+        // states, all reachable. The canonical sort puts arity first,
+        // then the Debug rendering, so the exact ids below are a
+        // regression pin of the canonical assignment.
+        let frozen = freeze_connected(2);
+        assert!(frozen.is_total());
+        assert_eq!(frozen.canonical_state_count(), 12);
+        assert_eq!(frozen.state_count(), 12);
+        let empty = frozen.empty();
+        assert_eq!(frozen.id_of(&empty), Some(StateId(0)));
+        let v = frozen.add_vertex(empty.clone(), 0);
+        assert_eq!(frozen.id_of(&v), Some(StateId(3)));
+        let vv = frozen.union(v.clone(), v.clone());
+        assert_eq!(frozen.id_of(&vv), Some(StateId(9)));
+        let edge = frozen.add_edge(vv, 0, 1, true);
+        assert_eq!(frozen.id_of(&edge), Some(StateId(6)));
+        // Round trips.
+        assert_eq!(frozen.class_of(StateId(6)), Some(edge.clone()));
+        assert_eq!(frozen.arity_of(StateId(6)), Some(2));
+        assert!(frozen.knows(StateId(11)));
+        assert!(!frozen.knows(StateId(12)));
+        assert_eq!(frozen.class_of(StateId(u32::MAX)), None);
+        // Total tables never intern anything new.
+        assert_eq!(frozen.intern(&edge), Some(StateId(6)));
+    }
+
+    #[test]
+    fn ids_are_independent_of_visit_order() {
+        // Two freezes (the second is a cache hit, so also freeze a fresh
+        // property instance bypassing nothing — the enumeration itself is
+        // deterministic) agree on ids; querying in different orders
+        // changes nothing because the table is immutable.
+        let f1 = freeze_connected(4);
+        let f2 = freeze_connected(4);
+        assert!(f1.is_total());
+        let a = f1.add_vertex(f1.empty(), 0);
+        let b = f1.add_vertex(a.clone(), 0);
+        assert_eq!(f1.id_of(&b), f2.id_of(&b));
+        assert_eq!(f1.id_of(&a), f2.id_of(&a));
+        assert_eq!(f1.fingerprint(), f2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_separate_properties_and_widths() {
+        let conn = freeze_connected(4);
+        let bip = FrozenAlgebra::freeze(
+            Algebra::shared(Bipartite),
+            &FreezeOptions::for_interface_arity(4),
+        );
+        let narrow = freeze_connected(2);
+        assert_ne!(conn.fingerprint(), bip.fingerprint());
+        assert_ne!(conn.fingerprint(), narrow.fingerprint());
+    }
+
+    #[test]
+    fn sealed_fingerprints_are_per_instance() {
+        // Tail ids are instance-local, so sealed tables must never look
+        // interchangeable: a corpus recorded under one sealed instance
+        // has to fail the fingerprint check everywhere else.
+        let opts = FreezeOptions::for_interface_arity(6);
+        let a = FrozenAlgebra::freeze(Algebra::shared(HamiltonianCycle), &opts);
+        let b = FrozenAlgebra::freeze(Algebra::shared(HamiltonianCycle), &opts);
+        assert!(!a.is_total() && !b.is_total());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn explosive_algebras_seal() {
+        let frozen = FrozenAlgebra::freeze(
+            Algebra::shared(HamiltonianCycle),
+            &FreezeOptions::for_interface_arity(6),
+        );
+        assert!(!frozen.is_total());
+        assert_eq!(frozen.canonical_state_count(), 0);
+        // Sealed tables intern on demand, in arrival order.
+        let s = frozen.add_vertex(frozen.empty(), 0);
+        let id = frozen.intern(&s).unwrap();
+        assert_eq!(frozen.intern(&s), Some(id));
+        assert_eq!(frozen.class_of(id), Some(s));
+        assert_eq!(frozen.state_count(), 1);
+    }
+
+    #[test]
+    fn budget_overrun_seals_with_the_enumerated_prefix() {
+        // A tiny state budget aborts the Connected enumeration mid-way;
+        // the sealed table must keep the canonically sorted prefix (not
+        // discard it), and two constructions must agree on every prefix
+        // id (the enumeration is memoized and deterministic) while
+        // fingerprinting per instance.
+        let opts = FreezeOptions {
+            state_budget: 20,
+            ..FreezeOptions::for_interface_arity(6)
+        };
+        let a = FrozenAlgebra::freeze(Algebra::shared(Connected), &opts);
+        let b = FrozenAlgebra::freeze(Algebra::shared(Connected), &opts);
+        assert!(!a.is_total());
+        assert!(a.canonical_state_count() > 0, "prefix was discarded");
+        assert_eq!(a.canonical_state_count(), b.canonical_state_count());
+        let v = a.add_vertex(a.empty(), 0);
+        assert_eq!(a.id_of(&a.empty()), b.id_of(&b.empty()));
+        assert_eq!(a.id_of(&v), b.id_of(&v));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn oversized_arity_requests_seal_immediately() {
+        let frozen = FrozenAlgebra::freeze(
+            Algebra::shared(Connected),
+            &FreezeOptions::for_interface_arity(MAX_FREEZE_ARITY + 1),
+        );
+        assert!(!frozen.is_total());
+    }
+
+    #[test]
+    fn total_tables_are_closed_under_summary_shaped_ops() {
+        // Walk a few op chains that mimic the certification pipeline
+        // (sorting swaps, unions, glues, forgets) and check every
+        // intermediate within the cap resolves.
+        let frozen = freeze_connected(4);
+        let mut s = frozen.empty();
+        for _ in 0..3 {
+            s = frozen.add_vertex(s, 0);
+            assert!(frozen.id_of(&s).is_some());
+        }
+        s = frozen.add_edge(s, 0, 2, true);
+        assert!(frozen.id_of(&s).is_some());
+        s = frozen.swap(s, 0, 1);
+        assert!(frozen.id_of(&s).is_some());
+        let t = frozen.add_vertex(frozen.empty(), 0);
+        let u = frozen.union(s, t);
+        assert!(frozen.id_of(&u).is_some());
+        let g = frozen.glue(u, 1, 3);
+        assert!(frozen.id_of(&g).is_some());
+        let f = frozen.forget(g, 0);
+        assert!(frozen.id_of(&f).is_some());
+    }
+}

@@ -9,11 +9,14 @@
 //! (Proposition 6.1) are compositions of these primitives, computed by the
 //! certification crate.
 //!
-//! [`Algebra`] erases the concrete state type and *interns* states, so a
-//! homomorphism class is an `O(1)`-bit [`StateId`] — exactly what the
-//! certificates store. Prover and verifier share one `Algebra` (the finite
-//! transition tables are "global knowledge": they depend only on `ϕ` and
-//! `k`, never on the network).
+//! [`Algebra`] erases the concrete state type behind pure value
+//! operations on [`Class`] handles; [`FrozenAlgebra`] assigns each class
+//! a **canonical** `O(1)`-bit [`StateId`] — exactly what the certificates
+//! store — by enumerating the reachable state space up front in a
+//! deterministic, structurally sorted order. Prover and verifier share
+//! one frozen table (the finite transition tables are "global
+//! knowledge": they depend only on `ϕ` and `k`, never on the network —
+//! and, since the freeze, never on prover execution order either).
 //!
 //! Every implementation is validated two ways:
 //! * against a brute-force oracle on randomly generated operation traces
@@ -29,9 +32,14 @@
 #![warn(missing_docs)]
 
 mod algebra;
+mod frozen;
 mod property;
 
-pub use algebra::{Algebra, SharedAlgebra, StateId};
+pub use algebra::{Algebra, Class, SharedAlgebra};
+pub use frozen::{
+    FreezeOptions, FrozenAlgebra, SharedFrozenAlgebra, StateId, DEFAULT_OP_BUDGET,
+    DEFAULT_STATE_BUDGET, MAX_FREEZE_ARITY,
+};
 pub use property::{Property, Slot};
 
 pub mod mirror;

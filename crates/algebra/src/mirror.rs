@@ -6,7 +6,7 @@ use lanecert_graph::{Graph, VertexId};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::{Algebra, Slot, StateId};
+use crate::{Algebra, Class, Slot};
 
 /// One primitive operation over the current slot list.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -164,7 +164,7 @@ impl Mirror {
 }
 
 /// Runs a program through an algebra.
-pub fn run_program(alg: &Algebra, prog: &Program) -> StateId {
+pub fn run_program(alg: &Algebra, prog: &Program) -> Class {
     let mut acc = alg.empty();
     for seg in &prog.segments {
         let mut s = alg.empty();
@@ -179,7 +179,7 @@ pub fn run_program(alg: &Algebra, prog: &Program) -> StateId {
     acc
 }
 
-fn apply_alg(alg: &Algebra, s: StateId, step: TraceStep) -> StateId {
+fn apply_alg(alg: &Algebra, s: Class, step: TraceStep) -> Class {
     match step {
         TraceStep::Vertex(l) => alg.add_vertex(s, l),
         TraceStep::Edge(a, b, m) => alg.add_edge(s, a, b, m),
@@ -293,7 +293,7 @@ pub fn check_against_oracle(
     let mut rng = StdRng::seed_from_u64(seed);
     for t in 0..trials {
         let prog = random_program(&mut rng, size);
-        let got = alg.accept(run_program(alg, &prog));
+        let got = alg.accept(&run_program(alg, &prog));
         let mut m = mirror_program(&prog);
         let g = m.marked_graph();
         let want = oracle(&g);

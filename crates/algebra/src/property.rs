@@ -52,6 +52,17 @@ pub trait Property: Send + Sync + 'static {
     /// Does the summarized graph (terminals included as ordinary vertices)
     /// satisfy the property?
     fn accept(&self, s: &Self::State) -> bool;
+
+    /// Whether the reachable state space is small enough for the freeze
+    /// pass ([`crate::FrozenAlgebra::freeze`]) to enumerate at bounded
+    /// arity. Defaults to `true`; properties with set-valued states that
+    /// explode combinatorially (Hamiltonicity profiles, colouring sets,
+    /// weight maps, …) override this to `false` and run sealed — a budget
+    /// overrun catches anything that over-promises, so this is a fast
+    /// path, not a soundness knob.
+    fn enumerable(&self) -> bool {
+        true
+    }
 }
 
 /// Slot arithmetic shared by implementations: given a glue of `a` and `b`,

@@ -147,6 +147,12 @@ impl Property for Colorable {
         }
     }
 
+    /// Set/map-valued states explode combinatorially; run sealed (see
+    /// [`Property::enumerable`]).
+    fn enumerable(&self) -> bool {
+        false
+    }
+
     fn accept(&self, s: &ColorState) -> bool {
         !s.cols.is_empty()
     }
@@ -182,7 +188,7 @@ mod tests {
             for (a, b) in [(0, 1), (1, 2), (0, 2)] {
                 s = alg.add_edge(s, a, b, true);
             }
-            assert_eq!(alg.accept(s), want);
+            assert_eq!(alg.accept(&s), want);
         }
     }
 

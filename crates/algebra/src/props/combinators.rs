@@ -63,6 +63,10 @@ impl<P: Property, Q: Property> Property for And<P, Q> {
     fn accept(&self, s: &Self::State) -> bool {
         self.0.accept(&s.0) && self.1.accept(&s.1)
     }
+
+    fn enumerable(&self) -> bool {
+        self.0.enumerable() && self.1.enumerable()
+    }
 }
 
 impl<P: Property, Q: Property> Property for Or<P, Q> {
@@ -76,6 +80,10 @@ impl<P: Property, Q: Property> Property for Or<P, Q> {
 
     fn accept(&self, s: &Self::State) -> bool {
         self.0.accept(&s.0) || self.1.accept(&s.1)
+    }
+
+    fn enumerable(&self) -> bool {
+        self.0.enumerable() && self.1.enumerable()
     }
 }
 
@@ -110,6 +118,10 @@ impl<P: Property> Property for Not<P> {
 
     fn accept(&self, s: &Self::State) -> bool {
         !self.0.accept(s)
+    }
+
+    fn enumerable(&self) -> bool {
+        self.0.enumerable()
     }
 }
 

@@ -374,9 +374,9 @@ mod tests {
         }
         s = alg.add_edge(s, 0, 1, true);
         s = alg.add_edge(s, 1, 2, true);
-        assert!(alg.accept(s));
+        assert!(alg.accept(&s));
         s = alg.add_edge(s, 0, 2, true);
-        assert!(!alg.accept(s));
+        assert!(!alg.accept(&s));
     }
 
     #[test]
@@ -386,9 +386,9 @@ mod tests {
         s = alg.add_vertex(s, 0);
         s = alg.add_vertex(s, 0);
         s = alg.add_edge(s, 0, 1, false);
-        assert!(!alg.accept(s), "unmarked edge must not connect");
+        assert!(!alg.accept(&s), "unmarked edge must not connect");
         s = alg.add_edge(s, 0, 1, true);
-        assert!(alg.accept(s));
+        assert!(alg.accept(&s));
     }
 
     #[test]
@@ -405,6 +405,6 @@ mod tests {
             s = alg.add_edge(s, a, b, true);
         }
         let odd = alg.glue(s, 0, 3); // C3
-        assert!(!alg.accept(odd));
+        assert!(!alg.accept(&odd));
     }
 }

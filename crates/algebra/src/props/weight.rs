@@ -148,6 +148,12 @@ impl Property for VertexCoverAtMost {
         )
     }
 
+    /// Set/map-valued states explode combinatorially; run sealed (see
+    /// [`Property::enumerable`]).
+    fn enumerable(&self) -> bool {
+        false
+    }
+
     fn accept(&self, s: &CoverState) -> bool {
         s.table
             .iter()
@@ -281,6 +287,12 @@ impl Property for IndependentSetAtLeast {
         )
     }
 
+    /// Set/map-valued states explode combinatorially; run sealed (see
+    /// [`Property::enumerable`]).
+    fn enumerable(&self) -> bool {
+        false
+    }
+
     fn accept(&self, s: &IndepState) -> bool {
         s.table
             .iter()
@@ -412,6 +424,12 @@ impl Property for DominatingSetAtMost {
         }))
     }
 
+    /// Set/map-valued states explode combinatorially; run sealed (see
+    /// [`Property::enumerable`]).
+    fn enumerable(&self) -> bool {
+        false
+    }
+
     fn accept(&self, s: &DomState) -> bool {
         s.table.iter().any(|(k, c)| {
             k.iter().all(|&st| st != UNDOM)
@@ -482,7 +500,7 @@ mod tests {
             for leaf in 1..5 {
                 s = alg.add_edge(s, 0, leaf, true);
             }
-            assert!(alg.accept(s), "{}", alg.name());
+            assert!(alg.accept(&s), "{}", alg.name());
         }
     }
 }

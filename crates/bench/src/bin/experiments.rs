@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use lanecert_bench::{throughput, RunCtx, Scale};
+use lanecert_bench::{stats, throughput, RunCtx, Scale};
 
 /// Minimal JSON string escaping (the workspace has no serde offline).
 fn json_escape(s: &str) -> String {
@@ -97,13 +97,26 @@ fn main() {
         report
     });
 
-    if results.is_empty() && sweep.is_none() {
+    // Per-scheme label statistics (histogram + interned-state counts):
+    // part of every full run, selectable alone via `--table label-stats`
+    // — the CI determinism job diffs this section across thread counts.
+    let run_stats = selected.as_deref().is_none_or(|s| s == "label-stats");
+    let label_stats = run_stats.then(|| {
+        let start = Instant::now();
+        let report = stats::collect(scale, ctx.threads);
+        let seconds = start.elapsed().as_secs_f64();
+        println!("==== LABEL-STATS ({seconds:.2}s) ====");
+        println!("{}", report.render());
+        report
+    });
+
+    if results.is_empty() && sweep.is_none() && label_stats.is_none() {
         let known: Vec<&str> = lanecert_bench::all_tables()
             .iter()
             .map(|(n, _)| *n)
             .collect();
         eprintln!(
-            "no table matched {:?}; known tables: {}, throughput",
+            "no table matched {:?}; known tables: {}, throughput, label-stats",
             selected.as_deref().unwrap_or("<none>"),
             known.join(", ")
         );
@@ -113,7 +126,7 @@ fn main() {
     if !write_json {
         return;
     }
-    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/2\",\n");
+    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/3\",\n");
     let _ = writeln!(json, "  \"threads\": {},", ctx.threads);
     json.push_str("  \"tables\": [\n");
     for (i, (name, seconds, rendered)) in results.iter().enumerate() {
@@ -129,6 +142,10 @@ fn main() {
     json.push_str("  ]");
     if let Some(report) = &sweep {
         json.push_str(",\n  \"throughput\": ");
+        json.push_str(&report.to_json(json_escape));
+    }
+    if let Some(report) = &label_stats {
+        json.push_str(",\n  \"label_stats\": ");
         json.push_str(&report.to_json(json_escape));
     }
     json.push_str("\n}\n");

@@ -29,6 +29,7 @@ use lanecert_graph::{generators, Graph};
 use lanecert_lanes::{bounds, pipeline::LaneStrategy, recursive, Completion, Layout};
 use lanecert_pathwidth::{Interval, IntervalRep};
 
+pub mod stats;
 pub mod throughput;
 
 /// Table sizing: the full paper-scale runs, or the small CI smoke scale
@@ -183,13 +184,15 @@ pub fn families() -> Vec<Family> {
     ]
 }
 
-/// A theorem1 certifier with a generous lane bound (experiments certify
-/// structure at family widths ≤ 3).
+/// A theorem1 certifier for the benchmark families (widths ≤ 3, so a
+/// 4-lane bound suffices — and keeps the interface arity inside the
+/// freeze pass's cap, so the algebra table is total and every label size
+/// the tables print is canonical: identical at any `--threads`).
 pub(crate) fn theorem1_certifier(alg: SharedAlgebra) -> Certifier {
     Certifier::builder()
         .property(alg)
         .scheme(registry::THEOREM1)
-        .max_lanes(64)
+        .max_lanes(4)
         .build()
         .expect("theorem1 spec is complete")
 }
@@ -510,7 +513,7 @@ pub fn table_t7(_ctx: &RunCtx) -> String {
             for (_, e) in g.edges() {
                 s = alg.add_edge(s, e.u.index(), e.v.index(), true);
             }
-            let a = alg.accept(s);
+            let a = alg.accept(&s);
             let b = oracle(g);
             let c = eval::check(g, &formula);
             assert_eq!(a, b, "{name}: algebra vs brute force");
@@ -560,6 +563,11 @@ pub fn table_t9(ctx: &RunCtx) -> String {
             let cfg = Configuration::with_random_ids(g, 13);
             let layout = Layout::build(cfg.graph(), &rep, strategy);
             let congestion = layout.embedding.congestion(cfg.graph());
+            // The recursive strategy's lane count follows the f(k)
+            // relaxation, not the width, so this table keeps the
+            // generous bound (sealed algebra — fine here: T9 proves
+            // sequentially on a fresh instance, so its sizes are still
+            // deterministic).
             let certifier = Certifier::builder()
                 .property(Algebra::shared(Connected))
                 .scheme(registry::THEOREM1)

@@ -1,0 +1,255 @@
+//! Per-scheme label statistics behind the `label_stats` section of
+//! `BENCH_results.json` (schema `lanecert-bench/3`): an exact label-size
+//! histogram over a fixed corpus plus the canonically interned state
+//! count of each scheme's algebra table.
+//!
+//! These fields are the CI determinism probe: since canonical algebra
+//! interning, every label byte is a pure function of
+//! `(graph, property, hint)`, so two runs at different `--threads` must
+//! produce byte-identical histograms. To make that a real check (not a
+//! vacuous one), [`collect`] fans the prove calls out over the requested
+//! number of OS threads in round-robin, completion-order-nondeterministic
+//! fashion — if canonical interning regressed to order-dependent ids,
+//! the histogram bytes would drift between runs, and the CI workflow
+//! (which runs the quick suite twice at different `--threads` and diffs
+//! exactly this section plus T1's label columns) would catch it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use lanecert::{registry, BatchJob, Certifier};
+use lanecert_algebra::props::{Bipartite, Connected};
+use lanecert_algebra::Algebra;
+use lanecert_engine::CorpusSpec;
+
+use crate::Scale;
+
+/// Label statistics of one scheme over the corpus.
+#[derive(Clone, Debug)]
+pub struct SchemeLabelStats {
+    /// Scheme display name.
+    pub scheme: String,
+    /// The scheme's label-format fingerprint (see
+    /// `lanecert::Scheme::fingerprint`).
+    pub fingerprint: u64,
+    /// Canonically interned algebra states (`|C|`), for schemes whose
+    /// labels carry class ids; `None` otherwise.
+    pub interned_states: Option<usize>,
+    /// Jobs that certified (refusals and capacity errors are skipped).
+    pub certified_jobs: usize,
+    /// Total labels measured.
+    pub labels: usize,
+    /// Exact per-label wire size histogram: `bits → count`, ascending.
+    pub histogram: Vec<(usize, usize)>,
+}
+
+impl SchemeLabelStats {
+    /// Largest label in the histogram, in bits.
+    pub fn max_bits(&self) -> usize {
+        self.histogram.last().map_or(0, |&(bits, _)| bits)
+    }
+}
+
+/// The `label_stats` section: one entry per registry scheme.
+#[derive(Clone, Debug)]
+pub struct LabelStatsReport {
+    /// Description of the measured corpus.
+    pub corpus: String,
+    /// Per-scheme statistics, in registry-name order.
+    pub schemes: Vec<SchemeLabelStats>,
+}
+
+fn corpus_sizes(scale: Scale) -> [usize; 2] {
+    // Sizes stay even (cycles remain bipartite) and within the
+    // whole-graph scheme's 32-vertex algebra capacity.
+    scale.pick([16usize, 32], [12usize, 24])
+}
+
+fn corpus_spec(scale: Scale) -> CorpusSpec {
+    // Small deterministic slice of the benchmark families.
+    CorpusSpec::new()
+        .families(CorpusSpec::benchmark_families())
+        .sizes(corpus_sizes(scale))
+        .seed(5)
+}
+
+/// Collects the per-scheme label statistics at `scale`, proving on
+/// `threads` OS threads (clamped to ≥ 1). The histogram is a function
+/// of the label *bytes*, so any scheduling-dependence in id assignment
+/// would surface as a cross-run diff of this report.
+pub fn collect(scale: Scale, threads: usize) -> LabelStatsReport {
+    let spec = corpus_spec(scale);
+    let corpus = format!(
+        "benchmark families × sizes {:?} × seed 5",
+        corpus_sizes(scale)
+    );
+    let schemes: Vec<Certifier> = vec![
+        crate::theorem1_certifier(Algebra::shared(Connected)),
+        Certifier::builder()
+            .scheme(registry::FMR_BASELINE)
+            .build()
+            .expect("baseline needs no spec"),
+        Certifier::builder()
+            .property(Algebra::shared(Bipartite))
+            .scheme(registry::BIPARTITE_1BIT)
+            .build()
+            .expect("bipartite spec is complete"),
+        Certifier::builder()
+            .property(Algebra::shared(Connected))
+            .scheme(registry::WHOLE_GRAPH)
+            .build()
+            .expect("whole-graph spec is complete"),
+    ];
+    let threads = threads.max(1);
+    let mut out = Vec::with_capacity(schemes.len());
+    for certifier in schemes {
+        let jobs: Vec<BatchJob> = spec.jobs().collect();
+        // Prove concurrently: round-robin the jobs over `threads` OS
+        // threads sharing one certifier. Refusals (non-bipartite
+        // instances for the 1-bit scheme) and capacity errors
+        // (whole-graph past 32 vertices) are expected corpus members —
+        // skipped, not failures.
+        let per_thread: Vec<(usize, BTreeMap<usize, usize>)> = std::thread::scope(|scope| {
+            let certifier = &certifier;
+            let handles: Vec<_> = jobs
+                .chunks((jobs.len().div_ceil(threads)).max(1))
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+                        let mut certified = 0usize;
+                        for job in chunk {
+                            let hint = job.hint.as_ref().unwrap_or_else(|| certifier.hint());
+                            let Ok(encoding) = certifier.certify_with(&job.cfg, hint) else {
+                                continue;
+                            };
+                            certified += 1;
+                            for label in encoding.as_slice() {
+                                *histogram.entry(label.measured_bits()).or_insert(0) += 1;
+                            }
+                        }
+                        (certified, histogram)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stats prover thread panicked"))
+                .collect()
+        });
+        let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut certified = 0usize;
+        for (c, h) in per_thread {
+            certified += c;
+            for (bits, count) in h {
+                *histogram.entry(bits).or_insert(0) += count;
+            }
+        }
+        let labels = histogram.values().sum();
+        out.push(SchemeLabelStats {
+            scheme: certifier.name(),
+            fingerprint: certifier.scheme().fingerprint(),
+            interned_states: certifier.scheme().algebra_state_count(),
+            certified_jobs: certified,
+            labels,
+            histogram: histogram.into_iter().collect(),
+        });
+    }
+    LabelStatsReport {
+        corpus,
+        schemes: out,
+    }
+}
+
+impl LabelStatsReport {
+    /// The human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Label stats: {}\nscheme                              |C|     jobs  labels  max-bits  distinct-sizes\n",
+            self.corpus
+        );
+        for s in &self.schemes {
+            let _ = writeln!(
+                out,
+                "{:<34} {:>6}  {:>6}  {:>6}  {:>8}  {:>14}",
+                s.scheme,
+                s.interned_states
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                s.certified_jobs,
+                s.labels,
+                s.max_bits(),
+                s.histogram.len(),
+            );
+        }
+        out
+    }
+
+    /// The `label_stats` JSON section (hand-rendered; no serde offline).
+    pub fn to_json(&self, escape: impl Fn(&str) -> String) -> String {
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "    \"corpus\": \"{}\",", escape(&self.corpus));
+        json.push_str("    \"schemes\": [\n");
+        for (i, s) in self.schemes.iter().enumerate() {
+            let hist: Vec<String> = s
+                .histogram
+                .iter()
+                .map(|&(bits, count)| format!("[{bits}, {count}]"))
+                .collect();
+            let _ = writeln!(
+                json,
+                "      {{\"scheme\": \"{}\", \"fingerprint\": \"{:#018x}\", \
+                 \"interned_states\": {}, \"certified_jobs\": {}, \"labels\": {}, \
+                 \"max_bits\": {}, \"label_size_histogram\": [{}]}}{}",
+                escape(&s.scheme),
+                s.fingerprint,
+                s.interned_states
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "null".into()),
+                s.certified_jobs,
+                s.labels,
+                s.max_bits(),
+                hist.join(", "),
+                if i + 1 == self.schemes.len() { "" } else { "," },
+            );
+        }
+        json.push_str("    ]\n  }");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_stats_collect_and_serialize() {
+        let report = collect(Scale::Quick, 2);
+        assert_eq!(report.schemes.len(), 4);
+        let t1 = &report.schemes[0];
+        assert!(t1.scheme.starts_with("theorem1"));
+        assert!(t1.interned_states.unwrap() > 0);
+        assert!(t1.labels > 0);
+        assert!(t1.max_bits() > 0);
+        // The 1-bit scheme's histogram is a single 2-bit bucket.
+        let bip = report
+            .schemes
+            .iter()
+            .find(|s| s.scheme == "bipartite-1bit")
+            .unwrap();
+        assert_eq!(bip.histogram, vec![(2, bip.labels)]);
+        let json = report.to_json(|s| s.to_string());
+        assert!(json.contains("\"label_size_histogram\""));
+        assert!(json.contains("\"interned_states\""));
+        let rendered = report.render();
+        assert!(rendered.contains("|C|"));
+    }
+
+    #[test]
+    fn stats_are_reproducible() {
+        // Collections at different prover thread counts agree exactly —
+        // the determinism CI job diffs this section across runs.
+        let a = collect(Scale::Quick, 1);
+        let b = collect(Scale::Quick, 3);
+        assert_eq!(a.to_json(|s| s.to_string()), b.to_json(|s| s.to_string()));
+    }
+}

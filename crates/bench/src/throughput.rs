@@ -2,12 +2,19 @@
 //! `BENCH_results.json`: the same corpus pushed through the engine at
 //! 1/2/4/8 workers, plus a pure verify-stage sweep.
 //!
-//! Two measurements, because the pipeline has two very different stages:
+//! Three measurements, because the pipeline has two very different
+//! stages and one historical bottleneck:
 //!
-//! * **Pipeline**: a [`CorpusSpec`] streamed end to end (prove + encode +
-//!   verify) per worker count, in `parallel_prove` mode so the whole
-//!   pipeline scales (throughput mode trades the bit-identical label-size
-//!   statistics for wall-clock; verdicts stay identical).
+//! * **Pipeline** (the default engine: proving *and* verifying on the
+//!   pool): a [`CorpusSpec`] streamed end to end per worker count.
+//!   Since canonical algebra interning this mode is bit-identical to
+//!   the sequential path — the sweep records the speedup that used to
+//!   cost parity.
+//! * **Driver-prove** (the pre-canonical engine shape,
+//!   `parallel_prove(false)`): same corpus with proving serialized on
+//!   the driver — the baseline the pipeline series is compared against;
+//!   `prove_speedup_vs_driver` on each pipeline run is the win from
+//!   deleting the sequential-prove restriction.
 //! * **Verify-only**: one large instance proven once, then
 //!   everywhere-verified via [`lanecert::Certifier::par_verify`] per
 //!   thread count — the paper's verifier is embarrassingly parallel, and
@@ -46,6 +53,10 @@ pub struct PipelineRun {
     pub vertices_per_sec: f64,
     /// Throughput relative to the 1-worker run.
     pub speedup_vs_1: f64,
+    /// Throughput relative to the driver-prove run at the same worker
+    /// count (zero in the `driver_prove` series itself): the measured
+    /// win from proving on the pool.
+    pub prove_speedup_vs_driver: f64,
 }
 
 /// One verify-only run at a fixed thread count.
@@ -68,8 +79,12 @@ pub struct VerifyRun {
 pub struct ThroughputReport {
     /// Description of the streamed corpus.
     pub corpus: String,
-    /// End-to-end pipeline runs, one per [`WORKER_COUNTS`] entry.
+    /// End-to-end pipeline runs (pool proving — the default engine),
+    /// one per [`WORKER_COUNTS`] entry.
     pub pipeline: Vec<PipelineRun>,
+    /// Driver-prove baseline runs (`parallel_prove(false)`), one per
+    /// [`WORKER_COUNTS`] entry.
+    pub driver_prove: Vec<PipelineRun>,
     /// Verify-only runs, one per [`WORKER_COUNTS`] entry.
     pub verify_only: Vec<VerifyRun>,
 }
@@ -97,41 +112,54 @@ pub fn sweep(scale: Scale) -> ThroughputReport {
         spec.len(),
     );
 
-    let mut pipeline = Vec::new();
-    let mut base_rate = 0.0;
-    for workers in WORKER_COUNTS {
-        let engine = Engine::builder()
-            .certifier(theorem1_certifier(Algebra::shared(Connected)))
-            .workers(workers)
-            .shard_threshold(512)
-            .parallel_prove(true)
-            .build()
-            .expect("spec is complete");
-        let report = engine.run(spec.jobs());
-        assert_eq!(
-            report.batch.refused() + report.batch.failed(),
-            0,
-            "throughput corpus must certify cleanly: {}",
-            report.batch.summary()
-        );
-        let t = report.throughput;
-        let rate = t.vertices_per_sec();
-        if workers == 1 {
-            base_rate = rate;
+    let run_series = |parallel_prove: bool| -> Vec<PipelineRun> {
+        let mut series = Vec::new();
+        let mut base_rate = 0.0;
+        for workers in WORKER_COUNTS {
+            let engine = Engine::builder()
+                .certifier(theorem1_certifier(Algebra::shared(Connected)))
+                .workers(workers)
+                .shard_threshold(512)
+                .parallel_prove(parallel_prove)
+                .build()
+                .expect("spec is complete");
+            let report = engine.run(spec.jobs());
+            assert_eq!(
+                report.batch.refused() + report.batch.failed(),
+                0,
+                "throughput corpus must certify cleanly: {}",
+                report.batch.summary()
+            );
+            let t = report.throughput;
+            let rate = t.vertices_per_sec();
+            if workers == 1 {
+                base_rate = rate;
+            }
+            series.push(PipelineRun {
+                workers,
+                jobs: t.jobs,
+                vertices: t.vertices,
+                seconds: t.wall_seconds,
+                jobs_per_sec: t.jobs_per_sec(),
+                vertices_per_sec: rate,
+                speedup_vs_1: if base_rate > 0.0 {
+                    rate / base_rate
+                } else {
+                    0.0
+                },
+                prove_speedup_vs_driver: 0.0,
+            });
         }
-        pipeline.push(PipelineRun {
-            workers,
-            jobs: t.jobs,
-            vertices: t.vertices,
-            seconds: t.wall_seconds,
-            jobs_per_sec: t.jobs_per_sec(),
-            vertices_per_sec: rate,
-            speedup_vs_1: if base_rate > 0.0 {
-                rate / base_rate
-            } else {
-                0.0
-            },
-        });
+        series
+    };
+    // The driver-prove baseline first, then the default pool-proving
+    // pipeline, with the per-worker-count comparison folded in.
+    let driver_prove = run_series(false);
+    let mut pipeline = run_series(true);
+    for (p, d) in pipeline.iter_mut().zip(&driver_prove) {
+        if d.vertices_per_sec > 0.0 {
+            p.prove_speedup_vs_driver = p.vertices_per_sec / d.vertices_per_sec;
+        }
     }
 
     // Verify-only: one big path instance, proven once; the verify stage is
@@ -179,6 +207,7 @@ pub fn sweep(scale: Scale) -> ThroughputReport {
     ThroughputReport {
         corpus,
         pipeline,
+        driver_prove,
         verify_only,
     }
 }
@@ -187,11 +216,26 @@ impl ThroughputReport {
     /// The human-readable table (rendered alongside T1–T9).
     pub fn render(&self) -> String {
         let mut out = format!(
-            "Throughput: {}\npipeline (parallel prove + sharded verify)\n\
-             workers  jobs  vertices  wall(s)   jobs/s    vert/s  speedup\n",
+            "Throughput: {}\npipeline (pool prove + sharded verify — bit-identical to sequential)\n\
+             workers  jobs  vertices  wall(s)   jobs/s    vert/s  speedup  vs-driver\n",
             self.corpus,
         );
         for r in &self.pipeline {
+            let _ = writeln!(
+                out,
+                "{:>7}  {:>4}  {:>8}  {:>7.3}  {:>7.1}  {:>8.0}  {:>6.2}x  {:>8.2}x",
+                r.workers,
+                r.jobs,
+                r.vertices,
+                r.seconds,
+                r.jobs_per_sec,
+                r.vertices_per_sec,
+                r.speedup_vs_1,
+                r.prove_speedup_vs_driver,
+            );
+        }
+        out.push_str("driver-prove baseline (prove serialized on the driver)\nworkers  jobs  vertices  wall(s)   jobs/s    vert/s  speedup\n");
+        for r in &self.driver_prove {
             let _ = writeln!(
                 out,
                 "{:>7}  {:>4}  {:>8}  {:>7.3}  {:>7.1}  {:>8.0}  {:>6.2}x",
@@ -226,6 +270,24 @@ impl ThroughputReport {
             let _ = writeln!(
                 json,
                 "      {{\"workers\": {}, \"jobs\": {}, \"vertices\": {}, \"seconds\": {:.6}, \
+                 \"jobs_per_sec\": {:.3}, \"vertices_per_sec\": {:.3}, \"speedup_vs_1\": {:.4}, \
+                 \"prove_speedup_vs_driver\": {:.4}}}{}",
+                r.workers,
+                r.jobs,
+                r.vertices,
+                r.seconds,
+                r.jobs_per_sec,
+                r.vertices_per_sec,
+                r.speedup_vs_1,
+                r.prove_speedup_vs_driver,
+                comma(i, self.pipeline.len()),
+            );
+        }
+        json.push_str("    ],\n    \"driver_prove\": [\n");
+        for (i, r) in self.driver_prove.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"workers\": {}, \"jobs\": {}, \"vertices\": {}, \"seconds\": {:.6}, \
                  \"jobs_per_sec\": {:.3}, \"vertices_per_sec\": {:.3}, \"speedup_vs_1\": {:.4}}}{}",
                 r.workers,
                 r.jobs,
@@ -234,7 +296,7 @@ impl ThroughputReport {
                 r.jobs_per_sec,
                 r.vertices_per_sec,
                 r.speedup_vs_1,
-                comma(i, self.pipeline.len()),
+                comma(i, self.driver_prove.len()),
             );
         }
         json.push_str("    ],\n    \"verify_only\": [\n");
@@ -272,14 +334,22 @@ mod tests {
     fn quick_sweep_runs_and_serializes() {
         let report = sweep(Scale::Quick);
         assert_eq!(report.pipeline.len(), WORKER_COUNTS.len());
+        assert_eq!(report.driver_prove.len(), WORKER_COUNTS.len());
         assert_eq!(report.verify_only.len(), WORKER_COUNTS.len());
         assert!((report.pipeline[0].speedup_vs_1 - 1.0).abs() < 1e-9);
         assert!(report.pipeline.iter().all(|r| r.vertices > 0));
+        assert!(report
+            .pipeline
+            .iter()
+            .all(|r| r.prove_speedup_vs_driver > 0.0));
         let rendered = report.render();
         assert!(rendered.contains("verify-only"));
+        assert!(rendered.contains("driver-prove baseline"));
         let json = report.to_json(|s| s.to_string());
         assert!(json.contains("\"pipeline\""));
+        assert!(json.contains("\"driver_prove\""));
         assert!(json.contains("\"verify_only\""));
         assert!(json.contains("\"speedup_vs_1\""));
+        assert!(json.contains("\"prove_speedup_vs_driver\""));
     }
 }

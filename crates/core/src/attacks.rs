@@ -23,6 +23,11 @@ pub enum Corruption {
     FlipMark,
     /// Perturb a homomorphism class id in some frame.
     BumpClass,
+    /// Replace a homomorphism class id with one far outside the frozen
+    /// table (canonical ids are dense from 0, so `u32::MAX` can never be
+    /// interned — the verifier must reject it, never panic or index out
+    /// of bounds).
+    HugeClass,
     /// Drop all transit records from one edge.
     DropTransits,
 }
@@ -63,6 +68,16 @@ pub fn corrupt(labels: &[EdgeLabel], kind: Corruption, rng: &mut StdRng) -> Opti
                 _ => return None,
             }
         }
+        Corruption::HugeClass => {
+            use crate::theorem1::labels::FrameLbl;
+            let label = &mut out[pick];
+            let frame = label.own.frames.first_mut()?;
+            match frame {
+                FrameLbl::T(t) => t.subtree.class = u32::MAX,
+                FrameLbl::B(b) => b.right.class = u32::MAX,
+                _ => return None,
+            }
+        }
         Corruption::DropTransits => {
             let with = (0..out.len()).find(|&i| !out[i].transits.is_empty())?;
             out[with].transits.clear();
@@ -90,6 +105,7 @@ pub fn fuzz_scheme<S: Scheme<Label = EdgeLabel>>(
         Corruption::CloneLabel,
         Corruption::FlipMark,
         Corruption::BumpClass,
+        Corruption::HugeClass,
         Corruption::DropTransits,
     ];
     let mut attempted = 0;
@@ -309,6 +325,47 @@ mod tests {
         // Every single-bit flip of a Theorem 1 certificate on this graph
         // is caught.
         assert_eq!(rejected, attempted);
+    }
+
+    #[test]
+    fn out_of_range_class_ids_reject_cleanly() {
+        // Canonical ids are dense from 0; adversarial labels may claim
+        // any u32. Every such claim must come back as a verdict-level
+        // rejection through both the typed and the erased layer — never
+        // a panic, never CertError::Internal.
+        let g = generators::cycle_graph(8);
+        let (_, pd) = solver::pathwidth_exact(&g).unwrap();
+        let rep = IntervalRep::from_decomposition(&pd, g.vertex_count());
+        let cfg = Configuration::with_random_ids(g, 13);
+        let scheme = bipartite_scheme();
+        let labels = scheme.prove_with_rep(&cfg, &rep).unwrap();
+        let table_len = DynScheme::algebra_state_count(&scheme).unwrap() as u32;
+        for bogus in [table_len, table_len + 1, u32::MAX / 2, u32::MAX] {
+            let mut forged = labels.as_slice().to_vec();
+            for label in &mut forged {
+                for frame in &mut label.own.frames {
+                    match frame {
+                        crate::theorem1::labels::FrameLbl::T(t) => {
+                            t.subtree.class = bogus;
+                            for c in &mut t.children {
+                                c.class = bogus;
+                            }
+                        }
+                        crate::theorem1::labels::FrameLbl::B(b) => {
+                            b.left.class = bogus;
+                            b.right.class = bogus;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let report = scheme.run(&cfg, &forged).unwrap();
+            assert!(!report.accepted(), "class id {bogus} was accepted");
+            let encoded = crate::erased::EncodedLabeling::encode(&forged);
+            let erased: &dyn DynScheme = &scheme;
+            let report = erased.verify_encoded(&cfg, &encoded).unwrap();
+            assert!(!report.accepted(), "class id {bogus} (erased) was accepted");
+        }
     }
 
     #[test]

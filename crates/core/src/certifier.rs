@@ -65,6 +65,13 @@ impl Certifier {
         &self.hint
     }
 
+    /// Overrides the default hint's automatic-decomposition ceiling (see
+    /// [`CertifierBuilder::heuristic_limit`]); used by the engine builder
+    /// to push its own knob down onto an already-built certifier.
+    pub fn set_heuristic_limit(&mut self, limit: usize) {
+        self.hint = std::mem::take(&mut self.hint).heuristic_limit(limit);
+    }
+
     /// Honest certificate assignment, wire-encoded, using the default
     /// hint.
     ///
@@ -167,6 +174,7 @@ pub struct CertifierBuilder {
     scheme: Option<String>,
     registry: Option<SchemeRegistry>,
     rep: Option<IntervalRep>,
+    heuristic_limit: Option<usize>,
 }
 
 impl CertifierBuilder {
@@ -208,6 +216,18 @@ impl CertifierBuilder {
         self
     }
 
+    /// Vertex-count ceiling up to which hintless prove calls derive a
+    /// decomposition themselves (exact solver, then the beam-search
+    /// heuristic); beyond it they fail with
+    /// [`CertError::NeedRepresentation`]. Defaults to
+    /// [`crate::AUTO_HEURISTIC_LIMIT`] (256). Applies to the certifier's
+    /// default hint; per-job hints carry their own ceiling
+    /// ([`ProverHint::heuristic_limit`]).
+    pub fn heuristic_limit(mut self, limit: usize) -> Self {
+        self.heuristic_limit = Some(limit);
+        self
+    }
+
     /// Resolve schemes against a custom registry instead of
     /// [`SchemeRegistry::standard`].
     pub fn registry(mut self, registry: SchemeRegistry) -> Self {
@@ -225,10 +245,13 @@ impl CertifierBuilder {
         let registry = self.registry.unwrap_or_else(SchemeRegistry::standard);
         let name = self.scheme.as_deref().unwrap_or(THEOREM1);
         let scheme = registry.build(name, &self.spec)?;
-        let hint = match self.rep {
+        let mut hint = match self.rep {
             Some(rep) => ProverHint::with_representation(rep),
             None => ProverHint::auto(),
         };
+        if let Some(limit) = self.heuristic_limit {
+            hint = hint.heuristic_limit(limit);
+        }
         Ok(Certifier { scheme, hint })
     }
 }
@@ -309,6 +332,45 @@ mod tests {
         }
         let labels = c.certify(&cfg).unwrap();
         assert_eq!(c.par_verify(&cfg, &labels, 4).unwrap(), sequential);
+    }
+
+    #[test]
+    fn heuristic_limit_knob_gates_the_fallback() {
+        // C40 is past the exact solver; the default ceiling (256) lets
+        // the beam-search heuristic cover it, a lowered ceiling refuses.
+        let build = |limit: Option<usize>| {
+            let mut b = Certifier::builder()
+                .property(Algebra::shared(Connected))
+                .pathwidth(2);
+            if let Some(l) = limit {
+                b = b.heuristic_limit(l);
+            }
+            b.build().unwrap()
+        };
+        let cfg = Configuration::with_random_ids(generators::cycle_graph(40), 8);
+        assert!(build(None).run(&cfg).unwrap().accepted());
+        assert!(build(Some(400)).run(&cfg).unwrap().accepted());
+        assert_eq!(
+            build(Some(10)).run(&cfg).unwrap_err(),
+            CertError::NeedRepresentation
+        );
+        // Raising the ceiling extends hintless coverage past the default.
+        let big = Configuration::with_random_ids(
+            generators::cycle_graph(crate::scheme::AUTO_HEURISTIC_LIMIT + 2),
+            9,
+        );
+        assert_eq!(
+            build(None).run(&big).unwrap_err(),
+            CertError::NeedRepresentation
+        );
+        assert!(build(Some(2 * crate::scheme::AUTO_HEURISTIC_LIMIT))
+            .run(&big)
+            .unwrap()
+            .accepted());
+        // The mutating form used by the engine builder agrees.
+        let mut c = build(None);
+        c.set_heuristic_limit(10);
+        assert_eq!(c.run(&cfg).unwrap_err(), CertError::NeedRepresentation);
     }
 
     #[test]

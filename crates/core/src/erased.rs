@@ -75,21 +75,40 @@ impl EncodedLabel {
     }
 }
 
-/// An erased labeling: one [`EncodedLabel`] per edge.
+/// An erased labeling: one [`EncodedLabel`] per edge, optionally stamped
+/// with the [`Scheme::fingerprint`] of the scheme that produced it (the
+/// erased prover always stamps; hand-built labelings may leave it off,
+/// in which case verification skips the check).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EncodedLabeling {
     labels: Vec<EncodedLabel>,
+    fingerprint: Option<u64>,
 }
 
 impl EncodedLabeling {
-    /// Wraps per-edge encoded labels.
+    /// Wraps per-edge encoded labels (no fingerprint recorded).
     pub fn new(labels: Vec<EncodedLabel>) -> Self {
-        Self { labels }
+        Self {
+            labels,
+            fingerprint: None,
+        }
     }
 
-    /// Encodes a typed label slice.
+    /// Encodes a typed label slice (no fingerprint recorded).
     pub fn encode<L: Enc>(labels: &[L]) -> Self {
         Self::new(labels.iter().map(EncodedLabel::of).collect())
+    }
+
+    /// Records the producing scheme's fingerprint (see
+    /// [`Scheme::fingerprint`]).
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.fingerprint = Some(fingerprint);
+        self
+    }
+
+    /// The recorded scheme fingerprint, if any.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
     }
 
     /// Number of labels.
@@ -139,6 +158,17 @@ impl EncodedLabeling {
 pub trait DynScheme: Send + Sync {
     /// Registry/display name of the scheme instance.
     fn name(&self) -> String;
+
+    /// The scheme's label-format digest (see [`Scheme::fingerprint`]).
+    fn fingerprint(&self) -> u64;
+
+    /// Canonically interned algebra states backing the labels, when the
+    /// scheme has such a table (see [`Scheme::algebra_state_count`]).
+    fn algebra_state_count(&self) -> Option<usize>;
+
+    /// Whether labels are a pure function of `(graph, hint)` (see
+    /// [`Scheme::canonical_labels`]).
+    fn canonical_labels(&self) -> bool;
 
     /// Honest certificate assignment, already wire-encoded.
     ///
@@ -257,9 +287,36 @@ fn view_of<L: Enc + Clone>(
     }
 }
 
+/// Rejects labelings recorded under a different scheme fingerprint (see
+/// [`CertError::FingerprintMismatch`]); unstamped labelings pass.
+fn check_fingerprint<S: Scheme + Send + Sync>(
+    scheme: &S,
+    labels: &EncodedLabeling,
+) -> Result<(), CertError> {
+    if let Some(got) = labels.fingerprint() {
+        let expected = Scheme::fingerprint(scheme);
+        if got != expected {
+            return Err(CertError::FingerprintMismatch { expected, got });
+        }
+    }
+    Ok(())
+}
+
 impl<S: Scheme + Send + Sync> DynScheme for S {
     fn name(&self) -> String {
         Scheme::name(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Scheme::fingerprint(self)
+    }
+
+    fn algebra_state_count(&self) -> Option<usize> {
+        Scheme::algebra_state_count(self)
+    }
+
+    fn canonical_labels(&self) -> bool {
+        Scheme::canonical_labels(self)
     }
 
     fn prove_encoded(
@@ -268,7 +325,7 @@ impl<S: Scheme + Send + Sync> DynScheme for S {
         hint: &ProverHint,
     ) -> Result<EncodedLabeling, CertError> {
         let labels = self.prove(cfg, hint)?;
-        Ok(EncodedLabeling::encode(&labels))
+        Ok(EncodedLabeling::encode(&labels).with_fingerprint(Scheme::fingerprint(self)))
     }
 
     fn verify_encoded(
@@ -276,6 +333,7 @@ impl<S: Scheme + Send + Sync> DynScheme for S {
         cfg: &Configuration,
         labels: &EncodedLabeling,
     ) -> Result<RunReport, CertError> {
+        check_fingerprint(self, labels)?;
         let g = cfg.graph();
         if labels.len() != g.edge_count() {
             return Err(CertError::LabelCountMismatch {
@@ -306,6 +364,7 @@ impl<S: Scheme + Send + Sync> DynScheme for S {
         labels: &EncodedLabeling,
         range: std::ops::Range<usize>,
     ) -> Result<Vec<Verdict>, CertError> {
+        check_fingerprint(self, labels)?;
         let g = cfg.graph();
         if labels.len() != g.edge_count() {
             return Err(CertError::LabelCountMismatch {
@@ -467,6 +526,31 @@ mod tests {
                 got: 0
             }
         );
+    }
+
+    #[test]
+    fn fingerprint_mismatch_fails_loudly() {
+        // A labeling recorded under a different scheme/table version must
+        // surface as a typed error, not misdecode into rejections.
+        let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
+        let boxed: BoxedScheme = Box::new(Sevens);
+        let enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
+        assert_eq!(enc.fingerprint(), Some(boxed.fingerprint()));
+        let foreign = enc.clone().with_fingerprint(boxed.fingerprint() ^ 1);
+        let err = boxed.verify_encoded(&cfg, &foreign).unwrap_err();
+        assert!(
+            matches!(err, CertError::FingerprintMismatch { .. }),
+            "{err:?}"
+        );
+        let err = boxed
+            .verify_encoded_range(&cfg, &foreign, 0..2)
+            .unwrap_err();
+        assert!(matches!(err, CertError::FingerprintMismatch { .. }));
+        let err = boxed.par_verify_encoded(&cfg, &foreign, 3).unwrap_err();
+        assert!(matches!(err, CertError::FingerprintMismatch { .. }));
+        // Unstamped labelings (hand-built corpora) skip the check.
+        let unstamped = EncodedLabeling::new(enc.as_slice().to_vec());
+        assert!(boxed.verify_encoded(&cfg, &unstamped).unwrap().accepted());
     }
 
     #[test]

@@ -58,6 +58,17 @@ pub enum CertError {
     /// The builder/spec is missing something the scheme factory requires
     /// (e.g. the Theorem 1 scheme without a property algebra).
     InvalidSpec(String),
+    /// An [`EncodedLabeling`](crate::EncodedLabeling) was recorded under
+    /// a different algebra table than the scheme verifying it (a label
+    /// corpus from another workspace version or another property/width).
+    /// Canonical class ids only mean anything relative to their frozen
+    /// table, so the mismatch fails loudly instead of misdecoding.
+    FingerprintMismatch {
+        /// The verifying scheme's fingerprint.
+        expected: u64,
+        /// The fingerprint recorded on the labeling.
+        got: u64,
+    },
     /// Internal pipeline failure (a bug; surfaced for diagnosis).
     Internal(String),
 }
@@ -87,6 +98,13 @@ impl fmt::Display for CertError {
                 write!(f, "no scheme named {name:?} in the registry")
             }
             CertError::InvalidSpec(msg) => write!(f, "invalid scheme spec: {msg}"),
+            CertError::FingerprintMismatch { expected, got } => {
+                write!(
+                    f,
+                    "labeling was recorded under algebra fingerprint {got:#018x}, \
+                     scheme expects {expected:#018x} (cross-version or cross-scheme corpus)"
+                )
+            }
             CertError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -136,6 +154,13 @@ mod tests {
                 "nope",
             ),
             (CertError::InvalidSpec("x".into()), "spec"),
+            (
+                CertError::FingerprintMismatch {
+                    expected: 1,
+                    got: 2,
+                },
+                "fingerprint",
+            ),
             (CertError::Internal("y".into()), "internal"),
         ] {
             assert!(e.to_string().contains(needle), "{e}");

@@ -178,6 +178,7 @@ impl<L> DerefMut for Labeling<L> {
 #[derive(Clone, Debug, Default)]
 pub struct ProverHint {
     rep: Option<IntervalRep>,
+    heuristic_limit: Option<usize>,
 }
 
 impl ProverHint {
@@ -188,12 +189,33 @@ impl ProverHint {
 
     /// Supplies a known interval representation.
     pub fn with_representation(rep: IntervalRep) -> Self {
-        Self { rep: Some(rep) }
+        Self {
+            rep: Some(rep),
+            heuristic_limit: None,
+        }
     }
 
     /// The supplied representation, if any.
     pub fn representation(&self) -> Option<&IntervalRep> {
         self.rep.as_ref()
+    }
+
+    /// Overrides the vertex-count ceiling for the beam-search heuristic
+    /// fallback of [`ProverHint::resolve`] (default
+    /// [`AUTO_HEURISTIC_LIMIT`]). Raising it trades prover latency on
+    /// hintless jobs for coverage; lowering it makes
+    /// [`CertError::NeedRepresentation`] fire earlier. Also settable
+    /// fleet-wide through `CertifierBuilder::heuristic_limit` and
+    /// `EngineBuilder::heuristic_limit`.
+    pub fn heuristic_limit(mut self, limit: usize) -> Self {
+        self.heuristic_limit = Some(limit);
+        self
+    }
+
+    /// The effective heuristic ceiling ([`AUTO_HEURISTIC_LIMIT`] unless
+    /// overridden).
+    pub fn effective_heuristic_limit(&self) -> usize {
+        self.heuristic_limit.unwrap_or(AUTO_HEURISTIC_LIMIT)
     }
 
     /// Resolves an interval representation for `cfg`: the supplied one if
@@ -226,7 +248,7 @@ impl ProverHint {
         }
         let pd = match solver::pathwidth_exact(cfg.graph()) {
             Ok((_, pd)) => pd,
-            Err(_) if cfg.n() <= AUTO_HEURISTIC_LIMIT => {
+            Err(_) if cfg.n() <= self.effective_heuristic_limit() => {
                 let (_, pd) = solver::pathwidth_heuristic(cfg.graph(), AUTO_HEURISTIC_BEAM);
                 pd
             }
@@ -236,15 +258,27 @@ impl ProverHint {
     }
 }
 
-/// Largest vertex count for which [`ProverHint::resolve`] derives a
-/// decomposition itself (exact solver below its own limit, beam-search
-/// heuristic beyond). Larger graphs must supply a representation — the
-/// heuristic's cost grows cubically, which would turn a missing hint into
-/// a silent multi-second stall per batch job.
+/// Default ceiling on the vertex count for which [`ProverHint::resolve`]
+/// derives a decomposition itself (exact solver below its own limit,
+/// beam-search heuristic beyond). Larger graphs must supply a
+/// representation — the heuristic's cost grows cubically, which would
+/// turn a missing hint into a silent multi-second stall per batch job.
+/// Override per hint with [`ProverHint::heuristic_limit`], per pipeline
+/// with `CertifierBuilder::heuristic_limit` / `EngineBuilder::heuristic_limit`.
 pub const AUTO_HEURISTIC_LIMIT: usize = 256;
 
 /// Beam width used by the automatic heuristic fallback.
 const AUTO_HEURISTIC_BEAM: usize = 8;
+
+/// Deterministic (within one build) digest of a scheme name — the
+/// default [`Scheme::fingerprint`].
+pub(crate) fn stable_name_fingerprint(name: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    "lanecert-scheme".hash(&mut h);
+    name.hash(&mut h);
+    h.finish()
+}
 
 /// Validates a caller-supplied interval representation against a
 /// configuration, mapping a mismatch to the API's typed error (shared by
@@ -286,6 +320,38 @@ pub trait Scheme {
 
     /// The local verification algorithm at one vertex.
     fn verify_at(&self, view: &VertexView<Self::Label>) -> Verdict;
+
+    /// A digest of everything the meaning of this scheme's wire labels
+    /// depends on. Schemes whose labels reference a canonical algebra
+    /// table (the Theorem 1 scheme) fold the table's fingerprint in; the
+    /// default is a digest of the scheme name. Labelings produced through
+    /// the erased layer record this value, and verification rejects a
+    /// mismatch with [`CertError::FingerprintMismatch`] — so a label
+    /// corpus recorded under another workspace version (or another
+    /// property/width) fails loudly instead of misdecoding.
+    fn fingerprint(&self) -> u64 {
+        stable_name_fingerprint(&self.name())
+    }
+
+    /// Number of canonically interned algebra states backing this
+    /// scheme's labels, when there is such a table (`None` for schemes
+    /// without class-carrying labels). Reported by the bench suite as
+    /// the per-scheme `|C|` statistic.
+    fn algebra_state_count(&self) -> Option<usize> {
+        None
+    }
+
+    /// `true` when this scheme's labels are a pure function of
+    /// `(graph, hint)` — the default, and what the Theorem 1 scheme
+    /// reports whenever its canonical freeze completed
+    /// (`FrozenAlgebra::is_total`). A *sealed* algebra (too large to
+    /// pre-enumerate) returns `false`: its dynamic-tail ids depend on
+    /// prove arrival order, so concurrent proving can perturb label
+    /// sizes. The engine consults this to decide whether proving may
+    /// default onto the worker pool without giving up bit-parity.
+    fn canonical_labels(&self) -> bool {
+        true
+    }
 
     /// Runs the verifier at every vertex against the given (possibly
     /// adversarial) labels, through the wire encoding.

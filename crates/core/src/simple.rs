@@ -238,7 +238,7 @@ impl WholeGraphScheme {
                 };
                 s = alg.add_edge(s, u, v, true);
             }
-            alg.accept(s)
+            alg.accept(&s)
         });
         scheme.capacity = Self::MAX_ALGEBRA_CLAIM;
         scheme

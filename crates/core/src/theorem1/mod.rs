@@ -27,7 +27,7 @@ mod prover;
 pub mod summary;
 mod verifier;
 
-use lanecert_algebra::SharedAlgebra;
+use lanecert_algebra::{FreezeOptions, FrozenAlgebra, SharedAlgebra, SharedFrozenAlgebra};
 use lanecert_lanes::{LaneStrategy, Layout};
 use lanecert_pathwidth::IntervalRep;
 
@@ -63,20 +63,38 @@ impl SchemeOptions {
 }
 
 /// The Theorem 1 proof labeling scheme for one `(ϕ, k)` pair.
+///
+/// Construction runs the canonical freeze pass
+/// ([`FrozenAlgebra::freeze`]) for the pair's interface arity
+/// (`2 × max_lanes`): with a total table, `StateId`s — and therefore
+/// label bytes and varint label sizes — are a pure function of
+/// `(graph, property, hint)`, so proving parallelizes with bit-identical
+/// output (freeze results are memoized process-wide, so repeated
+/// construction is cheap).
 pub struct PathwidthScheme {
-    algebra: SharedAlgebra,
+    frozen: SharedFrozenAlgebra,
     opts: SchemeOptions,
 }
 
 impl PathwidthScheme {
-    /// Creates the scheme for a property algebra and options.
+    /// Creates the scheme for a property algebra and options, freezing
+    /// the algebra's canonical class table for the options' lane bound.
     pub fn new(algebra: SharedAlgebra, opts: SchemeOptions) -> Self {
-        Self { algebra, opts }
+        let frozen = FrozenAlgebra::freeze(
+            algebra,
+            &FreezeOptions::for_interface_arity(2 * opts.max_lanes),
+        );
+        Self { frozen, opts }
     }
 
     /// The algebra (shared "global knowledge").
     pub fn algebra(&self) -> &SharedAlgebra {
-        &self.algebra
+        self.frozen.algebra()
+    }
+
+    /// The frozen canonical class table the scheme's wire ids index.
+    pub fn frozen_algebra(&self) -> &SharedFrozenAlgebra {
+        &self.frozen
     }
 
     /// The options.
@@ -118,8 +136,8 @@ impl PathwidthScheme {
         }
         if g.vertex_count() == 1 {
             // K1: no edges, no labels; the verifier special-cases it.
-            let s = self.algebra.add_vertex(self.algebra.empty(), 0);
-            return if self.algebra.accept(s) {
+            let s = self.frozen.add_vertex(self.frozen.empty(), 0);
+            return if self.frozen.accept(&s) {
                 Ok(Labeling::new(Vec::new()))
             } else {
                 Err(CertError::PropertyViolated)
@@ -132,7 +150,7 @@ impl PathwidthScheme {
                 bound: self.opts.max_lanes,
             });
         }
-        prover::build_labels(&self.algebra, cfg, &layout).map(|o| Labeling::new(o.labels))
+        prover::build_labels(&self.frozen, cfg, &layout).map(|o| Labeling::new(o.labels))
     }
 }
 
@@ -142,9 +160,29 @@ impl Scheme for PathwidthScheme {
     fn name(&self) -> String {
         format!(
             "theorem1({}, w ≤ {})",
-            self.algebra.name(),
+            self.frozen.name(),
             self.opts.max_lanes
         )
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Labels carry canonical table ids, so the label format is the
+        // (name, table) pair.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        Scheme::name(self).hash(&mut h);
+        self.frozen.fingerprint().hash(&mut h);
+        h.finish()
+    }
+
+    fn algebra_state_count(&self) -> Option<usize> {
+        Some(self.frozen.state_count())
+    }
+
+    fn canonical_labels(&self) -> bool {
+        // Sealed tables intern their tail in arrival order, so only a
+        // total freeze makes labels order-independent.
+        self.frozen.is_total()
     }
 
     fn prove(
@@ -159,7 +197,7 @@ impl Scheme for PathwidthScheme {
 
     fn verify_at(&self, view: &VertexView<EdgeLabel>) -> Verdict {
         let ctx = verifier::Ctx {
-            alg: &self.algebra,
+            alg: &self.frozen,
             max_lanes: self.opts.max_lanes,
             my_id: view.id,
         };

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use lanecert_algebra::Algebra;
+use lanecert_algebra::FrozenAlgebra;
 use lanecert_graph::{EdgeId, VertexId};
 use lanecert_lanes::{Layout, NodeId, NodeKind};
 
@@ -18,7 +18,7 @@ pub(super) struct ProverOutput {
 }
 
 struct Frames<'a> {
-    alg: &'a Algebra,
+    alg: &'a FrozenAlgebra,
     cfg: &'a Configuration,
     layout: &'a Layout,
     marked: Vec<bool>,                  // per built-graph edge
@@ -30,7 +30,7 @@ struct Frames<'a> {
 }
 
 pub(super) fn build_labels(
-    alg: &Algebra,
+    alg: &FrozenAlgebra,
     cfg: &Configuration,
     layout: &Layout,
 ) -> Result<ProverOutput, CertError> {
@@ -56,12 +56,13 @@ pub(super) fn build_labels(
     let root = fr
         .summarize(layout.hierarchy.root)
         .map_err(CertError::Internal)?;
-    if !alg.accept(root.class) {
+    if !alg.accept(&root.class) {
         return Err(CertError::PropertyViolated);
     }
     fr.pointers();
     let mut chain = Vec::new();
-    fr.walk(layout.hierarchy.root, &mut chain);
+    fr.walk(layout.hierarchy.root, &mut chain)
+        .map_err(CertError::Internal)?;
     debug_assert!(fr.edge_frames.iter().all(|f| !f.is_empty()));
 
     // Materialize completion-edge certificates.
@@ -120,6 +121,21 @@ pub(super) fn build_labels(
 impl<'a> Frames<'a> {
     fn id(&self, v: VertexId) -> u64 {
         self.cfg.id_of(v)
+    }
+
+    /// Canonical wire id of a summary's class. Total tables resolve by
+    /// content; a miss means the class space outran the freeze budget —
+    /// surfaced as an internal error, never a bogus label. Sealed tables
+    /// intern on demand and cannot miss.
+    fn wire_class(&self, s: &Summary) -> Result<u32, String> {
+        self.alg.intern(&s.class).map(|id| id.0).ok_or_else(|| {
+            format!(
+                "class of arity {} missing from the total canonical table ({} states, cap {})",
+                s.class.arity(),
+                self.alg.canonical_state_count(),
+                self.alg.max_arity(),
+            )
+        })
     }
 
     /// Full realized summary of a hierarchy node.
@@ -212,7 +228,7 @@ impl<'a> Frames<'a> {
     }
 
     /// DFS assigning frame templates to owned edges.
-    fn walk(&mut self, node: NodeId, chain: &mut Vec<FrameLbl>) {
+    fn walk(&mut self, node: NodeId, chain: &mut Vec<FrameLbl>) -> Result<(), String> {
         let h = &self.layout.hierarchy;
         match h.nodes[node].kind.clone() {
             NodeKind::V { .. } => {}
@@ -252,16 +268,16 @@ impl<'a> Frames<'a> {
                 right,
                 bridge,
             } => {
-                let info = |fr: &mut Self, side: NodeId| -> BasicInfoLbl {
-                    let s = fr.summarize(side).expect("summaries precomputed");
-                    BasicInfoLbl {
+                let info = |fr: &mut Self, side: NodeId| -> Result<BasicInfoLbl, String> {
+                    let s = fr.summarize(side)?;
+                    Ok(BasicInfoLbl {
                         node: side as u32,
-                        class: s.class.0,
+                        class: fr.wire_class(&s)?,
                         iface: s.iface.to_lbl(),
-                    }
+                    })
                 };
-                let left_info = info(self, left);
-                let right_info = info(self, right);
+                let left_info = info(self, left)?;
+                let right_info = info(self, right)?;
                 let bridge_marked = self.marked[bridge.index()];
                 let template = |side: u8| {
                     FrameLbl::B(BFrameLbl {
@@ -284,7 +300,7 @@ impl<'a> Frames<'a> {
                         continue;
                     }
                     chain.push(template(side_no));
-                    self.walk(child, chain);
+                    self.walk(child, chain)?;
                     chain.pop();
                 }
             }
@@ -294,28 +310,26 @@ impl<'a> Frames<'a> {
             } => {
                 let root_vertex = self.id(self.t_root_vertex[&node]);
                 for (idx, &m) in members.iter().enumerate() {
-                    let sub = self.subtree(node, idx).expect("summaries precomputed");
+                    let sub = self.subtree(node, idx)?;
                     let mut kids: Vec<usize> = (0..members.len())
                         .filter(|&c| member_parent[c] == Some(idx))
                         .collect();
                     kids.sort_by_key(|&c| self.layout.hierarchy.nodes[members[c]].lanes.0);
-                    let children: Vec<BasicInfoLbl> = kids
-                        .iter()
-                        .map(|&c| {
-                            let s = self.subtree(node, c).expect("summaries precomputed");
-                            BasicInfoLbl {
-                                node: members[c] as u32,
-                                class: s.class.0,
-                                iface: s.iface.to_lbl(),
-                            }
-                        })
-                        .collect();
+                    let mut children = Vec::with_capacity(kids.len());
+                    for &c in &kids {
+                        let s = self.subtree(node, c)?;
+                        children.push(BasicInfoLbl {
+                            node: members[c] as u32,
+                            class: self.wire_class(&s)?,
+                            iface: s.iface.to_lbl(),
+                        });
+                    }
                     chain.push(FrameLbl::T(TFrameLbl {
                         t_node: node as u32,
                         member: m as u32,
                         subtree: BasicInfoLbl {
                             node: m as u32,
-                            class: sub.class.0,
+                            class: self.wire_class(&sub)?,
                             iface: sub.iface.to_lbl(),
                         },
                         children,
@@ -324,11 +338,12 @@ impl<'a> Frames<'a> {
                         d_a: 0,
                         d_b: 0,
                     }));
-                    self.walk(m, chain);
+                    self.walk(m, chain)?;
                     chain.pop();
                 }
             }
         }
+        Ok(())
     }
 
     /// Fills per-edge fields (endpoint ids ordered, pointer distances).

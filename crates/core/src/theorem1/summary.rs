@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use lanecert_algebra::{Algebra, StateId};
+use lanecert_algebra::{Algebra, Class};
 use lanecert_lanes::{Lane, LaneSet};
 
 use super::labels::IfaceLbl;
@@ -91,15 +91,18 @@ impl Iface {
 /// A homomorphism class together with its interface.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Summary {
-    /// The interned class (slot order = `iface.slot_ids()`).
-    pub class: StateId,
+    /// The class value (slot order = `iface.slot_ids()`). A value, not a
+    /// table index: prover and verifier compare classes structurally and
+    /// only map through the canonical [`lanecert_algebra::FrozenAlgebra`]
+    /// table at the wire boundary.
+    pub class: Class,
     /// The interface.
     pub iface: Iface,
 }
 
 /// Sorts the slots of `state` (currently ordered as `slots`) into ascending
 /// id order via selection sort of `swap`s.
-fn sort_slots(alg: &Algebra, mut state: StateId, slots: &mut [u64]) -> StateId {
+fn sort_slots(alg: &Algebra, mut state: Class, slots: &mut [u64]) -> Class {
     for i in 0..slots.len() {
         let min = (i..slots.len()).min_by_key(|&j| slots[j]).unwrap();
         if min != i {
@@ -202,7 +205,7 @@ pub fn bridge(
     if ls.iter().any(|x| rs.binary_search(x).is_ok()) {
         return Err("Bridge-merge: sides share a vertex".into());
     }
-    let mut state = alg.union(left.class, right.class);
+    let mut state = alg.union(left.class.clone(), right.class.clone());
     let mut slots: Vec<u64> = ls.iter().chain(rs.iter()).copied().collect();
     let pa = slots.iter().position(|&x| x == u).unwrap();
     let pb = slots.iter().position(|&x| x == v).unwrap();
@@ -231,7 +234,7 @@ pub fn parent(alg: &Algebra, child: &Summary, par: &Summary) -> Result<Summary, 
     }
     let cs = child.iface.slot_ids();
     let ps = par.iface.slot_ids();
-    let mut state = alg.union(child.class, par.class);
+    let mut state = alg.union(child.class.clone(), par.class.clone());
     // (id, from_child) slot list.
     let mut slots: Vec<(u64, bool)> = cs
         .iter()
@@ -304,11 +307,11 @@ mod tests {
         let l = base_e(&alg, 0, 10, 11, true).unwrap();
         let r = base_e(&alg, 1, 20, 21, true).unwrap();
         let b = bridge(&alg, &l, &r, 0, 1, true).unwrap();
-        assert!(alg.accept(b.class));
+        assert!(alg.accept(&b.class));
         assert_eq!(b.iface.slot_ids(), vec![10, 11, 20, 21]);
         // Unmarked bridge leaves the marked subgraph disconnected.
         let b2 = bridge(&alg, &l, &r, 0, 1, false).unwrap();
-        assert!(!alg.accept(b2.class));
+        assert!(!alg.accept(&b2.class));
     }
 
     #[test]
@@ -319,7 +322,7 @@ mod tests {
         let p = base_p(&alg, &[1, 2], &[true]).unwrap();
         let c = base_e(&alg, 0, 1, 30, true).unwrap();
         let m = parent(&alg, &c, &p).unwrap();
-        assert!(alg.accept(m.class)); // a path is a forest
+        assert!(alg.accept(&m.class)); // a path is a forest
         assert_eq!(m.iface.tout[&0], 30);
         assert_eq!(m.iface.tout[&1], 2);
         assert_eq!(m.iface.tin[&0], 1);

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use lanecert_algebra::{Algebra, StateId};
+use lanecert_algebra::{FrozenAlgebra, StateId};
 use lanecert_lanes::LaneSet;
 
 use super::labels::*;
@@ -22,7 +22,7 @@ use crate::scheme::{Verdict, VertexView};
 
 /// Verification context.
 pub(super) struct Ctx<'a> {
-    pub alg: &'a Algebra,
+    pub alg: &'a FrozenAlgebra,
     pub max_lanes: usize,
     pub my_id: u64,
 }
@@ -42,7 +42,7 @@ fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
         // A connected network with an isolated vertex is K1: evaluate the
         // property on the single-vertex graph directly.
         let s = ctx.alg.add_vertex(ctx.alg.empty(), 0);
-        return if ctx.alg.accept(s) {
+        return if ctx.alg.accept(&s) {
             Ok(())
         } else {
             Err("single-vertex graph violates the property".into())
@@ -122,20 +122,24 @@ fn check_cert_shape(ctx: &Ctx<'_>, cert: &EdgeCertLbl) -> VResult<()> {
 }
 
 /// Parses a basic-information label into a [`Summary`] with validation.
+///
+/// Wire ids resolve through the canonical frozen table; ids outside it
+/// (adversarial labels, or corpora from another table version that
+/// slipped past the fingerprint check) are a rejection, never a panic —
+/// [`FrozenAlgebra::class_of`] is total.
 fn parse_info(ctx: &Ctx<'_>, info: &BasicInfoLbl) -> VResult<Summary> {
     let iface = Iface::from_lbl(&info.iface)?;
     if !iface.lanes.is_subset_of(LaneSet::full(ctx.max_lanes)) {
         return Err(format!("lane set exceeds the {}-lane bound", ctx.max_lanes));
     }
-    let class = StateId(info.class);
-    if !ctx.alg.knows(class) {
+    let Some(class) = ctx.alg.class_of(StateId(info.class)) else {
         return Err("unknown homomorphism class".into());
-    }
+    };
     // The class must summarize exactly the interface's boundary: without
     // this check an adversarial class id of the wrong arity could drive
     // slot-indexed algebra operations out of bounds (a panic, not a
     // rejection).
-    if ctx.alg.arity(class) != iface.slot_ids().len() {
+    if class.arity() != iface.slot_ids().len() {
         return Err("class arity does not match the claimed interface".into());
     }
     Ok(Summary { class, iface })
@@ -266,7 +270,7 @@ fn check_tnode(
                     return Err("nested T-node interface mismatch".into());
                 }
             }
-            if outermost && !ctx.alg.accept(sub_claim.class) {
+            if outermost && !ctx.alg.accept(&sub_claim.class) {
                 return Err("root homomorphism class rejects the property".into());
             }
         }

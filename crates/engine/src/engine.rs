@@ -11,26 +11,29 @@
 //!
 //! # Stage placement and parity
 //!
-//! By default the **prover runs on the driver thread, in job order**,
-//! while every verification fans out to the pool. This mirrors the
-//! paper's model — the prover is the centralized entity, the per-vertex
-//! verifier is what's embarrassingly parallel — and it is also what makes
-//! the engine *bit-identical* to the sequential
-//! [`BatchRunner`](lanecert::BatchRunner): proving mutates the property
-//! algebra's state interner (arrival order assigns the class ids that
-//! labels carry on the wire), so proves must happen in submission order,
-//! whereas verifying honest labels only replays classes the prover
-//! already interned and is therefore side-effect-free. Outcomes land in
-//! submission-indexed slots and shard verdicts in range-indexed slots, so
-//! the folded [`BatchReport`] is identical for any worker count and any
-//! scheduling — pinned for every registered scheme family by the parity
-//! proptests in `tests/engine_parity.rs`.
+//! **Both stages run on the pool.** Proving used to be serialized on the
+//! driver thread because the algebra's state interner assigned class ids
+//! in arrival order — concurrent proving perturbed the ids that labels
+//! carry on the wire, and id magnitude leaks into varint label sizes.
+//! Since the canonical freeze (`lanecert_algebra::FrozenAlgebra`),
+//! class ids are a pure function
+//! of `(property, width)`: proving is side-effect-free, so each job's
+//! prove is just another pool task and the whole pipeline scales.
+//! Outcomes land in submission-indexed slots and shard verdicts in
+//! range-indexed slots, so the folded [`BatchReport`] is **bit-identical**
+//! to the sequential [`BatchRunner`](lanecert::BatchRunner) — labels,
+//! label-size statistics, verdicts, refusals — for any worker count and
+//! any scheduling. Pinned for every registered scheme family by the
+//! parity proptests in `tests/engine_parity.rs`.
 //!
-//! [`EngineBuilder::parallel_prove`] opts into proving on the pool too:
-//! maximal wall-clock parallelism, same verdicts, but label-size
-//! statistics may drift from the sequential path while the interner is
-//! still warming up (concurrent first-sight interning perturbs id
-//! assignment, and id magnitude leaks into varint label sizes).
+//! `parallel_prove(false)` moves proving back onto the driver thread, in
+//! job order. That is no longer needed for parity on canonical schemes —
+//! it remains as the measurement baseline (the throughput sweep's
+//! `driver_prove` series), and it is what the builder auto-selects for
+//! the rare *sealed* algebra (a property too large to pre-enumerate,
+//! whose dynamic-tail ids are still arrival-ordered — the builder asks
+//! the scheme via `DynScheme::canonical_labels`, so sealed schemes keep
+//! reproducible sizes by default; verdicts agree in either placement).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -59,8 +62,9 @@ pub struct Throughput {
     pub edges: usize,
     /// Wall-clock duration of the whole run, in seconds.
     pub wall_seconds: f64,
-    /// Time the driver spent proving (the sequential stage; zero when
-    /// [`EngineBuilder::parallel_prove`] moves proving onto the pool).
+    /// Time the driver spent proving — zero in the default
+    /// pool-proving mode, nonzero only under
+    /// [`EngineBuilder::parallel_prove`]`(false)`, where
     /// `wall_seconds - prove_seconds` bounds the verify stage's critical
     /// path from above.
     pub prove_seconds: f64,
@@ -165,9 +169,8 @@ impl Engine {
     /// Streams `jobs` through the pipeline and folds the outcomes, in
     /// submission order, into a [`BatchReport`] bit-identical to the
     /// sequential [`BatchRunner`](lanecert::BatchRunner) run of the same
-    /// jobs (see the module docs for why; under
-    /// [`EngineBuilder::parallel_prove`] only verdicts are guaranteed
-    /// identical), alongside [`Throughput`] accounting.
+    /// jobs — at any worker count, proving and verifying both on the
+    /// pool (see the module docs) — alongside [`Throughput`] accounting.
     ///
     /// The source is pulled lazily: at most `window_per_worker × workers`
     /// jobs are in flight at once, so arbitrarily long corpora stream in
@@ -206,10 +209,14 @@ impl Engine {
                 spawner: self.pool.spawner(),
             };
             if self.parallel_prove {
+                // Default: the prove is a pool task like any other —
+                // canonical class ids make it a pure function of the
+                // job, so scheduling cannot perturb the labels.
                 self.pool.spawn(move || task.prove_and_verify(job));
             } else {
-                // Prove here on the driver, in job order (the parity
-                // invariant); hand only the verification to the pool.
+                // Measurement baseline / sealed-algebra mode: prove on
+                // the driver, in job order; hand only the verification
+                // to the pool.
                 let t0 = Instant::now();
                 let proved = task.prove(job);
                 prove_seconds += t0.elapsed().as_secs_f64();
@@ -484,7 +491,8 @@ pub struct EngineBuilder {
     workers: Option<usize>,
     shard_threshold: usize,
     window_per_worker: usize,
-    parallel_prove: bool,
+    parallel_prove: Option<bool>,
+    heuristic_limit: Option<usize>,
 }
 
 impl Default for EngineBuilder {
@@ -494,7 +502,8 @@ impl Default for EngineBuilder {
             workers: None,
             shard_threshold: 1024,
             window_per_worker: 4,
-            parallel_prove: false,
+            parallel_prove: None,
+            heuristic_limit: None,
         }
     }
 }
@@ -527,14 +536,27 @@ impl EngineBuilder {
         self
     }
 
-    /// Moves the prove stage onto the pool as well (default: off). Fully
-    /// parallel wall-clock, identical verdicts — but label-size
-    /// statistics may drift from the sequential path while the property
-    /// algebra's interner is warming up (see the module docs), so leave
-    /// this off when reports must be bit-identical to
-    /// [`BatchRunner`](lanecert::BatchRunner).
+    /// Whether the prove stage runs on the pool. The default resolves
+    /// from the scheme itself: **on** whenever the scheme's labels are a
+    /// pure function of the job (`DynScheme::canonical_labels` — true
+    /// for every scheme except one riding a *sealed* algebra), in which
+    /// case reports stay bit-identical to
+    /// [`BatchRunner`](lanecert::BatchRunner); **off** for sealed
+    /// algebras, whose arrival-ordered tail ids would make label sizes
+    /// scheduling-dependent. Set explicitly to force either placement —
+    /// `false` as a measurement baseline, `true` to trade sealed-size
+    /// reproducibility for wall-clock (verdicts agree regardless).
     pub fn parallel_prove(mut self, enabled: bool) -> Self {
-        self.parallel_prove = enabled;
+        self.parallel_prove = Some(enabled);
+        self
+    }
+
+    /// Vertex-count ceiling for automatic decomposition derivation on
+    /// hintless jobs, pushed down onto the certifier's default hint
+    /// (see [`lanecert::CertifierBuilder::heuristic_limit`]; default
+    /// [`lanecert::AUTO_HEURISTIC_LIMIT`]).
+    pub fn heuristic_limit(mut self, limit: usize) -> Self {
+        self.heuristic_limit = Some(limit);
         self
     }
 
@@ -544,9 +566,15 @@ impl EngineBuilder {
     ///
     /// [`CertError::InvalidSpec`] when no certifier was supplied.
     pub fn build(self) -> Result<Engine, CertError> {
-        let certifier = self.certifier.ok_or_else(|| {
+        let mut certifier = self.certifier.ok_or_else(|| {
             CertError::InvalidSpec("the engine needs a certifier (.certifier(...))".into())
         })?;
+        if let Some(limit) = self.heuristic_limit {
+            certifier.set_heuristic_limit(limit);
+        }
+        let parallel_prove = self
+            .parallel_prove
+            .unwrap_or_else(|| certifier.scheme().canonical_labels());
         let workers = self.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
@@ -557,7 +585,7 @@ impl EngineBuilder {
             certifier: Arc::new(certifier),
             shard_threshold: self.shard_threshold,
             window_per_worker: self.window_per_worker,
-            parallel_prove: self.parallel_prove,
+            parallel_prove,
         })
     }
 }

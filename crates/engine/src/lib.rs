@@ -13,12 +13,15 @@
 //!   lazily streams [`BatchJob`](lanecert::BatchJob)s, attaching
 //!   known-width interval representations where the family provides one.
 //! * [`engine`] — the pipeline: [`Engine::run`] fans each job through
-//!   prove → encode → verify on the pool, sharding per-vertex
-//!   verification of large configurations across workers in continuation
-//!   style, and folds outcomes into the standard
+//!   prove → encode → verify, **both stages on the pool** (canonical
+//!   class ids — `lanecert_algebra::FrozenAlgebra` — made proving a pure
+//!   function of the job, so nothing serializes on the driver any more),
+//!   sharding per-vertex verification of large configurations across
+//!   workers in continuation style, and folds outcomes into the standard
 //!   [`BatchReport`](lanecert::BatchReport) — **bit-identical** to the
-//!   sequential [`BatchRunner`](lanecert::BatchRunner), regardless of
-//!   worker count or scheduling (pinned by the parity proptests).
+//!   sequential [`BatchRunner`](lanecert::BatchRunner), labels and
+//!   label-size statistics included, regardless of worker count or
+//!   scheduling (pinned by the parity proptests).
 //!
 //! ```
 //! use lanecert::Certifier;
@@ -132,29 +135,67 @@ mod tests {
     }
 
     #[test]
-    fn parallel_prove_agrees_on_verdicts() {
-        // With proving moved onto the pool only verdict-level agreement is
-        // promised (label sizes may drift while the algebra interner
-        // warms; see the engine module docs).
+    fn pool_proving_is_bit_identical_to_driver_proving() {
+        // Canonical class ids made proving a pure function of the job:
+        // the default pool-proving mode, the legacy driver-proving mode,
+        // and the sequential BatchRunner all agree bit for bit — sizes
+        // included, not just verdicts.
         let corpus = mixed_corpus();
         let sequential = BatchRunner::new(connected_certifier()).run(corpus.jobs());
-        let engine = Engine::builder()
+        let pool = Engine::builder()
             .certifier(connected_certifier())
             .workers(4)
-            .parallel_prove(true)
+            .build()
+            .unwrap()
+            .run(corpus.jobs());
+        let driver = Engine::builder()
+            .certifier(connected_certifier())
+            .workers(4)
+            .parallel_prove(false)
+            .build()
+            .unwrap()
+            .run(corpus.jobs());
+        assert_eq!(pool.batch, sequential);
+        assert_eq!(driver.batch, sequential);
+        // Pool mode leaves the driver idle; driver mode accounts its
+        // prove time.
+        assert_eq!(pool.throughput.prove_seconds, 0.0);
+        assert!(driver.throughput.prove_seconds > 0.0);
+    }
+
+    #[test]
+    fn sealed_algebras_fall_back_to_driver_proving_and_keep_parity() {
+        // pathwidth 4 → max_lanes 5 → freeze arity 10 > MAX_FREEZE_ARITY:
+        // the scheme rides a sealed table whose tail ids are
+        // arrival-ordered, so the builder's auto default must keep the
+        // prove stage on the driver — and with that placement the report
+        // stays bit-identical to the sequential BatchRunner.
+        let sealed = || {
+            Certifier::builder()
+                .property(Algebra::shared(Connected))
+                .pathwidth(4)
+                .build()
+                .unwrap()
+        };
+        assert!(!sealed().scheme().canonical_labels());
+        let jobs = || {
+            (0..6u64).map(|s| {
+                BatchJob::new(Configuration::with_random_ids(
+                    generators::cycle_graph(12 + s as usize),
+                    s,
+                ))
+            })
+        };
+        let sequential = BatchRunner::new(sealed()).run(jobs());
+        let engine = Engine::builder()
+            .certifier(sealed())
+            .workers(4)
             .build()
             .unwrap();
-        let parallel = engine.run(corpus.jobs());
-        assert_eq!(parallel.batch.outcomes.len(), sequential.outcomes.len());
-        for (p, s) in parallel.batch.outcomes.iter().zip(&sequential.outcomes) {
-            assert_eq!(p.name, s.name);
-            match (&p.result, &s.result) {
-                (Ok(pr), Ok(sr)) => assert_eq!(pr.verdicts, sr.verdicts, "{}", p.name),
-                (Err(pe), Err(se)) => assert_eq!(pe, se, "{}", p.name),
-                _ => panic!("{}: outcome kind diverged", p.name),
-            }
-        }
-        assert_eq!(parallel.throughput.prove_seconds, 0.0);
+        let parallel = engine.run(jobs());
+        assert_eq!(parallel.batch, sequential);
+        // Driver-prove placement shows up in the accounting.
+        assert!(parallel.throughput.prove_seconds > 0.0);
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! Regenerates the paper's construction figures as text artifacts:
 //! Figure 1 (path decomposition + interval representation of the 6-cycle),
 //! Figure 3 (weak completion / completion), Figures 7/10 (a lanewidth
-//! construction trace and its hierarchical decomposition).
+//! construction trace and its hierarchical decomposition) — then
+//! certifies the same 6-cycle end to end, showing the canonical class
+//! table (Proposition 2.4's `C`, frozen up front) that makes the
+//! engine's parallel proving bit-reproducible.
 //!
 //! Run with `cargo run --example paper_figures`.
 
+use lanecert_suite::algebra::{props::Bipartite, Algebra, FreezeOptions, FrozenAlgebra};
 use lanecert_suite::graph::generators;
 use lanecert_suite::lanes::{
     build_hierarchy, completion, lanewidth, partition, Completion, Construction,
 };
 use lanecert_suite::pathwidth::{Interval, IntervalRep};
+use lanecert_suite::{Certifier, Configuration, ProverHint};
 
 fn main() {
     // ---- Figure 1: the 6-cycle a..f with bags {a,b,c},{a,c,d},{a,d,e},{a,e,f}
@@ -54,5 +59,35 @@ fn main() {
         h.kind_counts(),
         h.depth(),
         2 * h.k
+    );
+
+    // ---- Proposition 2.4's class space C, frozen canonically.
+    // The scheme builds this table once per (property, width); every
+    // wire id below indexes it, independent of prover execution order.
+    let frozen = FrozenAlgebra::freeze(
+        Algebra::shared(Bipartite),
+        &FreezeOptions::for_interface_arity(6),
+    );
+    println!(
+        "\nCanonical class table for (bipartite, w ≤ 3): {} states, total: {}, fingerprint {:#018x}",
+        frozen.canonical_state_count(),
+        frozen.is_total(),
+        frozen.fingerprint(),
+    );
+    let certifier = Certifier::builder()
+        .property(Algebra::shared(Bipartite))
+        .pathwidth(2)
+        .representation(rep)
+        .build()
+        .unwrap();
+    let cfg = Configuration::with_random_ids(generators::cycle_graph(6), 1);
+    let labels = certifier
+        .certify_with(&cfg, &ProverHint::auto())
+        .expect("C6 is bipartite with pathwidth 2");
+    println!(
+        "certified the 6-cycle: {} labels, max {} bits, recorded fingerprint {:#018x}",
+        labels.len(),
+        labels.max_bits(),
+        labels.fingerprint().unwrap(),
     );
 }

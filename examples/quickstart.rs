@@ -6,7 +6,7 @@
 
 use lanecert_suite::algebra::{props::Bipartite, Algebra};
 use lanecert_suite::graph::generators;
-use lanecert_suite::{Certifier, Configuration};
+use lanecert_suite::{BatchJob, BatchRunner, Certifier, Configuration, Engine};
 
 fn main() {
     // A ring of 12 processors with distinct identifiers.
@@ -15,10 +15,13 @@ fn main() {
 
     // The scheme certifies ϕ ∧ (pathwidth ≤ k) with ϕ = bipartiteness.
     // "theorem1" is the default registry scheme; spell it out anyway.
+    // `heuristic_limit` raises the ceiling up to which hintless prove
+    // calls derive a decomposition themselves (default 256 vertices).
     let certifier = Certifier::builder()
         .property(Algebra::shared(Bipartite))
         .pathwidth(2)
         .scheme("theorem1")
+        .heuristic_limit(512)
         .build()
         .expect("complete spec");
 
@@ -43,5 +46,40 @@ fn main() {
         "tampered run: {} vertices reject (first reason: {})",
         report.reject_count(),
         report.first_rejection().unwrap_or("-")
+    );
+
+    // Scale out: the engine proves AND verifies on its worker pool by
+    // default — since canonical algebra interning, class ids (and so
+    // every label byte) are a pure function of the job, so the parallel
+    // report is bit-identical to the sequential BatchRunner.
+    let rings = |count: u64| {
+        (0..count).map(|i| {
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(10 + 2 * i as usize),
+                i,
+            ))
+        })
+    };
+    let build = || {
+        Certifier::builder()
+            .property(Algebra::shared(Bipartite))
+            .pathwidth(2)
+            .heuristic_limit(512)
+            .build()
+            .unwrap()
+    };
+    let sequential = BatchRunner::new(build()).run(rings(8));
+    let engine = Engine::builder()
+        .certifier(build())
+        .workers(4)
+        .heuristic_limit(512)
+        .build()
+        .unwrap();
+    let parallel = engine.run(rings(8));
+    assert_eq!(parallel.batch, sequential);
+    println!(
+        "engine ({} workers, parallel prove): {}",
+        engine.workers(),
+        parallel.batch.summary()
     );
 }

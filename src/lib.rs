@@ -8,7 +8,9 @@
 //! * [`lanes`] — Sections 4–5 of the paper: lane partitions, completions,
 //!   low-congestion embeddings, lanewidth, hierarchical decompositions.
 //! * [`mso`] — MSO₂ logic: AST, parser, naive model checker, formula library.
-//! * [`algebra`] — homomorphism-class algebras (Propositions 2.4/6.1).
+//! * [`algebra`] — homomorphism-class algebras (Propositions 2.4/6.1),
+//!   with the canonical frozen id table that makes proving a pure
+//!   function of the job (`algebra::FrozenAlgebra`).
 //! * [`pls`] — the proof labeling schemes themselves (Theorem 1 scheme,
 //!   baselines, attacks, harness).
 //! * [`engine`] — the parallel certification engine: a work-stealing

@@ -1,13 +1,18 @@
 //! Sequential-vs-parallel parity: for every registered scheme family, the
-//! engine at 1, 2, and 8 workers produces a `BatchReport` **bit-identical**
-//! to the sequential `BatchRunner` — same names, same per-vertex verdicts
-//! in the same order, same label-size statistics, same refusal errors —
-//! regardless of scheduling (the shard threshold is forced low so the
-//! per-vertex fan-out path is exercised too).
+//! engine — proving **on the pool** (the default since canonical algebra
+//! interning) — at 1, 2, and 8 workers produces a `BatchReport`
+//! **bit-identical** to the sequential `BatchRunner`: same names, same
+//! per-vertex verdicts in the same order, same label-size statistics,
+//! same refusal errors — regardless of scheduling (the shard threshold is
+//! forced low so the per-vertex fan-out path is exercised too). A second
+//! proptest pins the stronger claim behind it: the encoded labels
+//! themselves are a pure function of `(graph, property, hint)` across
+//! independently built certifiers. A regression test pins the canonical
+//! `StateId` assignment of a fixed small algebra.
 
 use proptest::prelude::*;
 
-use lanecert_suite::algebra::{props, Algebra};
+use lanecert_suite::algebra::{props, Algebra, FreezeOptions, FrozenAlgebra, StateId};
 use lanecert_suite::engine::{CorpusFamily, CorpusSpec};
 use lanecert_suite::graph::generators;
 use lanecert_suite::pls::registry;
@@ -18,14 +23,16 @@ type Factory = (&'static str, fn() -> Certifier);
 
 /// Every scheme family in the standard registry, as a rebuildable factory
 /// (the engine and the runner each need their own certifier instance, and
-/// the parity claim is per-scheme).
+/// the parity claim is per-scheme). The theorem1 lane bound stays within
+/// the freeze pass's arity cap, so its algebra table is total and class
+/// ids are canonical — the invariant the whole suite pins.
 fn scheme_factories() -> Vec<Factory> {
     vec![
         (registry::THEOREM1, || {
             Certifier::builder()
                 .property(Algebra::shared(props::Connected))
                 .scheme(registry::THEOREM1)
-                .max_lanes(64)
+                .max_lanes(4)
                 .build()
                 .unwrap()
         }),
@@ -92,6 +99,8 @@ fn jobs_for(scheme: &str, seed: u64, small: usize, large: usize) -> Vec<BatchJob
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
+    /// Full-report parity — labels' size statistics included, not just
+    /// verdicts — with proving on the pool at every worker count.
     #[test]
     fn engine_is_bit_identical_to_batch_runner_for_every_scheme(
         seed in any::<u64>(),
@@ -119,7 +128,73 @@ proptest! {
                     workers
                 );
                 prop_assert_eq!(parallel.throughput.jobs, sequential.outcomes.len());
+                // Proving happens on the pool: the driver never proves.
+                prop_assert_eq!(parallel.throughput.prove_seconds, 0.0);
             }
         }
     }
+
+    /// The invariant underneath report parity: the *encoded labels* are a
+    /// pure function of `(graph, property, hint)` — two independently
+    /// built certifiers of the same spec emit byte-identical labelings,
+    /// which is what lets proves run concurrently in any interleaving.
+    #[test]
+    fn encoded_labels_are_a_pure_function_of_the_job(
+        seed in any::<u64>(),
+        small in 4usize..10,
+        large in 12usize..24,
+    ) {
+        for (name, certifier) in scheme_factories() {
+            let (a, b) = (certifier(), certifier());
+            prop_assert_eq!(a.scheme().fingerprint(), b.scheme().fingerprint(), "{}", name);
+            for job in jobs_for(name, seed, small, large) {
+                let hint = job.hint.as_ref().unwrap_or_else(|| a.hint());
+                let la = a.certify_with(&job.cfg, hint);
+                let lb = b.certify_with(&job.cfg, hint);
+                match (la, lb) {
+                    (Ok(la), Ok(lb)) => prop_assert_eq!(la, lb, "{}", name),
+                    (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb, "{}", name),
+                    _ => prop_assert!(false, "{}: prove outcome kind diverged", name),
+                }
+            }
+        }
+    }
+}
+
+/// Regression pin of the canonical `StateId` assignment for a fixed small
+/// algebra: `Connected` frozen at interface arity 2 has exactly 12
+/// reachable states (partitions of ≤ 2 live slots × dead ∈ {0, 1, 2}),
+/// and the structural sort (arity, then state rendering) fixes their ids.
+/// If this pin moves, every recorded label corpus invalidates — bump the
+/// fingerprint story consciously, don't just update the numbers.
+#[test]
+fn canonical_state_ids_are_pinned() {
+    let frozen = FrozenAlgebra::freeze(
+        Algebra::shared(props::Connected),
+        &FreezeOptions::for_interface_arity(2),
+    );
+    assert!(frozen.is_total());
+    assert_eq!(frozen.canonical_state_count(), 12);
+
+    let empty = frozen.empty();
+    let v = frozen.add_vertex(empty.clone(), 0);
+    let vv = frozen.union(v.clone(), v.clone());
+    let edge = frozen.add_edge(vv.clone(), 0, 1, true);
+    let retired = frozen.forget(v.clone(), 0);
+
+    assert_eq!(frozen.id_of(&empty), Some(StateId(0)));
+    assert_eq!(frozen.id_of(&retired), Some(StateId(1)));
+    assert_eq!(frozen.id_of(&v), Some(StateId(3)));
+    assert_eq!(frozen.id_of(&edge), Some(StateId(6)));
+    assert_eq!(frozen.id_of(&vv), Some(StateId(9)));
+
+    // Ids survive a rebuild (the table is a pure function of the
+    // property and options — the cache only makes this cheap, the
+    // enumeration itself is deterministic).
+    let again = FrozenAlgebra::freeze(
+        Algebra::shared(props::Connected),
+        &FreezeOptions::for_interface_arity(2),
+    );
+    assert_eq!(again.fingerprint(), frozen.fingerprint());
+    assert_eq!(again.id_of(&edge), Some(StateId(6)));
 }

@@ -36,10 +36,16 @@ fn every_reexport_resolves() {
     // mso
     assert!(eval::check(&g, &mso_props::bipartite()));
 
-    // algebra
+    // algebra: pure value ops plus the canonical frozen table
     let alg = Algebra::shared(alg_props::Connected);
     let empty = alg.empty();
-    assert!(alg.knows(empty));
+    assert!(alg.accept(&alg.add_vertex(empty, 0)));
+    let frozen = lanecert_suite::algebra::FrozenAlgebra::freeze(
+        Algebra::shared(alg_props::Connected),
+        &lanecert_suite::algebra::FreezeOptions::for_interface_arity(2),
+    );
+    assert!(frozen.is_total());
+    assert!(frozen.knows(lanecert_suite::algebra::StateId(0)));
 
     // pls (labels are per-edge; a 3-path has 2 edges)
     let labels = lanecert_suite::pls::simple::WholeGraphScheme::trivially_true()
