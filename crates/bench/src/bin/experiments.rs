@@ -11,11 +11,63 @@
 //!   `BENCH_results.json` in the current directory).
 //! * `--no-json` — skip writing the summary.
 //! * `--quick` — CI-sized runs (same code paths, small `n`).
+//!
+//! Built with `--features count-allocs`, the binary installs a counting
+//! global allocator and the throughput section reports measured
+//! allocations-per-vertex under `mem_stats`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use lanecert_bench::{stats, throughput, RunCtx, Scale};
+
+/// The counting global allocator behind the `count-allocs` feature: two
+/// relaxed atomics per allocation, delegating to the system allocator.
+/// Lives in the binary because `#[global_allocator]` needs `unsafe`,
+/// which the library crate forbids.
+#[cfg(feature = "count-allocs")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: delegates allocation and deallocation verbatim to `System`;
+    // the counters are side-effect-only.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    /// Cumulative `(allocations, bytes)` since process start.
+    pub fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Relaxed), BYTES.load(Relaxed))
+    }
+}
+
+/// The allocator snapshot hook handed to the throughput sweep.
+fn alloc_snapshot() -> Option<throughput::AllocSnapshot> {
+    #[cfg(feature = "count-allocs")]
+    {
+        Some(alloc_count::snapshot)
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        None
+    }
+}
 
 /// Minimal JSON string escaping (the workspace has no serde offline).
 fn json_escape(s: &str) -> String {
@@ -90,7 +142,7 @@ fn main() {
     let run_sweep = selected.as_deref().is_none_or(|s| s == "throughput");
     let sweep = run_sweep.then(|| {
         let start = Instant::now();
-        let report = throughput::sweep(scale);
+        let report = throughput::sweep_with(scale, alloc_snapshot());
         let seconds = start.elapsed().as_secs_f64();
         println!("==== THROUGHPUT ({seconds:.2}s) ====");
         println!("{}", report.render());
@@ -126,7 +178,7 @@ fn main() {
     if !write_json {
         return;
     }
-    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/3\",\n");
+    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/4\",\n");
     let _ = writeln!(json, "  \"threads\": {},", ctx.threads);
     json.push_str("  \"tables\": [\n");
     for (i, (name, seconds, rendered)) in results.iter().enumerate() {

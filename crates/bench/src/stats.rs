@@ -1,5 +1,5 @@
 //! Per-scheme label statistics behind the `label_stats` section of
-//! `BENCH_results.json` (schema `lanecert-bench/3`): an exact label-size
+//! `BENCH_results.json` (schema `lanecert-bench/4`): an exact label-size
 //! histogram over a fixed corpus plus the canonically interned state
 //! count of each scheme's algebra table.
 //!
@@ -123,7 +123,7 @@ pub fn collect(scale: Scale, threads: usize) -> LabelStatsReport {
                                 continue;
                             };
                             certified += 1;
-                            for label in encoding.as_slice() {
+                            for label in encoding.iter() {
                                 *histogram.entry(label.measured_bits()).or_insert(0) += 1;
                             }
                         }

@@ -64,15 +64,38 @@ pub struct PipelineRun {
 pub struct VerifyRun {
     /// Verification threads.
     pub workers: usize,
-    /// Vertices verified.
+    /// Repetitions of the verify pass inside the timed window.
+    pub reps: usize,
+    /// Vertices verified (instance size × `reps`).
     pub vertices: usize,
-    /// Wall-clock seconds of the verify pass.
+    /// Wall-clock seconds of the timed window.
     pub seconds: f64,
     /// Vertices per second.
     pub vertices_per_sec: f64,
     /// Throughput relative to the 1-thread run.
     pub speedup_vs_1: f64,
 }
+
+/// Allocator traffic of the 1-worker verify pass, measured by the
+/// `count-allocs` counting allocator when the harness installs one
+/// (`experiments --features count-allocs`). Zeroed and `enabled: false`
+/// otherwise — the memory-bound claim is only ever *measured*, never
+/// assumed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemStats {
+    /// Whether a counting allocator was installed.
+    pub enabled: bool,
+    /// Heap allocations per verified vertex during the verify pass.
+    pub allocations_per_vertex: f64,
+    /// Heap bytes requested per verified vertex during the verify pass.
+    pub bytes_per_vertex: f64,
+}
+
+/// Snapshot hook of a process-global counting allocator: returns
+/// cumulative `(allocations, bytes)` so far. Lives in the harness binary
+/// because installing a `#[global_allocator]` needs `unsafe`, which this
+/// library forbids.
+pub type AllocSnapshot = fn() -> (u64, u64);
 
 /// The full scaling sweep: pipeline and verify-only series.
 #[derive(Clone, Debug)]
@@ -87,6 +110,8 @@ pub struct ThroughputReport {
     pub driver_prove: Vec<PipelineRun>,
     /// Verify-only runs, one per [`WORKER_COUNTS`] entry.
     pub verify_only: Vec<VerifyRun>,
+    /// Allocator traffic of the verify stage (see [`MemStats`]).
+    pub mem_stats: MemStats,
 }
 
 const FULL_SIZES: &[usize] = &[64, 256, 1024];
@@ -104,6 +129,13 @@ fn corpus_spec(scale: Scale) -> CorpusSpec {
 /// Runs the sweep at `scale` (T-scale corpus on `Full`, CI-sized on
 /// `Quick`).
 pub fn sweep(scale: Scale) -> ThroughputReport {
+    sweep_with(scale, None)
+}
+
+/// [`sweep`] with an optional counting-allocator snapshot hook; when
+/// given, the report's `mem_stats` section carries measured
+/// allocations-per-vertex for the 1-worker verify pass.
+pub fn sweep_with(scale: Scale, alloc_snapshot: Option<AllocSnapshot>) -> ThroughputReport {
     let spec = corpus_spec(scale);
     let corpus = format!(
         "benchmark families × sizes {:?} × seeds {:?} ({} jobs)",
@@ -163,28 +195,63 @@ pub fn sweep(scale: Scale) -> ThroughputReport {
     }
 
     // Verify-only: one big path instance, proven once; the verify stage is
-    // then re-run per thread count over the same labels. 8192 stays well
-    // inside the prover's recursion depth (its hierarchy walk is
-    // chain-deep and overflows the default stack somewhere above 12k
-    // vertices).
+    // then re-run per thread count over the same labels. The prover's
+    // hierarchy walk is chain-deep — 8192 stack frames on a path — so the
+    // one-off prove runs on a dedicated thread with an explicit 32 MiB
+    // stack instead of the main thread (whose 8 MiB default overflows).
+    //
+    // Each thread count is timed over `reps` back-to-back passes after
+    // one untimed warmup: a single quick-scale pass is a few
+    // milliseconds, far too small a window for the CI bench-regression
+    // gate to compare runs without tripping on scheduler noise. The
+    // reported rate is the steady-state throughput of the verify stage.
     let n = scale.pick(8192, 512);
+    let reps = scale.pick(3, 10);
     let (g, rep) = path_family(n);
     let cfg = Configuration::with_random_ids(g, 17);
     let certifier = theorem1_certifier(Algebra::shared(Connected));
-    let labels = certifier
-        .certify_with(&cfg, &ProverHint::with_representation(rep))
-        .expect("path family certifies");
+    let labels = std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(32 * 1024 * 1024)
+            .spawn_scoped(s, || {
+                certifier.certify_with(&cfg, &ProverHint::with_representation(rep))
+            })
+            .expect("spawn prover thread")
+            .join()
+            .expect("prover thread panicked")
+            .expect("path family certifies")
+    });
     let mut verify_only = Vec::new();
     let mut base_rate = 0.0;
+    let mut mem_stats = MemStats::default();
     for workers in WORKER_COUNTS {
-        let t0 = Instant::now();
-        let report = certifier
+        assert!(certifier
             .par_verify(&cfg, &labels, workers)
-            .expect("honest labels verify");
+            .expect("honest labels verify")
+            .accepted());
+        let before = alloc_snapshot.map(|snap| snap());
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let report = certifier
+                .par_verify(&cfg, &labels, workers)
+                .expect("honest labels verify");
+            assert!(report.accepted());
+        }
         let seconds = t0.elapsed().as_secs_f64();
-        assert!(report.accepted());
+        if workers == 1 {
+            if let (Some(snap), Some((a0, b0))) = (alloc_snapshot, before) {
+                let (a1, b1) = snap();
+                let verified = (n * reps) as f64;
+                mem_stats = MemStats {
+                    enabled: true,
+                    allocations_per_vertex: (a1 - a0) as f64 / verified,
+                    bytes_per_vertex: (b1 - b0) as f64 / verified,
+                };
+            }
+        }
+        let vertices = n * reps;
         let rate = if seconds > 0.0 {
-            n as f64 / seconds
+            vertices as f64 / seconds
         } else {
             0.0
         };
@@ -193,7 +260,8 @@ pub fn sweep(scale: Scale) -> ThroughputReport {
         }
         verify_only.push(VerifyRun {
             workers,
-            vertices: n,
+            reps,
+            vertices,
             seconds,
             vertices_per_sec: rate,
             speedup_vs_1: if base_rate > 0.0 {
@@ -209,6 +277,7 @@ pub fn sweep(scale: Scale) -> ThroughputReport {
         pipeline,
         driver_prove,
         verify_only,
+        mem_stats,
     }
 }
 
@@ -248,12 +317,19 @@ impl ThroughputReport {
                 r.speedup_vs_1,
             );
         }
-        out.push_str("verify-only (one instance, par_verify)\nworkers  vertices  wall(s)    vert/s  speedup\n");
+        out.push_str("verify-only (one instance, par_verify, steady state)\nworkers  reps  vertices  wall(s)    vert/s  speedup\n");
         for r in &self.verify_only {
             let _ = writeln!(
                 out,
-                "{:>7}  {:>8}  {:>7.4}  {:>8.0}  {:>6.2}x",
-                r.workers, r.vertices, r.seconds, r.vertices_per_sec, r.speedup_vs_1,
+                "{:>7}  {:>4}  {:>8}  {:>7.4}  {:>8.0}  {:>6.2}x",
+                r.workers, r.reps, r.vertices, r.seconds, r.vertices_per_sec, r.speedup_vs_1,
+            );
+        }
+        if self.mem_stats.enabled {
+            let _ = writeln!(
+                out,
+                "mem: {:.1} allocations/vertex, {:.0} heap bytes/vertex (1-worker verify)",
+                self.mem_stats.allocations_per_vertex, self.mem_stats.bytes_per_vertex,
             );
         }
         out
@@ -303,9 +379,10 @@ impl ThroughputReport {
         for (i, r) in self.verify_only.iter().enumerate() {
             let _ = writeln!(
                 json,
-                "      {{\"workers\": {}, \"vertices\": {}, \"seconds\": {:.6}, \
+                "      {{\"workers\": {}, \"reps\": {}, \"vertices\": {}, \"seconds\": {:.6}, \
                  \"vertices_per_sec\": {:.3}, \"speedup_vs_1\": {:.4}}}{}",
                 r.workers,
+                r.reps,
                 r.vertices,
                 r.seconds,
                 r.vertices_per_sec,
@@ -313,7 +390,15 @@ impl ThroughputReport {
                 comma(i, self.verify_only.len()),
             );
         }
-        json.push_str("    ]\n  }");
+        let _ = writeln!(
+            json,
+            "    ],\n    \"mem_stats\": {{\"enabled\": {}, \"allocations_per_vertex\": {:.3}, \
+             \"bytes_per_vertex\": {:.3}}}",
+            self.mem_stats.enabled,
+            self.mem_stats.allocations_per_vertex,
+            self.mem_stats.bytes_per_vertex,
+        );
+        json.push_str("  }");
         json
     }
 }
@@ -345,10 +430,15 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("verify-only"));
         assert!(rendered.contains("driver-prove baseline"));
+        assert!(report.verify_only.iter().all(|r| r.reps > 0));
+        assert!(!report.mem_stats.enabled, "no hook installed in tests");
         let json = report.to_json(|s| s.to_string());
         assert!(json.contains("\"pipeline\""));
         assert!(json.contains("\"driver_prove\""));
         assert!(json.contains("\"verify_only\""));
+        assert!(json.contains("\"reps\""));
+        assert!(json.contains("\"mem_stats\""));
+        assert!(json.contains("\"allocations_per_vertex\""));
         assert!(json.contains("\"speedup_vs_1\""));
         assert!(json.contains("\"prove_speedup_vs_driver\""));
     }

@@ -156,11 +156,11 @@ pub fn fuzz_encoded(
     for _ in 0..rounds {
         let mut mutated = labels.clone();
         let pick = rng.random_range(0..mutated.len());
-        let label = &mut mutated.as_mut_slice()[pick];
-        if label.bits == 0 {
+        let bits = mutated.get(pick).bits;
+        if bits == 0 {
             continue;
         }
-        label.flip_bit(rng.random_range(0..label.bits));
+        mutated.flip_bit(pick, rng.random_range(0..bits));
         attempted += 1;
         let report = scheme
             .verify_encoded(cfg, &mutated)

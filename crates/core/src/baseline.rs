@@ -189,7 +189,7 @@ impl Scheme for BaselineScheme {
     /// that contain my bag-interval's midpoint list me.
     fn verify_at(&self, view: &VertexView<BaselineLabel>) -> Verdict {
         let mut my_iv: Option<(u32, u32)> = None;
-        for l in &view.incident {
+        for l in view.incident {
             let Some(l) = l else {
                 return Verdict::reject("undecodable baseline label");
             };

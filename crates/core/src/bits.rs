@@ -29,6 +29,19 @@ impl BitWriter {
         self.bytes
     }
 
+    /// Appends the written bytes (last byte zero-padded) to `out`, resets
+    /// the writer for reuse, and returns the flushed bit length. This is
+    /// how a batch of independently-decodable labels lands in **one**
+    /// contiguous buffer without a fresh allocation per label (see
+    /// [`crate::EncodedLabeling::encode`]).
+    pub fn flush_into(&mut self, out: &mut Vec<u8>) -> usize {
+        out.extend_from_slice(&self.bytes);
+        let bits = self.bit_len;
+        self.bytes.clear();
+        self.bit_len = 0;
+        bits
+    }
+
     /// Writes a single bit.
     pub fn put_bit(&mut self, bit: bool) {
         let pos = self.bit_len % 8;
@@ -41,10 +54,24 @@ impl BitWriter {
         self.bit_len += 1;
     }
 
-    /// Writes the low `width` bits of `value`.
+    /// Writes the low `width` bits of `value` (`width <= 64`).
+    ///
+    /// Works a byte at a time rather than a bit at a time: label decode
+    /// and encode sit on the hot path of every verification shard, and
+    /// the bit loop was the single largest cost in it.
     pub fn put_bits(&mut self, value: u64, width: usize) {
-        for i in 0..width {
-            self.put_bit(value >> i & 1 == 1);
+        debug_assert!(width <= 64);
+        let mut done = 0;
+        while done < width {
+            let pos = self.bit_len % 8;
+            if pos == 0 {
+                self.bytes.push(0);
+            }
+            let take = (8 - pos).min(width - done);
+            let chunk = ((value >> done) & ((1u64 << take) - 1)) as u8;
+            *self.bytes.last_mut().unwrap() |= chunk << pos;
+            self.bit_len += take;
+            done += take;
         }
     }
 
@@ -53,8 +80,9 @@ impl BitWriter {
         loop {
             let group = value & 0xF;
             value >>= 4;
-            self.put_bit(value != 0);
-            self.put_bits(group, 4);
+            let more = (value != 0) as u64;
+            // Wire order: continuation bit first, then the 4 group bits.
+            self.put_bits(more | (group << 1), 5);
             if value == 0 {
                 break;
             }
@@ -63,47 +91,164 @@ impl BitWriter {
 }
 
 /// A bit-stream reader over bytes produced by [`BitWriter`].
+///
+/// Keeps a 64-bit look-ahead window refilled from the byte slice so the
+/// common small reads (the 5-bit varint groups and 1-bit flags label
+/// decoding is made of) are a shift and a mask, not a byte loop — label
+/// decode is the single hottest loop of a verification shard.
 #[derive(Clone, Debug)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
+    /// Next unread byte of `bytes`.
+    next: usize,
+    /// Bits already consumed from the stream.
     pos: usize,
+    /// Look-ahead window; bit 0 is the next stream bit.
+    window: u64,
+    /// Number of valid bits in `window`.
+    avail: usize,
 }
 
 impl<'a> BitReader<'a> {
     /// Wraps a byte slice.
     pub fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
+        Self {
+            bytes,
+            next: 0,
+            pos: 0,
+            window: 0,
+            avail: 0,
+        }
+    }
+
+    /// Tops up the window from the byte slice (best effort; the window
+    /// may still hold fewer than `need` bits at the end of the stream).
+    #[inline]
+    fn refill(&mut self) {
+        if self.next + 8 <= self.bytes.len() {
+            // Fast path: splice in as many whole little-endian bytes as
+            // fit, masking off the bytes that stay unconsumed.
+            let word = u64::from_le_bytes(self.bytes[self.next..self.next + 8].try_into().unwrap());
+            let take = (64 - self.avail) / 8;
+            let word = if take == 8 {
+                word
+            } else {
+                word & ((1u64 << (take * 8)) - 1)
+            };
+            self.window |= word << self.avail;
+            self.next += take;
+            self.avail += take * 8;
+        } else {
+            while self.avail <= 56 && self.next < self.bytes.len() {
+                self.window |= (self.bytes[self.next] as u64) << self.avail;
+                self.next += 1;
+                self.avail += 8;
+            }
+        }
     }
 
     /// Reads one bit, or `None` past the end.
+    #[inline]
     pub fn get_bit(&mut self) -> Option<bool> {
-        let byte = self.bytes.get(self.pos / 8)?;
-        let bit = byte >> (self.pos % 8) & 1 == 1;
-        self.pos += 1;
-        Some(bit)
+        Some(self.get_bits(1)? == 1)
     }
 
-    /// Reads `width` bits.
+    /// Reads `width` bits (`width <= 64`).
+    #[inline]
     pub fn get_bits(&mut self, width: usize) -> Option<u64> {
-        let mut out = 0u64;
-        for i in 0..width {
-            if self.get_bit()? {
-                out |= 1 << i;
+        debug_assert!(width <= 64);
+        if self.avail < width {
+            self.refill();
+            if self.avail < width {
+                if self.next < self.bytes.len() {
+                    // Window full of unaligned bits but `width >= 58`
+                    // still doesn't fit: take the slow byte-wise path.
+                    return self.get_bits_wide(width);
+                }
+                // Truncated stream: fail without consuming.
+                return None;
             }
+        }
+        let out = if width == 64 {
+            self.window
+        } else {
+            self.window & ((1u64 << width) - 1)
+        };
+        self.window = if width == 64 { 0 } else { self.window >> width };
+        self.avail -= width;
+        self.pos += width;
+        Some(out)
+    }
+
+    /// Byte-wise fallback for wide reads the window can't cover (only
+    /// reachable for `width >= 58` mid-stream); resynchronizes the window
+    /// afterwards.
+    #[cold]
+    fn get_bits_wide(&mut self, width: usize) -> Option<u64> {
+        if self.pos + width > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut out = 0u64;
+        let mut got = 0;
+        while got < width {
+            let at = self.pos + got;
+            let byte = self.bytes[at / 8] as u64;
+            let off = at % 8;
+            let take = (8 - off).min(width - got);
+            out |= ((byte >> off) & ((1u64 << take) - 1)) << got;
+            got += take;
+        }
+        self.pos += width;
+        let rem = self.pos % 8;
+        if rem == 0 {
+            self.next = self.pos / 8;
+            self.window = 0;
+            self.avail = 0;
+        } else {
+            // Re-seed the window with the unread high bits of the byte
+            // the new position falls in.
+            self.next = self.pos / 8 + 1;
+            self.window = (self.bytes[self.pos / 8] as u64) >> rem;
+            self.avail = 8 - rem;
         }
         Some(out)
     }
 
     /// Reads a nibble-varint.
     pub fn get_varint(&mut self) -> Option<u64> {
+        // Fast path: parse groups straight out of the window. One refill
+        // gives ≥ 57 bits = 11 whole groups, enough for any value up to
+        // 2^44; the loop below only re-enters `get_bits` for the rare
+        // longer values or a nearly-drained stream.
+        if self.avail < 10 {
+            self.refill();
+        }
         let mut out = 0u64;
         let mut shift = 0;
-        loop {
-            let more = self.get_bit()?;
-            let group = self.get_bits(4)?;
-            out |= group << shift;
+        while self.avail >= 5 {
+            let g = self.window & 0x1F;
+            self.window >>= 5;
+            self.avail -= 5;
+            self.pos += 5;
+            if shift < 64 {
+                out |= (g >> 1) << shift;
+            }
             shift += 4;
-            if !more {
+            if g & 1 == 0 {
+                return Some(out);
+            }
+            if shift > 64 {
+                return None;
+            }
+        }
+        // Slow tail: window drained mid-varint.
+        loop {
+            let g = self.get_bits(5)?;
+            if shift < 64 {
+                out |= (g >> 1) << shift;
+            }
+            shift += 4;
+            if g & 1 == 0 {
                 return Some(out);
             }
             if shift > 64 {
@@ -156,7 +301,35 @@ impl<T: Enc> Enc for Vec<T> {
         if len > 1 << 24 {
             return None; // malformed length guard
         }
-        (0..len).map(|_| T::dec(r)).collect()
+        // One exact-size allocation: collecting through the `Option`
+        // adapter loses the length hint and reallocates log(len) times,
+        // and labels are mostly many short vectors.
+        let mut out = Vec::with_capacity(len.min(1 << 12));
+        for _ in 0..len {
+            out.push(T::dec(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Enc + Copy + Default, const N: usize> Enc for crate::inline::InlineVec<T, N> {
+    fn enc(&self, w: &mut BitWriter) {
+        // Wire-identical to `Vec<T>`: length varint then the items.
+        w.put_varint(self.len() as u64);
+        for item in self.iter() {
+            item.enc(w);
+        }
+    }
+    fn dec(r: &mut BitReader<'_>) -> Option<Self> {
+        let len = r.get_varint()? as usize;
+        if len > 1 << 24 {
+            return None; // malformed length guard
+        }
+        let mut out = Self::new();
+        for _ in 0..len {
+            out.push(T::dec(r)?);
+        }
+        Some(out)
     }
 }
 

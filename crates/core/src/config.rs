@@ -2,8 +2,9 @@
 //! identifiers (the state assignment of Section 1.1).
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
-use lanecert_graph::{Graph, VertexId};
+use lanecert_graph::{CsrGraph, Graph, VertexId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -14,6 +15,9 @@ pub struct Configuration {
     graph: Graph,
     ids: Vec<u64>,
     by_id: HashMap<u64, VertexId>,
+    /// The frozen CSR arena of `graph`, built on first use and shared by
+    /// clones made afterwards (verification shards all borrow one arena).
+    csr: OnceLock<Arc<CsrGraph>>,
 }
 
 impl Configuration {
@@ -29,7 +33,12 @@ impl Configuration {
             let prev = by_id.insert(id, VertexId::new(i));
             assert!(prev.is_none(), "duplicate identifier {id}");
         }
-        Self { graph, ids, by_id }
+        Self {
+            graph,
+            ids,
+            by_id,
+            csr: OnceLock::new(),
+        }
     }
 
     /// Sequential identifiers `0..n` (the minimal `O(log n)`-bit choice).
@@ -59,6 +68,15 @@ impl Configuration {
     /// The communication graph.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The graph frozen into its compressed-sparse-row arena — the layout
+    /// the verification hot path streams (see [`lanecert_graph::csr`]).
+    /// Built lazily on first call; subsequent calls (and clones taken
+    /// afterwards) share the same arena.
+    pub fn csr(&self) -> &CsrGraph {
+        self.csr
+            .get_or_init(|| Arc::new(CsrGraph::from_graph(&self.graph)))
     }
 
     /// The identifier of vertex `v`.

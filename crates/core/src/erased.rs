@@ -12,19 +12,41 @@
 //! the [`SchemeRegistry`](crate::SchemeRegistry) and
 //! [`Certifier`](crate::Certifier).
 //!
+//! # Memory layout
+//!
+//! An [`EncodedLabeling`] is **one contiguous byte buffer** plus an
+//! offsets table — not a `Vec` of per-label allocations:
+//!
+//! ```text
+//! buf:     [ label 0 bytes | label 1 bytes | ... | label m-1 bytes ]
+//! offsets: [ 0, end0, end1, ..., end(m-1) ]      (m + 1 entries)
+//! bits:    [ exact bit length per label ]        (m entries)
+//! ```
+//!
+//! Label `e` is the borrowed slice `buf[offsets[e]..offsets[e+1]]`,
+//! handed out as an [`EncodedLabelRef`] — verification never copies label
+//! bytes, and the erased prover writes all labels through one reused
+//! [`BitWriter`] straight into the buffer.
+//!
 //! The erased path is bit-identical to the typed path: encoding happens
 //! with the same [`Enc`] impls, so verdicts and label-size statistics
 //! agree between `scheme.run(...)` and
 //! `(&scheme as &dyn DynScheme).verify_encoded(...)` (property-tested in
-//! `tests/erased_parity.rs`).
+//! `tests/erased_parity.rs` and `tests/csr_parity.rs`).
 
-use lanecert_graph::Graph;
+use lanecert_graph::{CsrGraph, VertexId};
 
-use crate::bits::{self, Enc};
+use crate::bits::{self, BitWriter, Enc};
 use crate::scheme::{ProverHint, RunReport, Scheme, Verdict, VertexView};
 use crate::{CertError, Configuration};
 
-/// One label on the wire: its byte image and exact bit length.
+/// One label on the wire: its byte image and exact bit length, **owned**.
+///
+/// This is the construction/tampering currency: hand-built corpora and
+/// adversarial tests build `EncodedLabel`s and splice them into an
+/// [`EncodedLabeling`] with [`EncodedLabeling::set`]. The verification
+/// hot path never materialises these — it reads borrowed
+/// [`EncodedLabelRef`]s out of the shared buffer instead.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EncodedLabel {
     /// The encoded bytes (last byte zero-padded past `bits`).
@@ -47,9 +69,9 @@ impl EncodedLabel {
 
     /// `true` when the claimed bit length matches the byte image the way
     /// the encoder produces it (`bytes.len() == ceil(bits / 8)`). Both
-    /// fields are public and adversary-controlled, so the erased verifier
-    /// treats non-canonical labels as undecodable and measures their size
-    /// from the byte image rather than the claim.
+    /// fields are adversary-controlled, so the erased verifier treats
+    /// non-canonical labels as undecodable and measures their size from
+    /// the byte image rather than the claim.
     pub fn is_canonical(&self) -> bool {
         self.bytes.len() == self.bits.div_ceil(8)
     }
@@ -75,28 +97,120 @@ impl EncodedLabel {
     }
 }
 
-/// An erased labeling: one [`EncodedLabel`] per edge, optionally stamped
-/// with the [`Scheme::fingerprint`] of the scheme that produced it (the
-/// erased prover always stamps; hand-built labelings may leave it off,
-/// in which case verification skips the check).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct EncodedLabeling {
-    labels: Vec<EncodedLabel>,
-    fingerprint: Option<u64>,
+/// A borrowed view of one label inside an [`EncodedLabeling`]'s shared
+/// buffer: the zero-copy counterpart of [`EncodedLabel`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EncodedLabelRef<'a> {
+    /// The label's byte image — a slice of the labeling's buffer.
+    pub bytes: &'a [u8],
+    /// The claimed exact bit length.
+    pub bits: usize,
 }
 
-impl EncodedLabeling {
-    /// Wraps per-edge encoded labels (no fingerprint recorded).
-    pub fn new(labels: Vec<EncodedLabel>) -> Self {
-        Self {
-            labels,
-            fingerprint: None,
+impl EncodedLabelRef<'_> {
+    /// Decodes to a typed label; `None` on malformed bytes.
+    pub fn decode<L: Enc>(&self) -> Option<L> {
+        bits::decode::<L>(self.bytes)
+    }
+
+    /// Decodes only canonical labels (see [`EncodedLabel::is_canonical`]);
+    /// non-canonical ones are treated as undecodable, exactly as the
+    /// erased verifier does.
+    pub fn decode_canonical<L: Enc>(&self) -> Option<L> {
+        if self.is_canonical() {
+            self.decode()
+        } else {
+            None
         }
     }
 
-    /// Encodes a typed label slice (no fingerprint recorded).
+    /// See [`EncodedLabel::is_canonical`].
+    pub fn is_canonical(&self) -> bool {
+        self.bytes.len() == self.bits.div_ceil(8)
+    }
+
+    /// See [`EncodedLabel::measured_bits`].
+    pub fn measured_bits(&self) -> usize {
+        if self.is_canonical() {
+            self.bits
+        } else {
+            self.bytes.len() * 8
+        }
+    }
+
+    /// Copies out an owned [`EncodedLabel`].
+    pub fn to_label(&self) -> EncodedLabel {
+        EncodedLabel {
+            bytes: self.bytes.to_vec(),
+            bits: self.bits,
+        }
+    }
+}
+
+/// An erased labeling: one encoded label per edge in **one contiguous
+/// buffer** (see the [module docs](self) for the layout), optionally
+/// stamped with the [`Scheme::fingerprint`] of the scheme that produced
+/// it (the erased prover always stamps; hand-built labelings may leave it
+/// off, in which case verification skips the check).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncodedLabeling {
+    /// All label bytes, concatenated in edge order.
+    buf: Vec<u8>,
+    /// `m + 1` prefix sums: label `e` is `buf[offsets[e]..offsets[e+1]]`.
+    offsets: Vec<u32>,
+    /// Claimed exact bit length per label.
+    bits: Vec<usize>,
+    fingerprint: Option<u64>,
+}
+
+impl Default for EncodedLabeling {
+    fn default() -> Self {
+        Self {
+            buf: Vec::new(),
+            offsets: vec![0],
+            bits: Vec::new(),
+            fingerprint: None,
+        }
+    }
+}
+
+impl EncodedLabeling {
+    /// Packs per-edge encoded labels into the contiguous layout (no
+    /// fingerprint recorded).
+    pub fn new(labels: Vec<EncodedLabel>) -> Self {
+        let mut out = Self::default();
+        out.buf.reserve(labels.iter().map(|l| l.bytes.len()).sum());
+        out.offsets.reserve(labels.len());
+        out.bits.reserve(labels.len());
+        for label in &labels {
+            out.push_raw(&label.bytes, label.bits);
+        }
+        out
+    }
+
+    /// Encodes a typed label slice straight into the shared buffer: one
+    /// reused [`BitWriter`], zero per-label allocations (no fingerprint
+    /// recorded).
     pub fn encode<L: Enc>(labels: &[L]) -> Self {
-        Self::new(labels.iter().map(EncodedLabel::of).collect())
+        let mut out = Self::default();
+        out.offsets.reserve(labels.len());
+        out.bits.reserve(labels.len());
+        let mut w = BitWriter::new();
+        for label in labels {
+            label.enc(&mut w);
+            let bits = w.flush_into(&mut out.buf);
+            out.offsets
+                .push(u32::try_from(out.buf.len()).expect("label buffer overflow"));
+            out.bits.push(bits);
+        }
+        out
+    }
+
+    fn push_raw(&mut self, bytes: &[u8], bits: usize) {
+        self.buf.extend_from_slice(bytes);
+        self.offsets
+            .push(u32::try_from(self.buf.len()).expect("label buffer overflow"));
+        self.bits.push(bits);
     }
 
     /// Records the producing scheme's fingerprint (see
@@ -113,37 +227,80 @@ impl EncodedLabeling {
 
     /// Number of labels.
     pub fn len(&self) -> usize {
-        self.labels.len()
+        self.bits.len()
     }
 
     /// `true` when there are no labels.
     pub fn is_empty(&self) -> bool {
-        self.labels.is_empty()
+        self.bits.is_empty()
     }
 
-    /// The labels as a slice.
-    pub fn as_slice(&self) -> &[EncodedLabel] {
-        &self.labels
+    /// Borrows label `i` out of the shared buffer (zero-copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> EncodedLabelRef<'_> {
+        EncodedLabelRef {
+            bytes: &self.buf[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            bits: self.bits[i],
+        }
     }
 
-    /// Mutable access for adversarial tampering.
-    pub fn as_mut_slice(&mut self) -> &mut [EncodedLabel] {
-        &mut self.labels
+    /// Iterates over borrowed labels in edge order.
+    pub fn iter(&self) -> impl Iterator<Item = EncodedLabelRef<'_>> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Copies the labels back out as owned values (tests and corpora that
+    /// want to rebuild or tamper wholesale).
+    pub fn to_vec(&self) -> Vec<EncodedLabel> {
+        self.iter().map(|l| l.to_label()).collect()
+    }
+
+    /// Replaces label `i` (adversary helper): splices the new byte image
+    /// into the buffer and shifts the offsets table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, label: &EncodedLabel) {
+        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        let old_len = end - start;
+        self.buf.splice(start..end, label.bytes.iter().copied());
+        if label.bytes.len() != old_len {
+            let delta = label.bytes.len() as i64 - old_len as i64;
+            for off in &mut self.offsets[i + 1..] {
+                *off = u32::try_from(i64::from(*off) + delta).expect("label buffer overflow");
+            }
+        }
+        self.bits[i] = label.bits;
+    }
+
+    /// Flips one payload bit of label `i` in place (adversary helper);
+    /// positions outside the label's byte image are ignored, as in
+    /// [`EncodedLabel::flip_bit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn flip_bit(&mut self, i: usize, pos: usize) {
+        let start = self.offsets[i] as usize;
+        let len = self.offsets[i + 1] as usize - start;
+        if pos < self.bits[i] && pos / 8 < len {
+            self.buf[start + pos / 8] ^= 1 << (pos % 8);
+        }
     }
 
     /// Maximum label size in bits ([`EncodedLabel::measured_bits`], so
     /// adversarial labelings cannot under-report their sizes).
     pub fn max_bits(&self) -> usize {
-        self.labels
-            .iter()
-            .map(EncodedLabel::measured_bits)
-            .max()
-            .unwrap_or(0)
+        self.iter().map(|l| l.measured_bits()).max().unwrap_or(0)
     }
 
     /// Total label bits ([`EncodedLabel::measured_bits`] per label).
     pub fn total_bits(&self) -> usize {
-        self.labels.iter().map(EncodedLabel::measured_bits).sum()
+        self.iter().map(|l| l.measured_bits()).sum()
     }
 }
 
@@ -184,6 +341,10 @@ pub trait DynScheme: Send + Sync {
     /// Runs the verifier at every vertex against encoded (possibly
     /// adversarial) labels.
     ///
+    /// Equivalent to [`DynScheme::verify_encoded_range`] over the full
+    /// vertex range plus the labeling's size statistics, and subject to
+    /// the same hot-path invariants.
+    ///
     /// # Errors
     ///
     /// [`CertError::LabelCountMismatch`] when `labels` has the wrong
@@ -198,9 +359,25 @@ pub trait DynScheme: Send + Sync {
     /// `range.start..range.end` only, returning one verdict per vertex in
     /// index order — the sharding primitive behind
     /// [`DynScheme::par_verify_encoded`] and the engine's per-vertex
-    /// fan-out. Each shard decodes exactly the labels incident to its
-    /// vertices, so a vertex's view (and therefore its verdict) is
+    /// fan-out. A vertex's view (and therefore its verdict) is
     /// bit-identical to the full [`DynScheme::verify_encoded`] pass.
+    ///
+    /// # Hot-path invariants
+    ///
+    /// The blanket implementation streams the configuration's CSR arena
+    /// ([`Configuration::csr`]) and upholds two invariants the throughput
+    /// benchmarks (`mem_stats`) measure:
+    ///
+    /// * **Decode once per shard.** Each edge label incident to the range
+    ///   is decoded at most once — *not* once per endpoint. Both
+    ///   endpoints of an in-range edge borrow the same arena slot, and
+    ///   label bytes are read in place from the labeling's shared buffer
+    ///   ([`EncodedLabelRef`]), never copied.
+    /// * **No allocations in the per-vertex loop.** The verify loop reuses
+    ///   one scratch slice of label references, sized once from the CSR
+    ///   arena's max degree; all decode work (the only part that may
+    ///   allocate, for labels with heap payloads) happens in the decode
+    ///   pass before the loop.
     ///
     /// `range` is clamped to the vertex count.
     ///
@@ -232,7 +409,7 @@ pub trait DynScheme: Send + Sync {
         labels: &EncodedLabeling,
         threads: usize,
     ) -> Result<RunReport, CertError> {
-        let g = cfg.graph();
+        let g = cfg.csr();
         if labels.len() != g.edge_count() {
             return Err(CertError::LabelCountMismatch {
                 expected: g.edge_count(),
@@ -244,7 +421,16 @@ pub trait DynScheme: Send + Sync {
         if threads == 1 {
             return self.verify_encoded(cfg, labels);
         }
+        // Stride-align shard boundaries (64 vertices ≈ one cache line of
+        // the u32 CSR offsets table) so threads stream disjoint line
+        // ranges of the arena; verdicts are a pure function of each view,
+        // so alignment never changes the concatenated output.
         let chunk = n.div_ceil(threads);
+        let chunk = if chunk >= 64 {
+            chunk.next_multiple_of(64)
+        } else {
+            chunk
+        };
         let shards: Vec<Result<Vec<Verdict>, CertError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
@@ -270,23 +456,6 @@ pub trait DynScheme: Send + Sync {
     }
 }
 
-/// Builds a vertex's view by decoding the incident encoded labels.
-fn view_of<L: Enc + Clone>(
-    cfg: &Configuration,
-    g: &Graph,
-    v: lanecert_graph::VertexId,
-    decoded: &[Option<L>],
-) -> VertexView<L> {
-    VertexView {
-        id: cfg.id_of(v),
-        incident: g
-            .incident(v)
-            .iter()
-            .map(|h| decoded[h.edge.index()].clone())
-            .collect(),
-    }
-}
-
 /// Rejects labelings recorded under a different scheme fingerprint (see
 /// [`CertError::FingerprintMismatch`]); unstamped labelings pass.
 fn check_fingerprint<S: Scheme + Send + Sync>(
@@ -300,6 +469,49 @@ fn check_fingerprint<S: Scheme + Send + Sync>(
         }
     }
     Ok(())
+}
+
+/// The shared shard body: decode pass (each incident edge label decoded
+/// at most once, straight from the shared buffer) followed by the
+/// allocation-free verify loop. See the invariants documented on
+/// [`DynScheme::verify_encoded_range`].
+fn verify_span<S: Scheme + Send + Sync>(
+    scheme: &S,
+    cfg: &Configuration,
+    g: &CsrGraph,
+    labels: &EncodedLabeling,
+    lo: usize,
+    hi: usize,
+) -> Vec<Verdict> {
+    // Decode pass. `arena[e]` is `None` until edge `e` is first touched,
+    // then `Some(decode result)` — endpoints inside the span share it.
+    let mut arena: Vec<Option<Option<S::Label>>> = (0..g.edge_count()).map(|_| None).collect();
+    for v in lo..hi {
+        for h in g.incident(VertexId::new(v)) {
+            let e = h.edge.index();
+            if arena[e].is_none() {
+                arena[e] = Some(labels.get(e).decode_canonical::<S::Label>());
+            }
+        }
+    }
+    // Verify loop: reuses one scratch slice; views borrow from the arena.
+    let mut scratch: Vec<Option<&S::Label>> = Vec::with_capacity(g.max_degree());
+    (lo..hi)
+        .map(|v| {
+            let v = VertexId::new(v);
+            scratch.clear();
+            scratch.extend(g.incident(v).iter().map(|h| {
+                arena[h.edge.index()]
+                    .as_ref()
+                    .expect("decoded in first pass")
+                    .as_ref()
+            }));
+            scheme.verify_at(&VertexView {
+                id: cfg.id_of(v),
+                incident: &scratch,
+            })
+        })
+        .collect()
 }
 
 impl<S: Scheme + Send + Sync> DynScheme for S {
@@ -334,24 +546,15 @@ impl<S: Scheme + Send + Sync> DynScheme for S {
         labels: &EncodedLabeling,
     ) -> Result<RunReport, CertError> {
         check_fingerprint(self, labels)?;
-        let g = cfg.graph();
+        let g = cfg.csr();
         if labels.len() != g.edge_count() {
             return Err(CertError::LabelCountMismatch {
                 expected: g.edge_count(),
                 got: labels.len(),
             });
         }
-        let decoded: Vec<Option<S::Label>> = labels
-            .as_slice()
-            .iter()
-            .map(|l| if l.is_canonical() { l.decode() } else { None })
-            .collect();
-        let verdicts: Vec<Verdict> = g
-            .vertices()
-            .map(|v| self.verify_at(&view_of(cfg, g, v, &decoded)))
-            .collect();
         Ok(RunReport {
-            verdicts,
+            verdicts: verify_span(self, cfg, g, labels, 0, g.vertex_count()),
             max_label_bits: labels.max_bits(),
             total_label_bits: labels.total_bits(),
             edges: g.edge_count(),
@@ -365,7 +568,7 @@ impl<S: Scheme + Send + Sync> DynScheme for S {
         range: std::ops::Range<usize>,
     ) -> Result<Vec<Verdict>, CertError> {
         check_fingerprint(self, labels)?;
-        let g = cfg.graph();
+        let g = cfg.csr();
         if labels.len() != g.edge_count() {
             return Err(CertError::LabelCountMismatch {
                 expected: g.edge_count(),
@@ -374,32 +577,7 @@ impl<S: Scheme + Send + Sync> DynScheme for S {
         }
         let lo = range.start.min(g.vertex_count());
         let hi = range.end.min(g.vertex_count());
-        let slice = labels.as_slice();
-        // Decode per incident edge rather than all labels up front: a
-        // shard touches only its own boundary, and each decode is a pure
-        // function of the bytes, so views match the full pass exactly.
-        let decode = |e: usize| -> Option<S::Label> {
-            let l = &slice[e];
-            if l.is_canonical() {
-                l.decode()
-            } else {
-                None
-            }
-        };
-        Ok((lo..hi)
-            .map(|v| {
-                let v = lanecert_graph::VertexId::new(v);
-                let view = VertexView {
-                    id: cfg.id_of(v),
-                    incident: g
-                        .incident(v)
-                        .iter()
-                        .map(|h| decode(h.edge.index()))
-                        .collect(),
-                };
-                self.verify_at(&view)
-            })
-            .collect())
+        Ok(verify_span(self, cfg, g, labels, lo, hi))
     }
 }
 
@@ -429,8 +607,8 @@ mod tests {
         ) -> Result<Labeling<u64>, CertError> {
             Ok(vec![7u64; cfg.graph().edge_count()].into())
         }
-        fn verify_at(&self, view: &VertexView<u64>) -> Verdict {
-            if view.incident.iter().all(|l| *l == Some(7)) {
+        fn verify_at(&self, view: &VertexView<'_, u64>) -> Verdict {
+            if view.incident.iter().all(|l| *l == Some(&7)) {
                 Verdict::Accept
             } else {
                 Verdict::reject("not seven")
@@ -452,11 +630,43 @@ mod tests {
     }
 
     #[test]
+    fn contiguous_layout_roundtrips() {
+        // `new` (owned labels) and `encode` (typed labels) agree on the
+        // packed representation, and `get`/`to_vec` read back exactly
+        // what went in.
+        let labels: Vec<u64> = vec![7, 0, u64::MAX, 300];
+        let owned: Vec<EncodedLabel> = labels.iter().map(EncodedLabel::of).collect();
+        let a = EncodedLabeling::new(owned.clone());
+        let b = EncodedLabeling::encode(&labels);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.to_vec(), owned);
+        for (i, l) in owned.iter().enumerate() {
+            assert_eq!(a.get(i).bytes, &l.bytes[..]);
+            assert_eq!(a.get(i).bits, l.bits);
+            assert_eq!(a.get(i).decode::<u64>(), Some(labels[i]));
+        }
+    }
+
+    #[test]
+    fn set_splices_shorter_and_longer_labels() {
+        let mut enc = EncodedLabeling::encode(&[1u64, 2, 3]);
+        // Replace the middle label with a longer one, then a shorter one;
+        // the neighbours must be untouched both times.
+        for replacement in [EncodedLabel::of(&u64::MAX), EncodedLabel::of(&0u64)] {
+            enc.set(1, &replacement);
+            assert_eq!(enc.get(0).decode::<u64>(), Some(1));
+            assert_eq!(enc.get(1).to_label(), replacement);
+            assert_eq!(enc.get(2).decode::<u64>(), Some(3));
+        }
+    }
+
+    #[test]
     fn bit_flip_is_detected() {
         let cfg = Configuration::with_sequential_ids(generators::cycle_graph(5));
         let boxed: BoxedScheme = Box::new(Sevens);
         let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
-        enc.as_mut_slice()[0].flip_bit(1);
+        enc.flip_bit(0, 1);
         let report = boxed.verify_encoded(&cfg, &enc).unwrap();
         assert!(!report.accepted());
     }
@@ -467,24 +677,30 @@ mod tests {
         let boxed: BoxedScheme = Box::new(Sevens);
         let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
         // Lie about the size: kilobyte payload claiming one bit.
-        enc.as_mut_slice()[0] = EncodedLabel {
-            bytes: vec![0xFF; 128],
-            bits: 1,
-        };
-        assert!(!enc.as_slice()[0].is_canonical());
-        assert_eq!(enc.as_slice()[0].measured_bits(), 128 * 8);
+        enc.set(
+            0,
+            &EncodedLabel {
+                bytes: vec![0xFF; 128],
+                bits: 1,
+            },
+        );
+        assert!(!enc.get(0).is_canonical());
+        assert_eq!(enc.get(0).measured_bits(), 128 * 8);
         assert!(enc.max_bits() >= 128 * 8);
         let report = boxed.verify_encoded(&cfg, &enc).unwrap();
         assert!(!report.accepted());
         assert!(report.max_label_bits >= 128 * 8);
         // Flipping a bit the lying `bits` field claims but the byte image
-        // lacks must not panic.
+        // lacks must not panic (owned and packed forms alike).
         let mut tiny = EncodedLabel {
             bytes: Vec::new(),
             bits: 5,
         };
         tiny.flip_bit(3);
         assert!(tiny.bytes.is_empty());
+        let mut packed = EncodedLabeling::new(vec![tiny.clone()]);
+        packed.flip_bit(0, 3);
+        assert_eq!(packed.get(0).to_label(), tiny);
     }
 
     #[test]
@@ -492,7 +708,7 @@ mod tests {
         let cfg = Configuration::with_sequential_ids(generators::cycle_graph(9));
         let boxed: BoxedScheme = Box::new(Sevens);
         let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
-        enc.as_mut_slice()[4].flip_bit(0); // make verdicts non-uniform
+        enc.flip_bit(4, 0); // make verdicts non-uniform
         let full = boxed.verify_encoded(&cfg, &enc).unwrap();
         for split in [0, 1, 4, 9] {
             let mut verdicts = boxed.verify_encoded_range(&cfg, &enc, 0..split).unwrap();
@@ -510,7 +726,7 @@ mod tests {
         let cfg = Configuration::with_sequential_ids(generators::cycle_graph(17));
         let boxed: BoxedScheme = Box::new(Sevens);
         let mut enc = boxed.prove_encoded(&cfg, &ProverHint::auto()).unwrap();
-        enc.as_mut_slice()[3].flip_bit(2);
+        enc.flip_bit(3, 2);
         let sequential = boxed.verify_encoded(&cfg, &enc).unwrap();
         for threads in [1, 2, 4, 32] {
             let parallel = boxed.par_verify_encoded(&cfg, &enc, threads).unwrap();
@@ -549,7 +765,7 @@ mod tests {
         let err = boxed.par_verify_encoded(&cfg, &foreign, 3).unwrap_err();
         assert!(matches!(err, CertError::FingerprintMismatch { .. }));
         // Unstamped labelings (hand-built corpora) skip the check.
-        let unstamped = EncodedLabeling::new(enc.as_slice().to_vec());
+        let unstamped = EncodedLabeling::new(enc.to_vec());
         assert!(boxed.verify_encoded(&cfg, &unstamped).unwrap().accepted());
     }
 

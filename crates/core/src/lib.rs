@@ -61,6 +61,7 @@
 
 pub mod bits;
 pub mod config;
+pub mod inline;
 pub use config::Configuration;
 
 pub mod error;
@@ -72,7 +73,7 @@ pub use scheme::{
 };
 
 pub mod erased;
-pub use erased::{BoxedScheme, DynScheme, EncodedLabel, EncodedLabeling};
+pub use erased::{BoxedScheme, DynScheme, EncodedLabel, EncodedLabelRef, EncodedLabeling};
 
 pub mod registry;
 pub use registry::{SchemeRegistry, SchemeSpec};

@@ -87,7 +87,7 @@ pub fn verify_at(view: &VertexView<PointerLabel>) -> Verdict {
     let mut my_dist: Option<u32> = None;
     let mut target: Option<u64> = None;
     let mut has_parent = false;
-    for label in &view.incident {
+    for label in view.incident {
         let Some(l) = label else {
             return Verdict::reject("undecodable pointer label");
         };

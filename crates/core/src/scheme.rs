@@ -48,16 +48,24 @@ impl Verdict {
 
 /// What a vertex sees: its own identifier plus the labels on its incident
 /// edges (decoded; `None` marks an undecodable label).
-#[derive(Clone, Debug)]
-pub struct VertexView<L> {
+///
+/// The view **borrows** the decoded labels: `incident` is a slice of
+/// references into a decode arena owned by the harness, which decodes each
+/// edge label once and then serves both endpoints from the same allocation.
+/// Verifiers therefore never trigger label clones, and the harness reuses
+/// one scratch slice across the whole vertex loop (see
+/// [`crate::DynScheme::verify_encoded_range`] for the hot-path invariants).
+#[derive(Copy, Clone, Debug)]
+pub struct VertexView<'a, L> {
     /// This vertex's identifier.
     pub id: u64,
     /// For each incident edge: the decoded label (no neighbour identity is
-    /// revealed — only the label contents, per the model).
-    pub incident: Vec<Option<L>>,
+    /// revealed — only the label contents, per the model). `None` marks an
+    /// undecodable label.
+    pub incident: &'a [Option<&'a L>],
 }
 
-impl<L> VertexView<L> {
+impl<L> VertexView<'_, L> {
     /// The vertex's degree (number of incident edges).
     pub fn degree(&self) -> usize {
         self.incident.len()
@@ -318,8 +326,9 @@ pub trait Scheme {
         hint: &ProverHint,
     ) -> Result<Labeling<Self::Label>, CertError>;
 
-    /// The local verification algorithm at one vertex.
-    fn verify_at(&self, view: &VertexView<Self::Label>) -> Verdict;
+    /// The local verification algorithm at one vertex. The view borrows
+    /// its labels from the harness's decode arena (see [`VertexView`]).
+    fn verify_at(&self, view: &VertexView<'_, Self::Label>) -> Verdict;
 
     /// A digest of everything the meaning of this scheme's wire labels
     /// depends on. Schemes whose labels reference a canonical algebra
@@ -380,10 +389,14 @@ pub trait Scheme {
 }
 
 /// Runs an edge-labeling scheme: encodes each label, decodes it back (the
-/// wire trip), builds each vertex's view, and applies `verify`.
+/// wire trip) **once per edge**, builds each vertex's borrowed view over
+/// the decode arena, and applies `verify`.
 ///
 /// `labels[e]` is the label of edge `e`; `verify(view)` is the local
-/// verification algorithm.
+/// verification algorithm. The vertex loop streams the configuration's
+/// CSR arena ([`Configuration::csr`]) and reuses one scratch slice for
+/// the incident references, so it performs no per-vertex allocation and
+/// no label clones.
 ///
 /// # Errors
 ///
@@ -396,9 +409,9 @@ pub fn run_edge_scheme<L, F>(
 ) -> Result<RunReport, CertError>
 where
     L: Enc + Clone,
-    F: Fn(&VertexView<L>) -> Verdict,
+    F: Fn(&VertexView<'_, L>) -> Verdict,
 {
-    let g = cfg.graph();
+    let g = cfg.csr();
     if labels.len() != g.edge_count() {
         return Err(CertError::LabelCountMismatch {
             expected: g.edge_count(),
@@ -416,18 +429,20 @@ where
             bits::decode::<L>(&bytes)
         })
         .collect();
+    let mut scratch: Vec<Option<&L>> = Vec::with_capacity(g.max_degree());
     let verdicts = g
         .vertices()
         .map(|v| {
-            let view = VertexView {
-                id: cfg.id_of(v),
-                incident: g
-                    .incident(v)
+            scratch.clear();
+            scratch.extend(
+                g.incident(v)
                     .iter()
-                    .map(|h| decoded[h.edge.index()].clone())
-                    .collect(),
-            };
-            verify(&view)
+                    .map(|h| decoded[h.edge.index()].as_ref()),
+            );
+            verify(&VertexView {
+                id: cfg.id_of(v),
+                incident: &scratch,
+            })
         })
         .collect();
     Ok(RunReport {

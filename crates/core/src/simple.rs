@@ -324,9 +324,9 @@ impl Scheme for WholeGraphScheme {
             return Verdict::Accept; // isolated vertex: K1
         }
         let mut labels: Vec<&WholeGraphLabel> = Vec::with_capacity(view.incident.len());
-        for l in &view.incident {
+        for l in view.incident {
             match l {
-                Some(l) => labels.push(l),
+                Some(l) => labels.push(*l),
                 None => return Verdict::reject("undecodable whole-graph label"),
             }
         }

@@ -9,22 +9,23 @@
 //! (Definition 6.3): lanes, homomorphism class, and terminal identifiers.
 
 use crate::bits::{BitReader, BitWriter, Enc};
+use crate::inline::InlineVec;
 
 /// A k-lane interface: lanes with in/out terminal identifiers
 /// (wire form of Definition 5.3).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct IfaceLbl {
     /// Lane set bitmask.
     pub lanes: u64,
     /// `(lane, id)` pairs, ascending by lane.
-    pub tin: Vec<(u8, u64)>,
+    pub tin: InlineVec<(u8, u64), 4>,
     /// `(lane, id)` pairs, ascending by lane.
-    pub tout: Vec<(u8, u64)>,
+    pub tout: InlineVec<(u8, u64), 4>,
 }
 
 /// Basic information `B(G)` of a hierarchy node (Definition 6.3):
 /// node-id hint, homomorphism class, interface.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct BasicInfoLbl {
     /// Hierarchy node id (a hint for grouping; all facts are re-verified).
     pub node: u32,
@@ -101,10 +102,10 @@ pub struct PFrameLbl {
     /// The `P`-node id.
     pub node: u32,
     /// Path vertex identifiers, in lane order.
-    pub ids: Vec<u64>,
+    pub ids: InlineVec<u64, 6>,
     /// Mark flag of each path edge (an `E2` edge may coincide with an
     /// original edge).
-    pub marks: Vec<bool>,
+    pub marks: InlineVec<bool, 6>,
     /// Which path edge this certificate describes.
     pub pos: u16,
 }
@@ -368,8 +369,8 @@ mod tests {
                         class: 5,
                         iface: IfaceLbl {
                             lanes: 0b11,
-                            tin: vec![(0, 3), (1, 4)],
-                            tout: vec![(0, 9), (1, 4)],
+                            tin: [(0, 3), (1, 4)].into(),
+                            tout: [(0, 9), (1, 4)].into(),
                         },
                     },
                     children: vec![],
@@ -417,8 +418,8 @@ mod tests {
                     class: 0,
                     iface: IfaceLbl {
                         lanes: 1,
-                        tin: vec![(0, 8)],
-                        tout: vec![(0, 8)],
+                        tin: [(0, 8)].into(),
+                        tout: [(0, 8)].into(),
                     },
                 },
                 right: BasicInfoLbl {
@@ -426,8 +427,8 @@ mod tests {
                     class: 1,
                     iface: IfaceLbl {
                         lanes: 2,
-                        tin: vec![(1, 2)],
-                        tout: vec![(1, 4)],
+                        tin: [(1, 2)].into(),
+                        tout: [(1, 4)].into(),
                     },
                 },
                 bridge_marked: true,
@@ -435,8 +436,8 @@ mod tests {
             }),
             FrameLbl::P(PFrameLbl {
                 node: 0,
-                ids: vec![1, 2, 3],
-                marks: vec![false, true],
+                ids: [1, 2, 3].into(),
+                marks: [false, true].into(),
                 pos: 1,
             }),
         ] {

@@ -254,8 +254,8 @@ impl<'a> Frames<'a> {
                     let mut frames = chain.clone();
                     frames.push(FrameLbl::P(PFrameLbl {
                         node: node as u32,
-                        ids: ids.clone(),
-                        marks: marks.clone(),
+                        ids: ids.as_slice().into(),
+                        marks: marks.as_slice().into(),
                         pos: pos as u16,
                     }));
                     self.edge_frames[e.index()] = frames;

@@ -7,35 +7,138 @@
 //! prover and verifier — who run the same deterministic recipes below —
 //! always agree on interned class ids.
 
-use std::collections::BTreeMap;
-
 use lanecert_algebra::{Algebra, Class};
 use lanecert_lanes::{Lane, LaneSet};
 
 use super::labels::IfaceLbl;
+use crate::inline::InlineVec;
+
+/// Slot-id scratch: interfaces expose at most `2 · max_lanes` distinct
+/// terminals, so eight inline slots cover every configuration the test
+/// and benchmark corpora use without touching the heap.
+pub type SlotIds = InlineVec<u64, 8>;
+
+/// A lane-indexed terminal map: a `Vec<(Lane, u64)>` kept sorted by lane.
+///
+/// Interfaces have at most `max_lanes` (≤ 64, usually ≤ 4) entries and are
+/// built, cloned, compared, and hashed on every frame of every vertex's
+/// certificate — the per-vertex verification hot path. A sorted flat vec
+/// keeps all of that one contiguous block — inline in the struct for the
+/// common ≤ 4 lanes ([`InlineVec`]), so building, cloning, and dropping a
+/// map is allocation-free — where a `BTreeMap` paid a node allocation per
+/// operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct LaneMap(InlineVec<(Lane, u64), 4>);
+
+impl LaneMap {
+    /// The empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Looks up a lane's terminal id.
+    pub fn get(&self, lane: &Lane) -> Option<&u64> {
+        self.0
+            .binary_search_by_key(lane, |&(l, _)| l)
+            .ok()
+            .map(|i| &self.0[i].1)
+    }
+
+    /// Inserts or replaces a lane's terminal id; returns the previous id.
+    pub fn insert(&mut self, lane: Lane, id: u64) -> Option<u64> {
+        match self.0.binary_search_by_key(&lane, |&(l, _)| l) {
+            Ok(i) => Some(std::mem::replace(&mut self.0[i].1, id)),
+            Err(i) => {
+                self.0.insert(i, (lane, id));
+                None
+            }
+        }
+    }
+
+    /// Iterates `(&lane, &id)` in ascending lane order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Lane, &u64)> {
+        self.0.iter().map(|(l, v)| (l, v))
+    }
+
+    /// Iterates the terminal ids in ascending lane order.
+    pub fn values(&self) -> impl Iterator<Item = &u64> {
+        self.0.iter().map(|(_, v)| v)
+    }
+}
+
+impl std::ops::Index<&Lane> for LaneMap {
+    type Output = u64;
+    fn index(&self, lane: &Lane) -> &u64 {
+        self.get(lane).expect("lane not present")
+    }
+}
+
+impl<const N: usize> From<[(Lane, u64); N]> for LaneMap {
+    fn from(entries: [(Lane, u64); N]) -> Self {
+        entries.into_iter().collect()
+    }
+}
+
+impl FromIterator<(Lane, u64)> for LaneMap {
+    fn from_iter<I: IntoIterator<Item = (Lane, u64)>>(iter: I) -> Self {
+        let mut m = LaneMap::new();
+        for (l, v) in iter {
+            m.insert(l, v);
+        }
+        m
+    }
+}
+
+impl Extend<(Lane, u64)> for LaneMap {
+    fn extend<I: IntoIterator<Item = (Lane, u64)>>(&mut self, iter: I) {
+        for (l, v) in iter {
+            self.insert(l, v);
+        }
+    }
+}
 
 /// A k-lane interface with vertex identifiers.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Iface {
     /// The lane set.
     pub lanes: LaneSet,
     /// In-terminal id per lane.
-    pub tin: BTreeMap<Lane, u64>,
+    pub tin: LaneMap,
     /// Out-terminal id per lane.
-    pub tout: BTreeMap<Lane, u64>,
+    pub tout: LaneMap,
 }
 
 impl Iface {
     /// The canonical slot list: distinct terminal ids, ascending.
-    pub fn slot_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = self
+    pub fn slot_ids(&self) -> SlotIds {
+        let mut ids: SlotIds = self
             .tin
             .values()
             .chain(self.tout.values())
             .copied()
             .collect();
         ids.sort_unstable();
-        ids.dedup();
+        // Slice-level dedup: drop trailing duplicates by `remove`.
+        let mut w = 0;
+        for r in 0..ids.len() {
+            if r == 0 || ids[r] != ids[w - 1] {
+                ids[w] = ids[r];
+                w += 1;
+            }
+        }
+        while ids.len() > w {
+            ids.remove(ids.len() - 1);
+        }
         ids
     }
 
@@ -58,8 +161,8 @@ impl Iface {
         if lanes.is_empty() {
             return Err("empty lane set".into());
         }
-        let parse = |pairs: &[(u8, u64)]| -> Result<BTreeMap<Lane, u64>, String> {
-            let mut map = BTreeMap::new();
+        let parse = |pairs: &[(u8, u64)]| -> Result<LaneMap, String> {
+            let mut map = LaneMap::new();
             for &(lane, id) in pairs {
                 if !lanes.contains(lane as Lane) {
                     return Err(format!("terminal on unused lane {lane}"));
@@ -75,13 +178,15 @@ impl Iface {
         };
         let tin = parse(&l.tin)?;
         let tout = parse(&l.tout)?;
-        // Injectivity per Definition 5.3.
+        // Injectivity per Definition 5.3 (maps hold ≤ 64 entries, so the
+        // quadratic scan beats sorting a scratch vec).
         for map in [&tin, &tout] {
-            let mut vals: Vec<u64> = map.values().copied().collect();
-            vals.sort_unstable();
-            vals.dedup();
-            if vals.len() != map.len() {
-                return Err("terminal assignment not injective".into());
+            for x in 0..map.0.len() {
+                for y in (x + 1)..map.0.len() {
+                    if map.0[x].1 == map.0[y].1 {
+                        return Err("terminal assignment not injective".into());
+                    }
+                }
             }
         }
         Ok(Iface { lanes, tin, tout })
@@ -89,7 +194,7 @@ impl Iface {
 }
 
 /// A homomorphism class together with its interface.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Summary {
     /// The class value (slot order = `iface.slot_ids()`). A value, not a
     /// table index: prover and verifier compare classes structurally and
@@ -139,7 +244,7 @@ pub fn base_e(
     }
     let mut state = alg.add_vertex(alg.add_vertex(alg.empty(), 0), 0);
     state = alg.add_edge(state, 0, 1, marked);
-    let mut slots = vec![tin, tout];
+    let mut slots = [tin, tout];
     state = sort_slots(alg, state, &mut slots);
     Ok(Summary {
         class: state,
@@ -158,10 +263,9 @@ pub fn base_p(alg: &Algebra, ids: &[u64], marks: &[bool]) -> Result<Summary, Str
         return Err("malformed P-node".into());
     }
     {
-        let mut sorted = ids.to_vec();
+        let mut sorted: SlotIds = ids.into();
         sorted.sort_unstable();
-        sorted.dedup();
-        if sorted.len() != ids.len() {
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
             return Err("P-node ids not distinct".into());
         }
     }
@@ -172,7 +276,7 @@ pub fn base_p(alg: &Algebra, ids: &[u64], marks: &[bool]) -> Result<Summary, Str
     for (pos, &m) in marks.iter().enumerate() {
         state = alg.add_edge(state, pos, pos + 1, m);
     }
-    let mut slots = ids.to_vec();
+    let mut slots: SlotIds = ids.into();
     state = sort_slots(alg, state, &mut slots);
     Ok(Summary {
         class: state,
@@ -206,7 +310,7 @@ pub fn bridge(
         return Err("Bridge-merge: sides share a vertex".into());
     }
     let mut state = alg.union(left.class.clone(), right.class.clone());
-    let mut slots: Vec<u64> = ls.iter().chain(rs.iter()).copied().collect();
+    let mut slots: SlotIds = ls.iter().chain(rs.iter()).copied().collect();
     let pa = slots.iter().position(|&x| x == u).unwrap();
     let pb = slots.iter().position(|&x| x == v).unwrap();
     state = alg.add_edge(state, pa, pb, marked);
@@ -236,7 +340,7 @@ pub fn parent(alg: &Algebra, child: &Summary, par: &Summary) -> Result<Summary, 
     let ps = par.iface.slot_ids();
     let mut state = alg.union(child.class.clone(), par.class.clone());
     // (id, from_child) slot list.
-    let mut slots: Vec<(u64, bool)> = cs
+    let mut slots: InlineVec<(u64, bool), 8> = cs
         .iter()
         .map(|&x| (x, true))
         .chain(ps.iter().map(|&x| (x, false)))
@@ -279,12 +383,11 @@ pub fn parent(alg: &Algebra, child: &Summary, par: &Summary) -> Result<Summary, 
         }
     }
     // Duplicate ids should all be resolved by now.
-    let mut plain: Vec<u64> = slots.iter().map(|&(id, _)| id).collect();
+    let mut plain: SlotIds = slots.iter().map(|&(id, _)| id).collect();
     {
         let mut sorted = plain.clone();
         sorted.sort_unstable();
-        sorted.dedup();
-        if sorted.len() != plain.len() {
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
             return Err("Parent-merge: unresolved duplicate slots".into());
         }
     }
@@ -308,7 +411,7 @@ mod tests {
         let r = base_e(&alg, 1, 20, 21, true).unwrap();
         let b = bridge(&alg, &l, &r, 0, 1, true).unwrap();
         assert!(alg.accept(&b.class));
-        assert_eq!(b.iface.slot_ids(), vec![10, 11, 20, 21]);
+        assert_eq!(b.iface.slot_ids().as_slice(), &[10, 11, 20, 21]);
         // Unmarked bridge leaves the marked subgraph disconnected.
         let b2 = bridge(&alg, &l, &r, 0, 1, false).unwrap();
         assert!(!alg.accept(&b2.class));

@@ -11,7 +11,9 @@
 //! outermost root member finally check that the root homomorphism class is
 //! accepting.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 use lanecert_algebra::{FrozenAlgebra, StateId};
 use lanecert_lanes::LaneSet;
@@ -28,6 +30,128 @@ pub(super) struct Ctx<'a> {
 }
 
 type VResult<T> = Result<T, String>;
+
+/// Per-thread memo for the *pure* summary recomputations.
+///
+/// Neighbouring vertices of the same hierarchy member recompute identical
+/// facts from identical label bytes: the parsed [`Summary`] of every basic-
+/// information claim, the `f_P` fold of a member's children, and the `f_B`
+/// bridge-merge. All three are pure functions of label content given the
+/// frozen algebra, so caching them per OS thread keeps verdicts bit-for-bit
+/// identical (lookups compare full keys — a hash collision can never
+/// substitute a wrong summary) while doing the algebra work once per
+/// distinct claim per thread instead of once per vertex.
+///
+/// Entries are scoped to one `(algebra fingerprint, lane bound)` pair and
+/// cleared on a switch, so schemes over different properties or widths
+/// never observe each other's summaries. Only successful computations are
+/// cached; rejections (adversarial labels) always re-run the full check.
+type FxMap<V> = HashMap<u64, Vec<V>, BuildHasherDefault<FxHasher>>;
+
+/// Key of a memoized B-node recomputation: the two side claims and the
+/// bridge parameters, exactly as they appear on the wire.
+type BridgeKey = (BasicInfoLbl, BasicInfoLbl, u8, u8, bool, bool, bool);
+
+struct Memo {
+    fp: u64,
+    max_lanes: usize,
+    fold: FxMap<((Summary, Vec<BasicInfoLbl>), Summary)>,
+    bridge: FxMap<(BridgeKey, (Summary, u64, u64))>,
+    entries: usize,
+}
+
+/// Entry cap per thread; reaching it clears the memo (a perf event only —
+/// verdicts never depend on cache state).
+const MEMO_CAP: usize = 1 << 15;
+
+thread_local! {
+    static MEMO: RefCell<Memo> = RefCell::new(Memo {
+        fp: 0,
+        max_lanes: 0,
+        fold: FxMap::default(),
+        bridge: FxMap::default(),
+        entries: 0,
+    });
+}
+
+impl Memo {
+    /// Rebinds the memo to the context's algebra/lane bound, clearing any
+    /// entries from a different one, and clears on overflow.
+    fn sync(&mut self, ctx: &Ctx<'_>) {
+        let fp = ctx.alg.fingerprint();
+        if self.fp != fp || self.max_lanes != ctx.max_lanes || self.entries >= MEMO_CAP {
+            self.fold.clear();
+            self.bridge.clear();
+            self.entries = 0;
+            self.fp = fp;
+            self.max_lanes = ctx.max_lanes;
+        }
+    }
+}
+
+/// Multiply-xor hasher in the Fx style: a few ns for the small fixed-shape
+/// memo keys where SipHash costs as much as the computation it would skip.
+/// Not DoS-hardened — fine here, because a collision only means a bucket
+/// scan whose entries are compared by full structural equality.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut last = 0u64;
+            for (i, &b) in rest.iter().enumerate() {
+                last |= (b as u64) << (8 * i);
+            }
+            self.add(last);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn hash_key<T: Hash + ?Sized>(t: &T) -> u64 {
+    let mut h = FxHasher::default();
+    t.hash(&mut h);
+    h.finish()
+}
 
 /// Entry point: full per-vertex verification.
 pub(super) fn verify(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> Verdict {
@@ -48,9 +172,12 @@ fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
             Err("single-vertex graph violates the property".into())
         };
     }
-    let mut certs: Vec<&EdgeCertLbl> = Vec::new();
-    let mut transits: HashMap<(u64, u64), Vec<&TransitLbl>> = HashMap::new();
-    for label in &view.incident {
+    let mut certs: Vec<&EdgeCertLbl> = Vec::with_capacity(view.incident.len());
+    // Insertion-ordered grouping (vertex degrees and transit counts are
+    // small, so a linear scan beats hashing — and the first malformation
+    // reported no longer depends on a hash map's iteration order).
+    let mut transits: Vec<((u64, u64), Vec<&TransitLbl>)> = Vec::new();
+    for label in view.incident {
         let Some(label) = label else {
             return Err("undecodable label".into());
         };
@@ -61,7 +188,11 @@ fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
         check_cert_shape(ctx, own)?;
         certs.push(own);
         for t in &label.transits {
-            transits.entry((t.cert.a, t.cert.b)).or_default().push(t);
+            let key = (t.cert.a, t.cert.b);
+            match transits.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, entries)) => entries.push(t),
+                None => transits.push((key, vec![t])),
+            }
         }
     }
     // Reconstruct incident virtual edges (Section 6.2, embedding checks).
@@ -128,6 +259,10 @@ fn check_cert_shape(ctx: &Ctx<'_>, cert: &EdgeCertLbl) -> VResult<()> {
 /// slipped past the fingerprint check) are a rejection, never a panic —
 /// [`FrozenAlgebra::class_of`] is total.
 fn parse_info(ctx: &Ctx<'_>, info: &BasicInfoLbl) -> VResult<Summary> {
+    parse_info_inner(ctx, info)
+}
+
+fn parse_info_inner(ctx: &Ctx<'_>, info: &BasicInfoLbl) -> VResult<Summary> {
     let iface = Iface::from_lbl(&info.iface)?;
     if !iface.lanes.is_subset_of(LaneSet::full(ctx.max_lanes)) {
         return Err(format!("lane set exceeds the {}-lane bound", ctx.max_lanes));
@@ -147,6 +282,152 @@ fn parse_info(ctx: &Ctx<'_>, info: &BasicInfoLbl) -> VResult<Summary> {
 
 fn same_info(a: &BasicInfoLbl, b: &BasicInfoLbl) -> bool {
     a == b
+}
+
+/// Compares a recomputed summary against a wire claim without building a
+/// [`Summary`] from the claim: the class id resolves through the canonical
+/// table and the interface compares in the canonical ascending lane order
+/// (the only order the prover emits).
+fn summary_matches_lbl(ctx: &Ctx<'_>, s: &Summary, claim: &BasicInfoLbl) -> bool {
+    fn map_matches(m: &summary::LaneMap, wire: &[(u8, u64)]) -> bool {
+        m.len() == wire.len()
+            && m.iter()
+                .zip(wire)
+                .all(|((&l, &v), &(wl, wv))| l == wl as usize && v == wv)
+    }
+    s.iface.lanes.0 == claim.iface.lanes
+        && map_matches(&s.iface.tin, &claim.iface.tin)
+        && map_matches(&s.iface.tout, &claim.iface.tout)
+        && ctx.alg.class_of(StateId(claim.class)).as_ref() == Some(&s.class)
+}
+
+/// Parses a member's children claims, checks their mutual lane
+/// disjointness and their junctions against the member's own summary, and
+/// recomputes the subtree fold `f_P` over them in lane-mask order.
+///
+/// The whole block is a pure function of `(own, frame.children)` given the
+/// frozen algebra, so it is memoized per thread on exactly that key.
+/// Neighbouring vertices of the same member — identical label bytes —
+/// then do the algebra work once per thread instead of once per vertex,
+/// with verdicts bit-for-bit unchanged: lookups compare full keys, and
+/// only *successful* recomputations are cached, so malformed children
+/// reject identically whether or not the cache is warm.
+fn fold_children(ctx: &Ctx<'_>, own: &Summary, frame: &TFrameLbl) -> VResult<Summary> {
+    MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        m.sync(ctx);
+        let h = hash_key(&(own, &frame.children));
+        if let Some(bucket) = m.fold.get(&h) {
+            for ((k_own, k_kids), v) in bucket {
+                if k_own == own && k_kids == &frame.children {
+                    return Ok(v.clone());
+                }
+            }
+        }
+        let mut kids: Vec<Summary> = Vec::with_capacity(frame.children.len());
+        for entry in &frame.children {
+            kids.push(parse_info(ctx, entry)?);
+        }
+        for x in 0..kids.len() {
+            for y in (x + 1)..kids.len() {
+                if !kids[x].iface.lanes.is_disjoint(kids[y].iface.lanes) {
+                    return Err("children lanes overlap".into());
+                }
+            }
+        }
+        // Children attach to the member's own out-terminals.
+        for kid in &kids {
+            if !kid.iface.lanes.is_subset_of(own.iface.lanes) {
+                return Err("child lanes exceed member lanes".into());
+            }
+            for lane in kid.iface.lanes.iter() {
+                if kid.iface.tin[&lane] != own.iface.tout[&lane] {
+                    return Err("child junction id mismatch".into());
+                }
+            }
+        }
+        let mut acc = own.clone();
+        let mut order: Vec<usize> = (0..kids.len()).collect();
+        order.sort_by_key(|&x| kids[x].iface.lanes.0);
+        for x in order {
+            acc = summary::parent(ctx.alg, &kids[x], &acc)?;
+        }
+        m.fold
+            .entry(h)
+            .or_default()
+            .push(((own.clone(), frame.children.clone()), acc.clone()));
+        m.entries += 1;
+        Ok(acc)
+    })
+}
+
+/// The pure half of a B-node check: parses both side claims, validates the
+/// bridge lanes and V-node sides, and recomputes `f_B`. Returns the merged
+/// summary plus the two bridge endpoint ids. Memoized per thread on the
+/// frame's wire content (same regime as [`fold_children`]: full-key
+/// comparison, successful results only).
+fn bridge_summary(ctx: &Ctx<'_>, f0: &BFrameLbl) -> VResult<(Summary, u64, u64)> {
+    MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        m.sync(ctx);
+        let h = hash_key(&(
+            &f0.left,
+            &f0.right,
+            f0.i,
+            f0.j,
+            f0.left_is_v,
+            f0.right_is_v,
+            f0.bridge_marked,
+        ));
+        if let Some(bucket) = m.bridge.get(&h) {
+            for ((kl, kr, ki, kj, klv, krv, km), v) in bucket {
+                if (*ki, *kj, *klv, *krv, *km)
+                    == (f0.i, f0.j, f0.left_is_v, f0.right_is_v, f0.bridge_marked)
+                    && kl == &f0.left
+                    && kr == &f0.right
+                {
+                    return Ok(v.clone());
+                }
+            }
+        }
+        let left = parse_info(ctx, &f0.left)?;
+        let right = parse_info(ctx, &f0.right)?;
+        let (i, j) = (f0.i as usize, f0.j as usize);
+        if !left.iface.lanes.contains(i) || !right.iface.lanes.contains(j) {
+            return Err("bridge lane not in the respective side".into());
+        }
+        if !left.iface.lanes.is_disjoint(right.iface.lanes) {
+            return Err("B sides share lanes".into());
+        }
+        for (is_v, info, lane) in [(f0.left_is_v, &left, i), (f0.right_is_v, &right, j)] {
+            if is_v {
+                if info.iface.lanes.len() != 1 || info.iface.tin != info.iface.tout {
+                    return Err("V-node side with a non-V interface".into());
+                }
+                let recomputed = summary::base_v(ctx.alg, lane, info.iface.tin[&lane]);
+                if recomputed.class != info.class {
+                    return Err("V-node class mismatch".into());
+                }
+            }
+        }
+        let u = left.iface.tout[&i];
+        let w = right.iface.tout[&j];
+        let s = summary::bridge(ctx.alg, &left, &right, i, j, f0.bridge_marked)?;
+        m.bridge.entry(h).or_default().push((
+            (
+                f0.left.clone(),
+                f0.right.clone(),
+                f0.i,
+                f0.j,
+                f0.left_is_v,
+                f0.right_is_v,
+                f0.bridge_marked,
+            ),
+            (s.clone(), u, w),
+        ));
+        m.entries += 1;
+        Ok((s, u, w))
+    })
 }
 
 /// Per-member bookkeeping inside one T-node group.
@@ -207,13 +488,18 @@ fn check_tnode(
         return Err("no decreasing pointer neighbour".into());
     }
 
-    // Group by member.
-    let mut groups: HashMap<u32, Vec<&EdgeCertLbl>> = HashMap::new();
+    // Group by member, insertion-ordered (few members per vertex).
+    let mut groups: Vec<(u32, Vec<&EdgeCertLbl>)> = Vec::new();
     for c in certs {
-        groups.entry(tf_at(c, depth)?.member).or_default().push(c);
+        let member = tf_at(c, depth)?.member;
+        match groups.iter_mut().find(|(m, _)| *m == member) {
+            Some((_, group)) => group.push(c),
+            None => groups.push((member, vec![c])),
+        }
     }
-    let mut checked: HashMap<u32, MemberCheck<'_>> = HashMap::new();
-    for (&member, group) in &groups {
+    let mut checked: Vec<(u32, MemberCheck<'_>)> = Vec::with_capacity(groups.len());
+    for (member, group) in &groups {
+        let member = *member;
         let frame = tf_at(group[0], depth)?;
         for c in group.iter().skip(1) {
             let t = tf_at(c, depth)?;
@@ -227,59 +513,36 @@ fn check_tnode(
         if frame.subtree.node != member {
             return Err("subtree info names the wrong node".into());
         }
-        let sub_claim = parse_info(ctx, &frame.subtree)?;
-        // Children: parse, disjoint lanes.
-        let mut kids: Vec<(Summary, &BasicInfoLbl)> = Vec::new();
-        for entry in &frame.children {
-            kids.push((parse_info(ctx, entry)?, entry));
-        }
-        for x in 0..kids.len() {
-            for y in (x + 1)..kids.len() {
-                if !kids[x].0.iface.lanes.is_disjoint(kids[y].0.iface.lanes) {
-                    return Err("children lanes overlap".into());
-                }
-            }
-        }
         // Member's own summary from the deeper frame.
         let own = check_member_own(ctx, group, depth + 1, member)?;
-        // Children attach to the member's own out-terminals.
-        for (kid, _) in &kids {
-            if !kid.iface.lanes.is_subset_of(own.iface.lanes) {
-                return Err("child lanes exceed member lanes".into());
-            }
-            for lane in kid.iface.lanes.iter() {
-                if kid.iface.tin[&lane] != own.iface.tout[&lane] {
-                    return Err("child junction id mismatch".into());
-                }
-            }
-        }
-        // Recompute the subtree fold (f_P over children, lane-mask order).
-        let mut acc = own.clone();
-        let mut order: Vec<usize> = (0..kids.len()).collect();
-        order.sort_by_key(|&x| kids[x].0.iface.lanes.0);
-        for x in order {
-            acc = summary::parent(ctx.alg, &kids[x].0, &acc)?;
-        }
-        if acc != sub_claim {
+        // Children claims: parsing, mutual lane disjointness, junction
+        // ids against the member's own out-terminals, and the subtree
+        // fold (f_P in lane-mask order) — one pure, memoized block.
+        let acc = fold_children(ctx, &own, frame)?;
+        // The recomputed subtree summary must equal the claimed one,
+        // compared directly against the wire bytes (the prover emits the
+        // canonical ascending lane order, so no claim needs re-parsing).
+        if !summary_matches_lbl(ctx, &acc, &frame.subtree) {
             return Err("subtree class/interface recomputation mismatch".into());
         }
         if frame.is_root_member {
             if let Some(exp) = expect {
-                let exp_sum = parse_info(ctx, exp)?;
-                if exp_sum != sub_claim {
+                // Compare class and interface only — the node-id hint
+                // legitimately differs between the two claims.
+                if exp.class != frame.subtree.class || exp.iface != frame.subtree.iface {
                     return Err("nested T-node interface mismatch".into());
                 }
             }
-            if outermost && !ctx.alg.accept(&sub_claim.class) {
+            if outermost && !ctx.alg.accept(&acc.class) {
                 return Err("root homomorphism class rejects the property".into());
             }
         }
-        checked.insert(member, MemberCheck { frame, own });
+        checked.push((member, MemberCheck { frame, own }));
     }
 
     // Junction / attachment rules.
     let mut roots = 0;
-    for mc in checked.values() {
+    for (_, mc) in &checked {
         if mc.frame.is_root_member {
             roots += 1;
         }
@@ -290,12 +553,12 @@ fn check_tnode(
     if ctx.my_id == root_vertex && roots == 0 {
         return Err("pointer root vertex is not in the root member".into());
     }
-    for (&member, mc) in &checked {
+    for &(member, ref mc) in &checked {
         // R2: if I am a glue point (an in-terminal) of a non-root member,
         // my parent member must be present and list this member.
         let is_tin = mc.own.iface.tin.values().any(|&x| x == ctx.my_id);
         if is_tin && !mc.frame.is_root_member {
-            let listed = checked.values().any(|p| {
+            let listed = checked.iter().any(|(_, p)| {
                 p.frame
                     .children
                     .iter()
@@ -314,8 +577,9 @@ fn check_tnode(
                 .any(|l| mc.own.iface.tout.get(&l) == Some(&ctx.my_id));
             if attaches_here {
                 let present = checked
-                    .get(&entry.node)
-                    .map(|c| same_info(&c.frame.subtree, entry))
+                    .iter()
+                    .find(|(m, _)| *m == entry.node)
+                    .map(|(_, c)| same_info(&c.frame.subtree, entry))
                     .unwrap_or(false);
                 if !present {
                     return Err("listed child member is absent at its junction".into());
@@ -465,28 +729,9 @@ fn check_bnode(
             return Err("inconsistent B frames".into());
         }
     }
-    let left = parse_info(ctx, &f0.left)?;
-    let right = parse_info(ctx, &f0.right)?;
-    let (i, j) = (f0.i as usize, f0.j as usize);
-    if !left.iface.lanes.contains(i) || !right.iface.lanes.contains(j) {
-        return Err("bridge lane not in the respective side".into());
-    }
-    if !left.iface.lanes.is_disjoint(right.iface.lanes) {
-        return Err("B sides share lanes".into());
-    }
-    for (is_v, info, lane) in [(f0.left_is_v, &left, i), (f0.right_is_v, &right, j)] {
-        if is_v {
-            if info.iface.lanes.len() != 1 || info.iface.tin != info.iface.tout {
-                return Err("V-node side with a non-V interface".into());
-            }
-            let recomputed = summary::base_v(ctx.alg, lane, info.iface.tin[&lane]);
-            if recomputed.class != info.class {
-                return Err("V-node class mismatch".into());
-            }
-        }
-    }
-    let u = left.iface.tout[&i];
-    let w = right.iface.tout[&j];
+    // The pure half — side parsing, lane/V-node validation, `f_B` — is
+    // memoized on the frame's wire content.
+    let (merged, u, w) = bridge_summary(ctx, f0)?;
     // Partition into sides.
     let mut sides: [Vec<&EdgeCertLbl>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     for c in group {
@@ -531,5 +776,5 @@ fn check_bnode(
             check_tnode(ctx, side, depth + 1, Some(info), false)?;
         }
     }
-    summary::bridge(ctx.alg, &left, &right, i, j, f0.bridge_marked)
+    Ok(merged)
 }

@@ -137,9 +137,10 @@ where
             _ => return Verdict::reject("port does not carry exactly one claim"),
         }
     }
+    let incident: Vec<Option<&L>> = incident.iter().map(Option::as_ref).collect();
     verify_edges(&VertexView {
         id: my_id,
-        incident,
+        incident: &incident,
     })
 }
 

@@ -301,6 +301,12 @@ struct ShardPlan {
 }
 
 impl ShardPlan {
+    /// Vertices per cache-line-sized stride: shard boundaries snap to
+    /// multiples of this so adjacent workers write disjoint cache lines
+    /// of the verdict array and stream disjoint spans of the CSR arena
+    /// instead of bouncing the boundary lines between cores.
+    const STRIDE: usize = 64;
+
     /// Contiguous vertex ranges for a configuration of `n` vertices, or
     /// `None` when the job should verify as one task (small instance or a
     /// single worker — sharding would only pay coordination overhead).
@@ -309,9 +315,15 @@ impl ShardPlan {
             return None;
         }
         // Two shards per worker keeps the tail balanced without flooding
-        // the queues with tiny ranges.
+        // the queues with tiny ranges; stride alignment keeps the shard
+        // boundaries off shared cache lines.
         let shards = (self.workers * 2).min(n);
         let chunk = n.div_ceil(shards);
+        let chunk = if chunk >= Self::STRIDE {
+            chunk.next_multiple_of(Self::STRIDE)
+        } else {
+            chunk
+        };
         Some(
             (0..shards)
                 .map(|s| (s * chunk)..((s + 1) * chunk).min(n))

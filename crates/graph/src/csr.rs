@@ -1,0 +1,303 @@
+//! Compressed-sparse-row (CSR) arena view of a [`Graph`], plus a dense
+//! bitset adjacency matrix for constant-time membership checks.
+//!
+//! The builder representation ([`Graph`]) keeps one heap `Vec<Half>` per
+//! vertex — convenient to grow, hostile to a verifier that streams every
+//! vertex: each `incident` call chases a fresh pointer, and consecutive
+//! vertices' adjacency lists land wherever the allocator put them. The
+//! [`CsrGraph`] arena packs the same data into three flat arrays:
+//!
+//! ```text
+//! offsets: [0, d0, d0+d1, ...]          (n + 1 entries, u32)
+//! halves:  [v0's halves | v1's halves | ...]   (2m entries, contiguous)
+//! edges:   [ (u, v); m ]                (endpoint pairs, insertion order)
+//! ```
+//!
+//! `incident(v)` is then `&halves[offsets[v] .. offsets[v + 1]]` — a slice
+//! into one contiguous allocation, so iterating vertices in index order
+//! walks `halves` strictly left to right, one cache line at a time.
+//!
+//! Conversion preserves **observable structure exactly**: vertex order,
+//! edge insertion order, and each vertex's incident-half order are
+//! byte-for-byte those of the source `Graph` (property-tested in
+//! `tests/csr_parity.rs`), so verdicts and label statistics computed over
+//! either representation are bit-identical.
+
+use crate::{Edge, EdgeId, Graph, Half, VertexId};
+
+/// A compressed-sparse-row snapshot of a [`Graph`].
+///
+/// Immutable by construction: build the graph with the [`Graph`] API, then
+/// freeze it with [`CsrGraph::from_graph`] for the verification hot path.
+/// Accessors mirror the subset of the [`Graph`] API the verifiers use
+/// (`vertex_count` / `edge_count` / `vertices` / `edges` / `degree` /
+/// `incident` / `neighbors` / `endpoints`).
+#[derive(Clone, Debug, Default)]
+pub struct CsrGraph {
+    /// `n + 1` prefix sums into `halves`; `offsets[v]..offsets[v+1]` is
+    /// vertex `v`'s incident slice.
+    offsets: Vec<u32>,
+    /// All adjacency halves, concatenated in vertex order; within one
+    /// vertex, halves keep the source graph's insertion order.
+    halves: Vec<Half>,
+    /// Endpoint pairs in edge-insertion order (`edges[e]` is edge `e`).
+    edges: Vec<Edge>,
+    /// Largest degree, precomputed so hot loops can size scratch buffers
+    /// once instead of growing them mid-stream.
+    max_degree: usize,
+}
+
+impl CsrGraph {
+    /// Freezes `g` into the flat-arena layout.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.vertex_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut halves = Vec::with_capacity(g.degree_sum());
+        let mut max_degree = 0;
+        offsets.push(0);
+        for v in g.vertices() {
+            let inc = g.incident(v);
+            max_degree = max_degree.max(inc.len());
+            halves.extend_from_slice(inc);
+            offsets.push(u32::try_from(halves.len()).expect("degree-sum overflow"));
+        }
+        Self {
+            offsets,
+            halves,
+            edges: g.edges().map(|(_, e)| e).collect(),
+            max_degree,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Largest vertex degree (0 on the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Iterates over all vertex handles in index order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertex_count()).map(VertexId::new)
+    }
+
+    /// Iterates over all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), *e))
+    }
+
+    /// The degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The incident halves of `v` — a slice into the shared arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn incident(&self, v: VertexId) -> &[Half] {
+        &self.halves[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+
+    /// Iterates over the neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.incident(v).iter().map(|h| h.to)
+    }
+
+    /// Both endpoints of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.edges[e.index()].endpoints()
+    }
+
+    /// The [`Edge`] record of `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// Builds the dense adjacency bitset of this graph (`n²` bits).
+    pub fn adjacency_bitset(&self) -> AdjacencyBitset {
+        AdjacencyBitset::from_csr(self)
+    }
+}
+
+/// A dense `n × n` adjacency matrix packed one bit per pair.
+///
+/// `contains(u, v)` is a single word load + mask — the membership-check
+/// counterpart of the CSR arena, for local-view checks that would
+/// otherwise scan an adjacency slice or hash an endpoint pair. Row `u`
+/// occupies bits `u * n .. (u + 1) * n` of the word array, so scanning a
+/// row streams consecutive words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdjacencyBitset {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl AdjacencyBitset {
+    /// An empty (edgeless) bitset over `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            words: vec![0; (n * n).div_ceil(64)],
+        }
+    }
+
+    /// Builds the bitset from a CSR snapshot.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let mut b = Self::empty(g.vertex_count());
+        for (_, e) in g.edges() {
+            b.insert(e.u, e.v);
+        }
+        b
+    }
+
+    /// Builds the bitset straight from a builder [`Graph`].
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut b = Self::empty(g.vertex_count());
+        for (_, e) in g.edges() {
+            b.insert(e.u, e.v);
+        }
+        b
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    fn bit(&self, u: VertexId, v: VertexId) -> usize {
+        debug_assert!(u.index() < self.n && v.index() < self.n);
+        u.index() * self.n + v.index()
+    }
+
+    /// Marks `{u, v}` adjacent (both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an endpoint is out of range.
+    pub fn insert(&mut self, u: VertexId, v: VertexId) {
+        for (a, b) in [(u, v), (v, u)] {
+            let bit = self.bit(a, b);
+            self.words[bit / 64] |= 1 << (bit % 64);
+        }
+    }
+
+    /// `true` when `{u, v}` is an edge. Out-of-range handles are simply
+    /// not adjacent (never a panic), so callers can probe speculatively.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        if u.index() >= self.n || v.index() >= self.n {
+            return false;
+        }
+        let bit = self.bit(u, v);
+        self.words[bit / 64] & (1 << (bit % 64)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        // A small graph with non-uniform degrees and an isolated vertex.
+        Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn csr_mirrors_builder_structure() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.vertex_count(), g.vertex_count());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert_eq!(c.max_degree(), 3);
+        for v in g.vertices() {
+            assert_eq!(c.incident(v), g.incident(v), "{v}");
+            assert_eq!(c.degree(v), g.degree(v));
+            assert!(c.neighbors(v).eq(g.neighbors(v)));
+        }
+        for (e, edge) in g.edges() {
+            assert_eq!(c.edge(e), edge);
+            assert_eq!(c.endpoints(e), edge.endpoints());
+        }
+        assert!(c.vertices().eq(g.vertices()));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let c = CsrGraph::from_graph(&Graph::new(0));
+        assert_eq!(c.vertex_count(), 0);
+        assert_eq!(c.edge_count(), 0);
+        assert_eq!(c.max_degree(), 0);
+        assert_eq!(c.vertices().count(), 0);
+    }
+
+    #[test]
+    fn incident_slices_are_contiguous() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        // Adjacent vertices' slices abut in the shared arena.
+        let mut walked = 0;
+        for v in c.vertices() {
+            let inc = c.incident(v);
+            assert_eq!(
+                inc.as_ptr(),
+                c.halves[walked..].as_ptr(),
+                "slice of {v} is not where the arena walk expects"
+            );
+            walked += inc.len();
+        }
+        assert_eq!(walked, c.halves.len());
+    }
+
+    #[test]
+    fn bitset_agrees_with_has_edge() {
+        let g = sample();
+        let b = CsrGraph::from_graph(&g).adjacency_bitset();
+        assert_eq!(b, AdjacencyBitset::from_graph(&g));
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(b.contains(u, v), g.has_edge(u, v), "{u} {v}");
+            }
+        }
+        // Probing out of range answers "not adjacent".
+        assert!(!b.contains(VertexId(99), VertexId(0)));
+        assert_eq!(b.vertex_count(), 6);
+    }
+
+    #[test]
+    fn bitset_crosses_word_boundaries() {
+        // 9 vertices → 81 bits → more than one u64 word.
+        let mut g = Graph::new(9);
+        g.add_edge(VertexId(7), VertexId(8)).unwrap();
+        let b = AdjacencyBitset::from_graph(&g);
+        assert!(b.contains(VertexId(8), VertexId(7)));
+        assert!(!b.contains(VertexId(0), VertexId(8)));
+    }
+}

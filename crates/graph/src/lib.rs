@@ -6,6 +6,9 @@
 //!
 //! * [`Graph`] — an adjacency-list simple undirected graph with stable
 //!   [`VertexId`]/[`EdgeId`] handles.
+//! * [`CsrGraph`] / [`AdjacencyBitset`] — a flat compressed-sparse-row
+//!   arena frozen from a [`Graph`] plus a dense bitset adjacency matrix,
+//!   the cache-friendly layout the verification hot path streams ([`csr`]).
 //! * traversal: BFS trees, shortest paths, DFS orders ([`traversal`]).
 //! * connectivity: components, connectivity tests ([`components`]).
 //! * [`degeneracy`] — degeneracy orderings and bounded-outdegree acyclic
@@ -36,6 +39,9 @@ pub use ids::{EdgeId, VertexId};
 
 mod graph;
 pub use graph::{Edge, Graph, GraphError, Half};
+
+pub mod csr;
+pub use csr::{AdjacencyBitset, CsrGraph};
 
 pub mod components;
 pub mod degeneracy;

@@ -39,7 +39,7 @@ fn main() {
 
     // Adversary: flip a single bit of one certificate on the wire.
     let mut corrupted = labels.clone();
-    corrupted.as_mut_slice()[0].flip_bit(3);
+    corrupted.flip_bit(0, 3);
     let report = certifier.verify(&cfg, &corrupted).unwrap();
     assert!(!report.accepted());
     println!(

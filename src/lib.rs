@@ -46,8 +46,8 @@ pub use lanecert_pathwidth as pathwidth;
 
 pub use lanecert::{
     BatchJob, BatchOutcome, BatchReport, BatchRunner, BoxedScheme, CertError, Certifier,
-    CertifierBuilder, Configuration, DynScheme, EncodedLabel, EncodedLabeling, Labeling,
-    ProverHint, RunReport, Scheme, SchemeRegistry, SchemeSpec, Verdict, VertexView,
+    CertifierBuilder, Configuration, DynScheme, EncodedLabel, EncodedLabelRef, EncodedLabeling,
+    Labeling, ProverHint, RunReport, Scheme, SchemeRegistry, SchemeSpec, Verdict, VertexView,
     AUTO_HEURISTIC_LIMIT,
 };
 

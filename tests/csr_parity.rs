@@ -1,0 +1,191 @@
+//! Property-based parity of the CSR flat-arena graph against the
+//! pointer-rich [`Graph`]: freezing a graph with [`CsrGraph::from_graph`]
+//! must preserve every observation the verifier makes — vertex and edge
+//! iteration order, incident-edge slices, endpoints, degrees, and
+//! adjacency queries — and the erased verification path that reads the
+//! CSR arena must produce verdicts and label bytes bit-identical to the
+//! typed path that walks the original `Graph`, for all four registry
+//! scheme families.
+
+use lanecert_suite::algebra::{props, Algebra};
+use lanecert_suite::graph::{generators, AdjacencyBitset, CsrGraph, Graph, VertexId};
+use lanecert_suite::pathwidth::{solver, IntervalRep};
+use lanecert_suite::pls::baseline::BaselineScheme;
+use lanecert_suite::pls::simple::{BipartiteScheme, WholeGraphScheme};
+use lanecert_suite::pls::theorem1::{PathwidthScheme, SchemeOptions};
+use lanecert_suite::{CertError, Configuration, DynScheme, EncodedLabel, ProverHint, Scheme};
+use proptest::prelude::*;
+
+/// Arbitrary connected graph of pathwidth ≤ 2 with ≤ 12 vertices.
+fn small_pw2_graph() -> impl Strategy<Value = Graph> {
+    (6usize..=12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = generators::seeded_rng(seed);
+        generators::random_pathwidth_graph(n, 2, 0.4, &mut rng).0
+    })
+}
+
+fn rep_hint(g: &Graph) -> ProverHint {
+    let (_, pd) = solver::pathwidth_exact(g).unwrap();
+    ProverHint::with_representation(IntervalRep::from_decomposition(&pd, g.vertex_count()))
+}
+
+/// Every structural observation on the CSR arena must agree with the
+/// same observation on the source graph.
+fn assert_structural_parity(g: &Graph, csr: &CsrGraph) {
+    assert_eq!(csr.vertex_count(), g.vertex_count());
+    assert_eq!(csr.edge_count(), g.edge_count());
+    let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap_or(0);
+    assert_eq!(csr.max_degree(), max_deg);
+
+    // Vertex and edge iteration order are part of the observable
+    // contract: shard boundaries and label indices are derived from it.
+    assert_eq!(
+        csr.vertices().collect::<Vec<_>>(),
+        g.vertices().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        csr.edges().collect::<Vec<_>>(),
+        g.edges().collect::<Vec<_>>()
+    );
+
+    for (e, edge) in g.edges() {
+        assert_eq!(csr.endpoints(e), g.endpoints(e));
+        assert_eq!(csr.edge(e), edge);
+    }
+
+    for v in g.vertices() {
+        assert_eq!(csr.degree(v), g.degree(v));
+        // Incident slices must match element-for-element, in order: the
+        // verifier's local view is assembled by walking this slice.
+        assert_eq!(csr.incident(v), g.incident(v));
+        assert_eq!(
+            csr.neighbors(v).collect::<Vec<_>>(),
+            g.neighbors(v).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The adjacency bitset must answer exactly the `has_edge` relation,
+/// whether built from the CSR arena or from the source graph.
+fn assert_bitset_parity(g: &Graph, csr: &CsrGraph) {
+    let from_csr = csr.adjacency_bitset();
+    let from_graph = AdjacencyBitset::from_graph(g);
+    assert_eq!(from_csr.vertex_count(), g.vertex_count());
+    let n = u32::try_from(g.vertex_count()).unwrap();
+    for u in 0..n {
+        for v in 0..n {
+            let (u, v) = (VertexId(u), VertexId(v));
+            let expected = g.has_edge(u, v);
+            assert_eq!(from_csr.contains(u, v), expected, "csr bitset {u:?}-{v:?}");
+            assert_eq!(
+                from_graph.contains(u, v),
+                expected,
+                "graph bitset {u:?}-{v:?}"
+            );
+        }
+    }
+}
+
+/// Drives `scheme` through the typed path (which walks the original
+/// `Graph`) and the erased path (which reads the CSR arena inside
+/// `Configuration`) and asserts bit-identical label bytes and verdicts.
+/// Returns the shared refusal on no-instances.
+fn assert_scheme_parity<S: Scheme + Send + Sync>(
+    scheme: &S,
+    cfg: &Configuration,
+    hint: &ProverHint,
+) -> Result<(), CertError> {
+    let erased: &dyn DynScheme = scheme;
+    match (scheme.prove(cfg, hint), erased.prove_encoded(cfg, hint)) {
+        (Ok(labels), Ok(encoded)) => {
+            // Label bytes bit-identical per edge, not just size-identical:
+            // the CSR refactor must not perturb a single wire byte.
+            assert_eq!(encoded.len(), labels.len());
+            for (e, label) in labels.iter().enumerate() {
+                let typed_bytes = EncodedLabel::of(label);
+                let arena_bytes = encoded.get(e).to_label();
+                assert_eq!(typed_bytes, arena_bytes, "label bytes diverge at edge {e}");
+            }
+            let typed_report = scheme.run(cfg, &labels).unwrap();
+            let arena_report = erased.verify_encoded(cfg, &encoded).unwrap();
+            assert_eq!(
+                typed_report.verdicts, arena_report.verdicts,
+                "verdicts diverge between Graph-walking and CSR-walking verification"
+            );
+            assert_eq!(typed_report.max_label_bits, arena_report.max_label_bits);
+            assert_eq!(typed_report.total_label_bits, arena_report.total_label_bits);
+            assert_eq!(typed_report.edges, arena_report.edges);
+            assert!(
+                arena_report.accepted(),
+                "honest labeling rejected on the CSR path: {:?}",
+                arena_report.first_rejection()
+            );
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(a, b, "refusals diverge between the two representations");
+            Err(a)
+        }
+        (Ok(_), Err(e)) => panic!("typed prover succeeded but erased refused: {e}"),
+        (Err(e), Ok(_)) => panic!("erased prover succeeded but typed refused: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Freezing any bounded-pathwidth graph into the CSR arena preserves
+    /// every structural observation, and `Configuration::csr` serves the
+    /// same arena.
+    #[test]
+    fn csr_structure_matches_graph(g in small_pw2_graph()) {
+        let csr = CsrGraph::from_graph(&g);
+        assert_structural_parity(&g, &csr);
+        assert_bitset_parity(&g, &csr);
+
+        let cfg = Configuration::with_random_ids(g, 11);
+        let cached = cfg.csr();
+        assert_structural_parity(cfg.graph(), cached);
+    }
+
+    /// Theorem 1: label bytes and verdicts agree bit for bit across
+    /// representations.
+    #[test]
+    fn theorem1_csr_parity(g in small_pw2_graph()) {
+        let hint = rep_hint(&g);
+        let cfg = Configuration::with_random_ids(g, 5);
+        let scheme = PathwidthScheme::new(
+            Algebra::shared(props::Connected),
+            SchemeOptions::exact_pathwidth(2),
+        );
+        // Generated graphs are connected with pathwidth ≤ 2: never refused.
+        prop_assert!(assert_scheme_parity(&scheme, &cfg, &hint).is_ok());
+    }
+
+    /// FMR baseline: label bytes and verdicts agree bit for bit.
+    #[test]
+    fn baseline_csr_parity(g in small_pw2_graph()) {
+        let hint = rep_hint(&g);
+        let cfg = Configuration::with_random_ids(g, 9);
+        prop_assert!(assert_scheme_parity(&BaselineScheme, &cfg, &hint).is_ok());
+    }
+
+    /// 1-bit bipartiteness: parity on both yes-instances and refusals
+    /// (non-bipartite inputs refuse identically on both representations).
+    #[test]
+    fn bipartite_csr_parity(g in small_pw2_graph()) {
+        let cfg = Configuration::with_random_ids(g, 3);
+        match assert_scheme_parity(&BipartiteScheme, &cfg, &ProverHint::auto()) {
+            Ok(()) => {}
+            Err(refusal) => prop_assert_eq!(refusal, CertError::PropertyViolated),
+        }
+    }
+
+    /// Whole-graph yardstick: label bytes and verdicts agree bit for bit.
+    #[test]
+    fn whole_graph_csr_parity(g in small_pw2_graph()) {
+        let cfg = Configuration::with_random_ids(g, 7);
+        let scheme = WholeGraphScheme::for_algebra(Algebra::shared(props::Connected));
+        prop_assert!(assert_scheme_parity(&scheme, &cfg, &ProverHint::auto()).is_ok());
+    }
+}
