@@ -43,6 +43,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
+// lint: allow(interior-mut) reason="imports for the documented sealed tail and the freeze cache; every use site carries its own suppression"
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::{Algebra, Class, SharedAlgebra};
@@ -137,6 +138,7 @@ pub struct FrozenAlgebra {
     total: bool,
     fingerprint: u64,
     max_arity: usize,
+    // lint: allow(interior-mut) reason="the documented sealed tail: append-only interning of post-freeze classes, canonical ids never change"
     tail: RwLock<Tail>,
 }
 
@@ -233,12 +235,16 @@ impl FrozenAlgebra {
             // process (counter) and not across processes or persisted
             // corpora (process id + wall-clock entropy): a sealed corpus
             // only ever verifies against the instance that produced it.
+            // lint: allow(interior-mut) reason="sealed-instance nonce counter; feeds the fingerprint, never observable as state"
             use std::sync::atomic::{AtomicU64, Ordering};
+            // lint: allow(interior-mut) reason="sealed-instance nonce counter; feeds the fingerprint, never observable as state"
             static SEALED_NONCE: AtomicU64 = AtomicU64::new(0);
             SEALED_NONCE
                 .fetch_add(1, Ordering::Relaxed)
                 .hash(&mut hasher);
             std::process::id().hash(&mut hasher);
+            // lint: allow(determinism) reason="entropy for the sealed-instance nonce: deliberately unique per instance, hashed into the fingerprint, never ordered or compared"
+            #[allow(clippy::disallowed_methods)]
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_nanos())
@@ -258,6 +264,7 @@ impl FrozenAlgebra {
             total,
             fingerprint: hasher.finish(),
             max_arity,
+            // lint: allow(interior-mut) reason="constructs the documented sealed tail"
             tail: RwLock::new(Tail::default()),
         })
     }
@@ -405,10 +412,13 @@ enum CachedFreeze {
     Partial(Arc<Vec<Class>>),
 }
 
+// lint: allow(interior-mut) reason="process-wide freeze memo: caches the deterministic result of enumeration, not algebra state"
 type FreezeCache = Mutex<HashMap<(String, FreezeOptions), CachedFreeze>>;
 
 fn freeze_cache() -> &'static FreezeCache {
+    // lint: allow(interior-mut) reason="process-wide freeze memo: caches the deterministic result of enumeration, not algebra state"
     static CACHE: OnceLock<FreezeCache> = OnceLock::new();
+    // lint: allow(interior-mut) reason="process-wide freeze memo: caches the deterministic result of enumeration, not algebra state"
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 

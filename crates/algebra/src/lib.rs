@@ -28,9 +28,6 @@
 //! multigraph conventions; the certification pipeline only ever builds
 //! simple graphs, and the trace generator mirrors that.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod algebra;
 mod frozen;
 mod property;

@@ -16,6 +16,10 @@
 //! global allocator and the throughput section reports measured
 //! allocations-per-vertex under `mem_stats`.
 
+// Timing is this binary's job: the wall-clock ban from clippy.toml's
+// disallowed-methods list is lifted for the whole experiment harness.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Write as _;
 use std::time::Instant;
 

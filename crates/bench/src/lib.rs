@@ -17,6 +17,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Timing is this crate's job: the wall-clock ban from clippy.toml's
+// disallowed-methods list is lifted for the whole bench harness.
+#![allow(clippy::disallowed_methods)]
 
 use lanecert::theorem1::PathwidthScheme;
 use lanecert::{

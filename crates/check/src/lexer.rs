@@ -1,0 +1,331 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! The build environment has no crates.io access, so there is no `syn`;
+//! the invariant rules in [`crate::rules`] only need a token stream with
+//! line numbers plus the line comments (where `// lint:` directives
+//! live), and that much of Rust's lexical grammar fits in a page: line
+//! and nested block comments, plain/raw/byte strings, char literals
+//! versus lifetimes, identifiers, numbers, and single-char punctuation.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (multi-char operators arrive as
+    /// consecutive tokens — good enough for pattern matching `::`).
+    Punct(char),
+    /// Any literal (string, raw string, char, byte, number). The content
+    /// is irrelevant to every rule, so it is not retained.
+    Lit,
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// A `//` line comment (directives are only recognized in these).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line number.
+    pub line: u32,
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+}
+
+/// Lexer output: code tokens and line comments, both line-stamped.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`. Never fails: unterminated constructs consume to EOF,
+/// which is conservative (the compiler would have rejected the file
+/// anyway — the linter runs on sources that build).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comment.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(&b, i + 1, &mut line);
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Char literal vs lifetime: a backslash or a closing quote
+                // two chars ahead means a literal; otherwise a lifetime.
+                let tok_line = line;
+                if i + 1 < n && b[i + 1] == '\\' {
+                    let mut j = i + 2;
+                    if j < n {
+                        j += 1; // the escaped char
+                    }
+                    while j < n && b[j] != '\'' {
+                        j += 1; // multi-char escapes (\x7f, \u{..})
+                    }
+                    i = (j + 1).min(n);
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line: tok_line,
+                    });
+                } else if i + 2 < n && b[i + 2] == '\'' {
+                    i += 3;
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line: tok_line,
+                    });
+                } else {
+                    // Lifetime: quote then identifier, no closing quote.
+                    let mut j = i + 1;
+                    while j < n && is_ident(b[j]) {
+                        j += 1;
+                    }
+                    i = j;
+                    out.tokens.push(Token {
+                        tok: Tok::Punct('\''),
+                        line: tok_line,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                // Raw/byte string starts look like identifiers.
+                if let Some(next) = raw_or_byte_string(&b, i, &mut line) {
+                    out.tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                    i = next;
+                    continue;
+                }
+                let mut j = i;
+                while j < n && is_ident(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (is_ident(b[j]) || b[j] == '.') {
+                    // Stop a `1..x` range from being swallowed as a float.
+                    if b[j] == '.' && j + 1 < n && b[j + 1] == '.' {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a plain string body starting after the opening quote;
+/// returns the index after the closing quote.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// If position `i` starts a raw string (`r"`, `r#"`, …), byte string
+/// (`b"`), raw byte string (`br"`, …) or byte char (`b'x'`), consumes it
+/// and returns the index just past it.
+fn raw_or_byte_string(b: &[char], i: usize, line: &mut u32) -> Option<usize> {
+    let n = b.len();
+    let (mut j, raw) = match b[i] {
+        'r' => (i + 1, true),
+        'b' if i + 1 < n && b[i + 1] == 'r' => (i + 2, true),
+        'b' if i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '\'') => (i + 1, false),
+        _ => return None,
+    };
+    if raw {
+        let mut hashes = 0;
+        while j < n && b[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != '"' {
+            return None; // just an identifier starting with r/br
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hashes.
+        while j < n {
+            if b[j] == '\n' {
+                *line += 1;
+                j += 1;
+            } else if b[j] == '"'
+                && b[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&c| c == '#')
+                    .count()
+                    == hashes
+            {
+                return Some(j + 1 + hashes);
+            } else {
+                j += 1;
+            }
+        }
+        Some(n)
+    } else if b[j] == '"' {
+        Some(skip_string(b, j + 1, line))
+    } else {
+        // Byte char b'x' / b'\n'.
+        let mut k = j + 1;
+        if k < n && b[k] == '\\' {
+            k += 1;
+        }
+        while k < n && b[k] != '\'' {
+            k += 1;
+        }
+        Some((k + 1).min(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // unwrap in a comment
+            let x = "unwrap inside a string";
+            let y = r#"RandomState in a raw string"#;
+            /* SystemTime in /* a nested */ block comment */
+            let z = b"bytes with clone";
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|s| s == "unwrap" || s == "RandomState" || s == "SystemTime"));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x.clone() }");
+        assert!(ids.contains(&"clone".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let ids = idents("let c = 'x'; let nl = '\\n'; let s: &'static str = \"s\";");
+        // Neither char literal swallows the rest of the line...
+        assert!(ids.contains(&"nl".to_string()));
+        assert!(ids.contains(&"s".to_string()));
+        // ...and the lifetime consumes only its own name, not the type.
+        assert!(ids.contains(&"str".to_string()));
+        assert!(!ids.contains(&"static".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("x\n// lint: zero-alloc {\ny\n// lint: }\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("zero-alloc"));
+        assert_eq!(lexed.comments[1].line, 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! CLI entry point: `cargo run -p check -- lint`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
+            let Some(root) = check::find_workspace_root(&cwd) else {
+                eprintln!(
+                    "error: no workspace root ([workspace] in Cargo.toml) above {}",
+                    cwd.display()
+                );
+                return ExitCode::FAILURE;
+            };
+            let findings = check::lint_workspace(&root);
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!(
+                    "check: workspace clean ({} rules)",
+                    check::rules::RULES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("check: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some(cmd) => {
+            eprintln!("error: unknown command '{cmd}' (expected: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p check -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}

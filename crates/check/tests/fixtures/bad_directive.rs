@@ -1,0 +1,7 @@
+//! Fixture: malformed `// lint:` directives. Expected findings: three
+//! `lint-directive` (unknown rule, missing reason, unclosed region).
+
+// lint: allow(made-up-rule) reason="no such rule"
+// lint: allow(no-panic)
+// lint: zero-alloc {
+pub fn directives_gone_wrong() {}

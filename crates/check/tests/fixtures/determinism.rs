@@ -1,0 +1,12 @@
+//! Fixture: wall clock and randomized hash state in a
+//! determinism-critical crate. Expected findings: three `determinism`.
+
+use std::collections::HashMap;
+use std::hash::RandomState;
+use std::time::Instant;
+
+pub fn fingerprint_with_wall_clock() -> u64 {
+    let started = Instant::now();
+    let map: HashMap<u32, u32, RandomState> = HashMap::default();
+    started.elapsed().as_nanos() as u64 + map.len() as u64
+}

@@ -1,0 +1,8 @@
+//! Fixture: a crate root that neither declares
+//! `#![forbid(unsafe_code)]` nor (per the manifest paired with it in the
+//! integration test) adopts the workspace lint table. Expected finding:
+//! one `forbid-unsafe`.
+
+pub fn no_lint_attrs_here() -> u32 {
+    7
+}

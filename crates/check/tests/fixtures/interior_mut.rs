@@ -1,0 +1,14 @@
+//! Fixture: hidden mutability in the algebra crate, outside the
+//! documented sealed tail. Expected findings: four `interior-mut`
+//! (`RefCell` and `AtomicU32`, each at both its use and its field
+//! site); the suppressed `Mutex` is fine.
+
+use std::cell::RefCell;
+use std::sync::atomic::AtomicU32;
+
+pub struct SneakyTable {
+    memo: RefCell<Vec<u64>>,
+    hits: AtomicU32,
+    // lint: allow(interior-mut) reason="fixture's stand-in for the documented sealed tail"
+    tail: std::sync::Mutex<Vec<u64>>,
+}

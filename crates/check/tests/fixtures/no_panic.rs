@@ -1,0 +1,16 @@
+//! Fixture: panicking decode paths in an adversarial-wire module.
+//! Expected findings: three `no-panic` (`unwrap`, `expect`, `panic!`).
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("truncated label");
+    if *first > 7 {
+        panic!("bad tag {first}");
+    }
+    u32::from(*first) << 8 | u32::from(*second)
+}
+
+pub fn safe_variants(bytes: &[u8]) -> u32 {
+    // None of these may fire: only the panicking names count.
+    bytes.first().copied().map(u32::from).unwrap_or_default() + bytes.len() as u32
+}

@@ -1,0 +1,14 @@
+//! Fixture: allocating calls inside a declared zero-alloc region.
+//! Expected findings: two `zero-alloc` (`.clone()` and `format!`);
+//! the allocations outside the region are fine.
+
+pub fn verify_all(labels: &[Vec<u8>]) -> Vec<String> {
+    let mut out = Vec::with_capacity(labels.len());
+    // lint: zero-alloc {
+    for label in labels {
+        let copy = label.clone();
+        out.push(format!("{}", copy.len()));
+    }
+    // lint: }
+    out
+}

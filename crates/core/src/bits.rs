@@ -49,7 +49,10 @@ impl BitWriter {
             self.bytes.push(0);
         }
         if bit {
-            *self.bytes.last_mut().unwrap() |= 1 << pos;
+            // Index-based write: the push above guarantees a last byte,
+            // without an `unwrap` in this wire-facing module.
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= 1 << pos;
         }
         self.bit_len += 1;
     }
@@ -69,7 +72,8 @@ impl BitWriter {
             }
             let take = (8 - pos).min(width - done);
             let chunk = ((value >> done) & ((1u64 << take) - 1)) as u8;
-            *self.bytes.last_mut().unwrap() |= chunk << pos;
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= chunk << pos;
             self.bit_len += take;
             done += take;
         }
@@ -128,7 +132,9 @@ impl<'a> BitReader<'a> {
         if self.next + 8 <= self.bytes.len() {
             // Fast path: splice in as many whole little-endian bytes as
             // fit, masking off the bytes that stay unconsumed.
-            let word = u64::from_le_bytes(self.bytes[self.next..self.next + 8].try_into().unwrap());
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&self.bytes[self.next..self.next + 8]);
+            let word = u64::from_le_bytes(raw);
             let take = (64 - self.avail) / 8;
             let word = if take == 8 {
                 word

@@ -187,6 +187,89 @@ impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N>
     }
 }
 
+/// A scratch list with inline storage for up to `N` elements and heap
+/// spill beyond, for element types that [`InlineVec`] cannot hold —
+/// references and owning structs without `Copy + Default` (certificate
+/// borrows, summaries). The inline slots are `Option<T>`, which keeps the
+/// implementation entirely safe at the cost of contiguity: elements are
+/// reached through [`ScratchBuf::get`]/[`ScratchBuf::iter`], not a slice.
+///
+/// Verification builds several such lists per vertex (incident
+/// certificates, transit records, per-member groups); keeping the common
+/// short case inline is what holds the verify path near the decode-side
+/// allocation floor.
+#[derive(Debug)]
+pub struct ScratchBuf<T, const N: usize> {
+    /// Total number of elements.
+    len: usize,
+    /// Slots `0..min(len, N)` are `Some`.
+    inline: [Option<T>; N],
+    /// Elements `N..len`, in order.
+    spill: Vec<T>,
+}
+
+impl<T, const N: usize> ScratchBuf<T, N> {
+    /// The empty list.
+    pub fn new() -> Self {
+        Self {
+            len: 0,
+            inline: std::array::from_fn(|_| None),
+            spill: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element. Allocation-free while `len < N`.
+    pub fn push(&mut self, value: T) {
+        if self.len < N {
+            self.inline[self.len] = Some(value);
+        } else {
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Returns the element at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            None
+        } else if index < N {
+            self.inline[index].as_ref()
+        } else {
+            self.spill.get(index - N)
+        }
+    }
+
+    /// The first element.
+    pub fn first(&self) -> Option<&T> {
+        self.get(0)
+    }
+
+    /// Iterates the elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline
+            .iter()
+            .take(self.len.min(N))
+            .flatten()
+            .chain(self.spill.iter())
+    }
+}
+
+impl<T, const N: usize> Default for ScratchBuf<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +288,9 @@ mod tests {
     }
 
     #[test]
+    // Randomized hashing is the point here: equal values must hash equal
+    // under any hasher, so a per-process random one is the strongest probe.
+    #[allow(clippy::disallowed_types)]
     fn equality_ignores_spill_state() {
         use std::hash::{BuildHasher, RandomState};
         // Build [0..6) two ways: grown past the boundary, and shrunk back
@@ -251,5 +337,35 @@ mod tests {
         assert_eq!(v.binary_search(&5), Ok(1));
         v[0] = 0;
         assert_eq!(v.as_slice(), &[0, 5, 9]);
+    }
+
+    #[test]
+    fn scratch_buf_inline_then_spill() {
+        // Non-Copy, non-Default elements are the whole point.
+        let mut b: ScratchBuf<String, 2> = ScratchBuf::new();
+        assert!(b.is_empty());
+        assert_eq!(b.first(), None);
+        for i in 0..5 {
+            b.push(i.to_string());
+        }
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.first().map(String::as_str), Some("0"));
+        assert_eq!(b.get(1).map(String::as_str), Some("1"));
+        assert_eq!(b.get(2).map(String::as_str), Some("2")); // first spilled
+        assert_eq!(b.get(4).map(String::as_str), Some("4"));
+        assert_eq!(b.get(5), None);
+        let joined: Vec<&str> = b.iter().map(String::as_str).collect();
+        assert_eq!(joined, ["0", "1", "2", "3", "4"]);
+    }
+
+    #[test]
+    fn scratch_buf_holds_references() {
+        let owned = [10u64, 20, 30];
+        let mut b: ScratchBuf<&u64, 2> = ScratchBuf::new();
+        for v in &owned {
+            b.push(v);
+        }
+        assert_eq!(b.iter().map(|&&v| v).sum::<u64>(), 60);
+        assert_eq!(b.get(2), Some(&&owned[2]));
     }
 }

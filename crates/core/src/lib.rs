@@ -56,9 +56,6 @@
 //! * [`attacks`] — soundness fuzzing (typed and wire-level) and the classic
 //!   `Ω(log n)` cut-and-splice lower-bound demonstration.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bits;
 pub mod config;
 pub mod inline;

@@ -79,6 +79,11 @@ impl LaneMap {
 impl std::ops::Index<&Lane> for LaneMap {
     type Output = u64;
     fn index(&self, lane: &Lane) -> &u64 {
+        // Every caller indexes only after a lane-membership check
+        // (`lanes.contains`/`is_subset_of` plus `from_lbl`'s invariant
+        // that a map covers exactly its lane set), so this is total on
+        // verified inputs; `Index` cannot be fallible by signature.
+        // lint: allow(no-panic) reason="guarded by callers' lane-membership checks; Index cannot return Result"
         self.get(lane).expect("lane not present")
     }
 }
@@ -209,7 +214,12 @@ pub struct Summary {
 /// id order via selection sort of `swap`s.
 fn sort_slots(alg: &Algebra, mut state: Class, slots: &mut [u64]) -> Class {
     for i in 0..slots.len() {
-        let min = (i..slots.len()).min_by_key(|&j| slots[j]).unwrap();
+        let mut min = i;
+        for j in (i + 1)..slots.len() {
+            if slots[j] < slots[min] {
+                min = j;
+            }
+        }
         if min != i {
             slots.swap(i, min);
             state = alg.swap(state, i, min);
@@ -311,8 +321,14 @@ pub fn bridge(
     }
     let mut state = alg.union(left.class.clone(), right.class.clone());
     let mut slots: SlotIds = ls.iter().chain(rs.iter()).copied().collect();
-    let pa = slots.iter().position(|&x| x == u).unwrap();
-    let pb = slots.iter().position(|&x| x == v).unwrap();
+    let pa = slots
+        .iter()
+        .position(|&x| x == u)
+        .ok_or("Bridge-merge: left bridge slot missing")?;
+    let pb = slots
+        .iter()
+        .position(|&x| x == v)
+        .ok_or("Bridge-merge: right bridge slot missing")?;
     state = alg.add_edge(state, pa, pb, marked);
     state = sort_slots(alg, state, &mut slots);
     let mut tin = left.iface.tin.clone();

@@ -20,6 +20,7 @@ use lanecert_lanes::LaneSet;
 
 use super::labels::*;
 use super::summary::{self, Iface, Summary};
+use crate::inline::{InlineVec, ScratchBuf};
 use crate::scheme::{Verdict, VertexView};
 
 /// Verification context.
@@ -30,6 +31,12 @@ pub(super) struct Ctx<'a> {
 }
 
 type VResult<T> = Result<T, String>;
+
+/// Scratch list of borrowed certificates. Verification builds several of
+/// these per vertex (incident edges, per-member groups, B-node sides);
+/// eight inline slots cover realistic degrees without heap traffic, which
+/// keeps the verify path near the decode-side allocation floor.
+type CertList<'a> = ScratchBuf<&'a EdgeCertLbl, 8>;
 
 /// Per-thread memo for the *pure* summary recomputations.
 ///
@@ -52,11 +59,22 @@ type FxMap<V> = HashMap<u64, Vec<V>, BuildHasherDefault<FxHasher>>;
 /// bridge parameters, exactly as they appear on the wire.
 type BridgeKey = (BasicInfoLbl, BasicInfoLbl, u8, u8, bool, bool, bool);
 
+/// Key of a memoized base-summary recomputation (`E`- and `P`-node
+/// members), exactly the wire fields the recipe depends on.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum BaseKey {
+    /// `(lane, tin, tout, marked)` of an E-node edge.
+    E(u8, u64, u64, bool),
+    /// `(ids, marks)` of a P-node path.
+    P(InlineVec<u64, 6>, InlineVec<bool, 6>),
+}
+
 struct Memo {
     fp: u64,
     max_lanes: usize,
     fold: FxMap<((Summary, Vec<BasicInfoLbl>), Summary)>,
     bridge: FxMap<(BridgeKey, (Summary, u64, u64))>,
+    base: FxMap<(BaseKey, Summary)>,
     entries: usize,
 }
 
@@ -70,6 +88,7 @@ thread_local! {
         max_lanes: 0,
         fold: FxMap::default(),
         bridge: FxMap::default(),
+        base: FxMap::default(),
         entries: 0,
     });
 }
@@ -82,6 +101,7 @@ impl Memo {
         if self.fp != fp || self.max_lanes != ctx.max_lanes || self.entries >= MEMO_CAP {
             self.fold.clear();
             self.bridge.clear();
+            self.base.clear();
             self.entries = 0;
             self.fp = fp;
             self.max_lanes = ctx.max_lanes;
@@ -110,7 +130,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+            let mut word = [0u8; 8];
+            word.copy_from_slice(c);
+            self.add(u64::from_le_bytes(word));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {
@@ -172,11 +194,12 @@ fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
             Err("single-vertex graph violates the property".into())
         };
     }
-    let mut certs: Vec<&EdgeCertLbl> = Vec::with_capacity(view.incident.len());
-    // Insertion-ordered grouping (vertex degrees and transit counts are
-    // small, so a linear scan beats hashing — and the first malformation
-    // reported no longer depends on a hash map's iteration order).
-    let mut transits: Vec<((u64, u64), Vec<&TransitLbl>)> = Vec::new();
+    let mut certs: CertList<'_> = CertList::new();
+    // Flat (key, record) list; groups are recovered below by scanning for
+    // each key's first appearance. Vertex degrees and transit counts are
+    // small, so the linear scans beat hashing — and the first malformation
+    // reported does not depend on a hash map's iteration order.
+    let mut transits: ScratchBuf<((u64, u64), &TransitLbl), 8> = ScratchBuf::new();
     for label in view.incident {
         let Some(label) = label else {
             return Err("undecodable label".into());
@@ -188,22 +211,31 @@ fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
         check_cert_shape(ctx, own)?;
         certs.push(own);
         for t in &label.transits {
-            let key = (t.cert.a, t.cert.b);
-            match transits.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, entries)) => entries.push(t),
-                None => transits.push((key, vec![t])),
-            }
+            transits.push(((t.cert.a, t.cert.b), t));
         }
     }
-    // Reconstruct incident virtual edges (Section 6.2, embedding checks).
-    for ((a, b), entries) in &transits {
-        let cert = &entries[0].cert;
+    // Reconstruct incident virtual edges (Section 6.2, embedding checks),
+    // one group per distinct endpoint pair in first-appearance order.
+    for i in 0..transits.len() {
+        let Some(&((a, b), first)) = transits.get(i) else {
+            return Err("transit record out of range".into());
+        };
+        if transits.iter().take(i).any(|&(k, _)| k == (a, b)) {
+            continue; // group already processed at its first appearance
+        }
+        let mut entries: ScratchBuf<&TransitLbl, 4> = ScratchBuf::new();
+        for &(k, t) in transits.iter() {
+            if k == (a, b) {
+                entries.push(t);
+            }
+        }
+        let cert = &first.cert;
         if cert.marked {
             return Err("virtual edge claims to be marked".into());
         }
         check_cert_shape_basics(cert)?;
-        let total = entries[0].rank_fwd + entries[0].rank_bwd;
-        for e in entries {
+        let total = first.rank_fwd + first.rank_bwd;
+        for e in entries.iter() {
             if e.cert != *cert {
                 return Err("inconsistent transit certificates".into());
             }
@@ -211,12 +243,12 @@ fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
                 return Err("inconsistent path length".into());
             }
         }
-        if ctx.my_id == *a || ctx.my_id == *b {
+        if ctx.my_id == a || ctx.my_id == b {
             if entries.len() != 1 {
                 return Err("virtual endpoint sees multiple path edges".into());
             }
-            let e = entries[0];
-            let ok = (e.rank_fwd == 1 && ctx.my_id == *a) || (e.rank_bwd == 1 && ctx.my_id == *b);
+            let ok =
+                (first.rank_fwd == 1 && ctx.my_id == a) || (first.rank_bwd == 1 && ctx.my_id == b);
             if !ok {
                 return Err("virtual endpoint not at a path end".into());
             }
@@ -226,7 +258,10 @@ fn verify_inner(ctx: &Ctx<'_>, view: &VertexView<EdgeLabel>) -> VResult<()> {
             if entries.len() != 2 {
                 return Err("path transit without two consecutive edges".into());
             }
-            if entries[0].rank_fwd.abs_diff(entries[1].rank_fwd) != 1 {
+            let second = entries
+                .get(1)
+                .ok_or("path transit without two consecutive edges")?;
+            if first.rank_fwd.abs_diff(second.rank_fwd) != 1 {
                 return Err("non-consecutive path ranks".into());
             }
         }
@@ -301,6 +336,52 @@ fn summary_matches_lbl(ctx: &Ctx<'_>, s: &Summary, claim: &BasicInfoLbl) -> bool
         && ctx.alg.class_of(StateId(claim.class)).as_ref() == Some(&s.class)
 }
 
+/// Memoized [`summary::base_e`]: the recipe is a pure function of the
+/// wire fields in its [`BaseKey`], and E-node members are shared by both
+/// endpoint vertices (and re-checked at every enclosing frame), so the
+/// algebra work — each op builds a fresh state — runs once per distinct
+/// edge per thread. Same regime as the fold/bridge memos: full-key
+/// comparison, successful results only.
+fn memo_base_e(ctx: &Ctx<'_>, lane: u8, tin: u64, tout: u64, marked: bool) -> VResult<Summary> {
+    memo_base(ctx, BaseKey::E(lane, tin, tout, marked), |alg| {
+        summary::base_e(alg, lane as usize, tin, tout, marked)
+    })
+}
+
+/// Memoized [`summary::base_p`] (see [`memo_base_e`] for the regime).
+fn memo_base_p(
+    ctx: &Ctx<'_>,
+    ids: &InlineVec<u64, 6>,
+    marks: &InlineVec<bool, 6>,
+) -> VResult<Summary> {
+    memo_base(ctx, BaseKey::P(ids.clone(), marks.clone()), |alg| {
+        summary::base_p(alg, ids, marks)
+    })
+}
+
+fn memo_base(
+    ctx: &Ctx<'_>,
+    key: BaseKey,
+    compute: impl Fn(&lanecert_algebra::Algebra) -> VResult<Summary>,
+) -> VResult<Summary> {
+    MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        m.sync(ctx);
+        let h = hash_key(&key);
+        if let Some(bucket) = m.base.get(&h) {
+            for (k, v) in bucket {
+                if *k == key {
+                    return Ok(v.clone());
+                }
+            }
+        }
+        let s = compute(ctx.alg)?;
+        m.base.entry(h).or_default().push((key, s.clone()));
+        m.entries += 1;
+        Ok(s)
+    })
+}
+
 /// Parses a member's children claims, checks their mutual lane
 /// disjointness and their junctions against the member's own summary, and
 /// recomputes the subtree fold `f_P` over them in lane-mask order.
@@ -324,19 +405,19 @@ fn fold_children(ctx: &Ctx<'_>, own: &Summary, frame: &TFrameLbl) -> VResult<Sum
                 }
             }
         }
-        let mut kids: Vec<Summary> = Vec::with_capacity(frame.children.len());
+        let mut kids: ScratchBuf<Summary, 8> = ScratchBuf::new();
         for entry in &frame.children {
             kids.push(parse_info(ctx, entry)?);
         }
-        for x in 0..kids.len() {
-            for y in (x + 1)..kids.len() {
-                if !kids[x].iface.lanes.is_disjoint(kids[y].iface.lanes) {
+        for (x, kx) in kids.iter().enumerate() {
+            for ky in kids.iter().skip(x + 1) {
+                if !kx.iface.lanes.is_disjoint(ky.iface.lanes) {
                     return Err("children lanes overlap".into());
                 }
             }
         }
         // Children attach to the member's own out-terminals.
-        for kid in &kids {
+        for kid in kids.iter() {
             if !kid.iface.lanes.is_subset_of(own.iface.lanes) {
                 return Err("child lanes exceed member lanes".into());
             }
@@ -347,11 +428,18 @@ fn fold_children(ctx: &Ctx<'_>, own: &Summary, frame: &TFrameLbl) -> VResult<Sum
             }
         }
         let mut acc = own.clone();
-        let mut order: Vec<usize> = (0..kids.len()).collect();
-        order.sort_by_key(|&x| kids[x].iface.lanes.0);
-        for x in order {
-            acc = summary::parent(ctx.alg, &kids[x], &acc)?;
+        let mut order: InlineVec<u32, 8> = (0..kids.len() as u32).collect();
+        order
+            .as_mut_slice()
+            .sort_by_key(|&x| kids.get(x as usize).map(|k| k.iface.lanes.0).unwrap_or(0));
+        // The f_P fold itself: pure algebra work over already-parsed
+        // summaries, no per-child heap traffic.
+        // lint: zero-alloc {
+        for &x in order.iter() {
+            let kid = kids.get(x as usize).ok_or("child index out of range")?;
+            acc = summary::parent(ctx.alg, kid, &acc)?;
         }
+        // lint: }
         m.fold
             .entry(h)
             .or_default()
@@ -441,26 +529,23 @@ struct MemberCheck<'a> {
 /// by the enclosing `B`-frame (nested case); `outermost` marks the root.
 fn check_tnode(
     ctx: &Ctx<'_>,
-    certs: &[&EdgeCertLbl],
+    certs: &CertList<'_>,
     depth: usize,
     expect: Option<&BasicInfoLbl>,
     outermost: bool,
 ) -> VResult<()> {
-    if certs.is_empty() {
-        return Err("empty T-node group".into());
-    }
     fn tf_at(c: &EdgeCertLbl, depth: usize) -> VResult<&TFrameLbl> {
         match c.frames.get(depth) {
             Some(FrameLbl::T(t)) => Ok(t),
             _ => Err("expected a T frame".into()),
         }
     }
-    let first = tf_at(certs[0], depth)?;
+    let first = tf_at(certs.first().ok_or("empty T-node group")?, depth)?;
     let (t_node, root_vertex) = (first.t_node, first.root_vertex);
     // Pointer consistency (Proposition 2.2 within this T-node).
     let mut my_d: Option<u32> = None;
     let mut has_parent = false;
-    for c in certs {
+    for &c in certs.iter() {
         let t = tf_at(c, depth)?;
         if t.t_node != t_node || t.root_vertex != root_vertex {
             return Err("inconsistent T-node context".into());
@@ -480,7 +565,7 @@ fn check_tnode(
             has_parent = true;
         }
     }
-    let d = my_d.unwrap();
+    let d = my_d.ok_or("empty T-node group")?;
     if d == 0 && ctx.my_id != root_vertex {
         return Err("claims pointer distance 0 with wrong id".into());
     }
@@ -488,20 +573,25 @@ fn check_tnode(
         return Err("no decreasing pointer neighbour".into());
     }
 
-    // Group by member, insertion-ordered (few members per vertex).
-    let mut groups: Vec<(u32, Vec<&EdgeCertLbl>)> = Vec::new();
-    for c in certs {
-        let member = tf_at(c, depth)?.member;
-        match groups.iter_mut().find(|(m, _)| *m == member) {
-            Some((_, group)) => group.push(c),
-            None => groups.push((member, vec![c])),
+    // Distinct members in first-appearance order (few members per vertex,
+    // so the rescans below stay cheap and allocation-free).
+    let mut members: InlineVec<u32, 8> = InlineVec::new();
+    for &c in certs.iter() {
+        let m = tf_at(c, depth)?.member;
+        if !members.iter().any(|&x| x == m) {
+            members.push(m);
         }
     }
-    let mut checked: Vec<(u32, MemberCheck<'_>)> = Vec::with_capacity(groups.len());
-    for (member, group) in &groups {
-        let member = *member;
-        let frame = tf_at(group[0], depth)?;
-        for c in group.iter().skip(1) {
+    let mut checked: ScratchBuf<(u32, MemberCheck<'_>), 8> = ScratchBuf::new();
+    for &member in members.iter() {
+        let mut group: CertList<'_> = CertList::new();
+        for &c in certs.iter() {
+            if tf_at(c, depth)?.member == member {
+                group.push(c);
+            }
+        }
+        let frame = tf_at(group.first().ok_or("empty member group")?, depth)?;
+        for &c in group.iter().skip(1) {
             let t = tf_at(c, depth)?;
             if t.subtree != frame.subtree
                 || t.children != frame.children
@@ -514,7 +604,7 @@ fn check_tnode(
             return Err("subtree info names the wrong node".into());
         }
         // Member's own summary from the deeper frame.
-        let own = check_member_own(ctx, group, depth + 1, member)?;
+        let own = check_member_own(ctx, &group, depth + 1, member)?;
         // Children claims: parsing, mutual lane disjointness, junction
         // ids against the member's own out-terminals, and the subtree
         // fold (f_P in lane-mask order) — one pure, memoized block.
@@ -542,7 +632,7 @@ fn check_tnode(
 
     // Junction / attachment rules.
     let mut roots = 0;
-    for (_, mc) in &checked {
+    for (_, mc) in checked.iter() {
         if mc.frame.is_root_member {
             roots += 1;
         }
@@ -553,7 +643,7 @@ fn check_tnode(
     if ctx.my_id == root_vertex && roots == 0 {
         return Err("pointer root vertex is not in the root member".into());
     }
-    for &(member, ref mc) in &checked {
+    for &(member, ref mc) in checked.iter() {
         // R2: if I am a glue point (an in-terminal) of a non-root member,
         // my parent member must be present and list this member.
         let is_tin = mc.own.iface.tin.values().any(|&x| x == ctx.my_id);
@@ -594,7 +684,7 @@ fn check_tnode(
 /// (an `E`, `P`, or `B` frame whose node id must equal `member`).
 fn check_member_own(
     ctx: &Ctx<'_>,
-    group: &[&EdgeCertLbl],
+    group: &CertList<'_>,
     depth: usize,
     member: u32,
 ) -> VResult<Summary> {
@@ -606,8 +696,9 @@ fn check_member_own(
             _ => Err("member frame missing or of wrong kind".into()),
         }
     };
-    let kind = kind_of(group[0])?;
-    for c in group.iter().skip(1) {
+    let first = *group.first().ok_or("empty member group")?;
+    let kind = kind_of(first)?;
+    for &c in group.iter().skip(1) {
         if kind_of(c)? != kind {
             return Err("mixed member frame kinds".into());
         }
@@ -617,9 +708,9 @@ fn check_member_own(
             if group.len() != 1 {
                 return Err("an E-node owns exactly one edge".into());
             }
-            let c = group[0];
+            let c = first;
             let Some(FrameLbl::E(f)) = c.frames.get(depth) else {
-                unreachable!()
+                return Err("expected an E frame".into());
             };
             if f.node != member {
                 return Err("E frame names the wrong node".into());
@@ -638,11 +729,11 @@ fn check_member_own(
             if f.lane as usize >= ctx.max_lanes {
                 return Err("E-node lane exceeds the lane bound".into());
             }
-            summary::base_e(ctx.alg, f.lane as usize, f.tin, f.tout, c.marked)
+            memo_base_e(ctx, f.lane, f.tin, f.tout, c.marked)
         }
         1 => {
-            let Some(FrameLbl::P(f0)) = group[0].frames.get(depth) else {
-                unreachable!()
+            let Some(FrameLbl::P(f0)) = first.frames.get(depth) else {
+                return Err("expected a P frame".into());
             };
             if f0.node != member {
                 return Err("P frame names the wrong node".into());
@@ -655,17 +746,22 @@ fn check_member_own(
                 .iter()
                 .position(|&x| x == ctx.my_id)
                 .ok_or("I am not on the claimed P-node path")?;
-            let mut expected: Vec<u16> = Vec::new();
-            if t > 0 {
-                expected.push((t - 1) as u16);
-            }
-            if t + 1 < f0.ids.len() {
-                expected.push(t as u16);
-            }
-            let mut seen: Vec<u16> = Vec::new();
-            for c in group.iter() {
+            // A path-interior vertex must see exactly the edges at
+            // positions t-1 and t; an endpoint sees just its one edge.
+            // The two expected positions are distinct, so multiset
+            // equality reduces to marking each expected slot at most once.
+            let expected: [Option<u16>; 2] = [
+                if t > 0 { Some((t - 1) as u16) } else { None },
+                if t + 1 < f0.ids.len() {
+                    Some(t as u16)
+                } else {
+                    None
+                },
+            ];
+            let mut found = [false; 2];
+            for &c in group.iter() {
                 let Some(FrameLbl::P(f)) = c.frames.get(depth) else {
-                    unreachable!()
+                    return Err("expected a P frame".into());
                 };
                 if f.ids != f0.ids || f.marks != f0.marks {
                     return Err("inconsistent P-node frames".into());
@@ -682,37 +778,42 @@ fn check_member_own(
                 if (lo, hi) != (c.a, c.b) || c.marked != f.marks[pos] {
                     return Err("P edge does not match its position".into());
                 }
-                seen.push(f.pos);
+                let mut matched = false;
+                for s in 0..2 {
+                    if !found[s] && expected[s] == Some(f.pos) {
+                        found[s] = true;
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    return Err("incident P edges do not match my path position".into());
+                }
             }
-            seen.sort_unstable();
-            expected.sort_unstable();
-            if seen != expected {
-                return Err("incident P edges do not match my path position".into());
+            for s in 0..2 {
+                if expected[s].is_some() && !found[s] {
+                    return Err("incident P edges do not match my path position".into());
+                }
             }
-            summary::base_p(ctx.alg, &f0.ids, &f0.marks)
+            memo_base_p(ctx, &f0.ids, &f0.marks)
         }
         _ => check_bnode(ctx, group, depth, member),
     }
 }
 
 /// Verifies a `B`-node group and returns its recomputed summary (`f_B`).
-fn check_bnode(
-    ctx: &Ctx<'_>,
-    group: &[&EdgeCertLbl],
-    depth: usize,
-    member: u32,
-) -> VResult<Summary> {
+fn check_bnode(ctx: &Ctx<'_>, group: &CertList<'_>, depth: usize, member: u32) -> VResult<Summary> {
     fn bf_at(c: &EdgeCertLbl, depth: usize) -> VResult<&BFrameLbl> {
         match c.frames.get(depth) {
             Some(FrameLbl::B(b)) => Ok(b),
             _ => Err("expected a B frame".into()),
         }
     }
-    let f0 = bf_at(group[0], depth)?;
+    let f0 = bf_at(group.first().ok_or("empty member group")?, depth)?;
     if f0.node != member {
         return Err("B frame names the wrong node".into());
     }
-    for c in group.iter().skip(1) {
+    for &c in group.iter().skip(1) {
         let f = bf_at(c, depth)?;
         if (f.node, f.i, f.j, f.left_is_v, f.right_is_v, f.bridge_marked)
             != (
@@ -733,8 +834,8 @@ fn check_bnode(
     // memoized on the frame's wire content.
     let (merged, u, w) = bridge_summary(ctx, f0)?;
     // Partition into sides.
-    let mut sides: [Vec<&EdgeCertLbl>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for c in group {
+    let mut sides: [CertList<'_>; 3] = [CertList::new(), CertList::new(), CertList::new()];
+    for &c in group.iter() {
         let f = bf_at(c, depth)?;
         if f.side > 2 {
             return Err("invalid B side".into());
@@ -746,7 +847,9 @@ fn check_bnode(
         if sides[0].len() != 1 {
             return Err("bridge endpoint must see exactly one bridge edge".into());
         }
-        let c = sides[0][0];
+        let c = *sides[0]
+            .first()
+            .ok_or("bridge endpoint must see exactly one bridge edge")?;
         let (lo, hi) = if u < w { (u, w) } else { (w, u) };
         if (lo, hi) != (c.a, c.b) || c.marked != f0.bridge_marked {
             return Err("bridge edge endpoints or mark mismatch".into());

@@ -48,11 +48,11 @@
 //! println!("{}", report.throughput.summary());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod pool;
 pub use pool::{ChunkedDeque, Parker, Spawner, WorkStealingPool};
+
+#[cfg(loom)]
+pub mod loom_model;
 
 pub mod corpus;
 pub use corpus::{CorpusFamily, CorpusSpec};

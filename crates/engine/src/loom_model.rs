@@ -1,0 +1,361 @@
+//! Loom models of the pool's riskiest protocols.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run with
+//! `cargo test -p lanecert_engine --lib loom_model`. Each test hands a
+//! bounded re-statement of one [`crate::pool`] protocol to
+//! [`loom::model`], which explores every interleaving up to its
+//! preemption bound — so the properties here are *proved over schedules*,
+//! not sampled by stress.
+//!
+//! Two of the pool's historical bugs were lost wakeups in the idle
+//! protocol, the kind of race that survives arbitrary amounts of stress
+//! testing. The models pin both mechanically:
+//!
+//! * the submit/sleep race — a worker must re-check for work *after*
+//!   registering as a sleeper, or a submission landing between its failed
+//!   search and its registration strands the task
+//!   ([`tests::missing_recheck_loses_the_submit_race`] shows the model
+//!   catching the protocol without the re-check);
+//! * the stale-token race — a parked-with-stale-token worker must
+//!   deregister itself on wake, or its leftover sleeper entry burns a
+//!   future wakeup on a busy thread while a genuinely parked worker
+//!   sleeps on ([`tests::reverted_stale_sleeper_fix_is_caught`] reverts
+//!   that deregistration and watches the model find the bad schedule).
+//!
+//! The models are *ports*, not imports: [`crate::pool`]'s types bake in
+//! `std::sync`, so the protocol logic is restated here over `loom::sync`
+//! with the same statement order as `worker_loop`/`Parker`/`wake_one`.
+//! [`crate::pool::ChunkedDeque`] itself is pure data and is reused
+//! directly. Keeping the port in lockstep with `pool.rs` is part of
+//! touching the idle protocol — the module-level test list is the
+//! checklist.
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::pool::ChunkedDeque;
+
+/// Port of [`crate::pool::Parker`]: a boolean token under a mutex plus a
+/// condvar, so an unpark landing before the park is remembered.
+pub struct LoomParker {
+    notified: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl LoomParker {
+    /// A parker with no pending token.
+    pub fn new() -> Self {
+        LoomParker {
+            notified: Mutex::new(false),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Blocks until [`LoomParker::unpark`] is (or has been) called, then
+    /// consumes the token. Statement-for-statement `Parker::park`.
+    pub fn park(&self) {
+        let mut notified = self.notified.lock().expect("parker poisoned");
+        while !*notified {
+            notified = self.cvar.wait(notified).expect("parker poisoned");
+        }
+        *notified = false;
+    }
+
+    /// Sets the token and wakes the parked thread, if any.
+    pub fn unpark(&self) {
+        *self.notified.lock().expect("parker poisoned") = true;
+        self.cvar.notify_one();
+    }
+}
+
+impl Default for LoomParker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Which fixes the modeled worker loop carries. The real pool always has
+/// both; turning one off re-seeds its historical bug so the tests can
+/// watch the model detect it.
+#[derive(Clone, Copy)]
+pub struct IdleFixes {
+    /// Re-check for work after registering as a sleeper (the original
+    /// submit/sleep-race fix).
+    pub recheck_after_register: bool,
+    /// Deregister after `park` returns, covering the stale-token case
+    /// (the PR 3 fix).
+    pub deregister_stale: bool,
+}
+
+impl IdleFixes {
+    /// The shipped protocol: both fixes on.
+    pub fn shipped() -> Self {
+        IdleFixes {
+            recheck_after_register: true,
+            deregister_stale: true,
+        }
+    }
+}
+
+/// The idle-protocol state, mirroring the relevant slice of
+/// `PoolShared`: the injector stands in for "any visible task" (the
+/// per-worker deques add nothing to the sleep/wake protocol).
+pub struct IdleModel {
+    injector: Mutex<ChunkedDeque<u32>>,
+    sleepers: Mutex<Vec<usize>>,
+    parkers: Vec<LoomParker>,
+    shutdown: AtomicBool,
+    completed: AtomicUsize,
+    total: usize,
+    all_done: LoomParker,
+}
+
+impl IdleModel {
+    /// A model with `workers` workers expecting `total` tasks.
+    pub fn new(workers: usize, total: usize) -> Self {
+        IdleModel {
+            injector: Mutex::new(ChunkedDeque::new()),
+            sleepers: Mutex::new(Vec::new()),
+            parkers: (0..workers).map(|_| LoomParker::new()).collect(),
+            shutdown: AtomicBool::new(false),
+            completed: AtomicUsize::new(0),
+            total,
+            all_done: LoomParker::new(),
+        }
+    }
+
+    /// `spawn_task`'s external path: inject, then wake one sleeper.
+    pub fn submit(&self, task: u32) {
+        self.injector
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+        self.wake_one();
+    }
+
+    /// Statement-for-statement `PoolShared::wake_one`.
+    fn wake_one(&self) {
+        let popped = self.sleepers.lock().expect("sleepers poisoned").pop();
+        if let Some(id) = popped {
+            self.parkers[id].unpark();
+        }
+    }
+
+    /// Drains a task if one is visible.
+    fn find_task(&self) -> Option<u32> {
+        self.injector.lock().expect("injector poisoned").pop_front()
+    }
+
+    fn run_task(&self, _task: u32) {
+        if self.completed.fetch_add(1, Ordering::SeqCst) + 1 == self.total {
+            self.all_done.unpark();
+        }
+    }
+
+    /// The `worker_loop` idle protocol, with each historical fix
+    /// individually revertible. The duplicate-registration assertion is
+    /// the invariant the stale-deregistration fix maintains: a worker id
+    /// listed twice means a stale entry survived, and its pop will burn
+    /// a wakeup on a busy thread while a parked worker sleeps on.
+    pub fn worker(&self, w: usize, fixes: IdleFixes) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(task) = self.find_task() {
+                self.run_task(task);
+                continue;
+            }
+            {
+                let mut sleepers = self.sleepers.lock().expect("sleepers poisoned");
+                assert!(
+                    !sleepers.contains(&w),
+                    "duplicate sleeper entry for worker {w}: a stale registration survived"
+                );
+                sleepers.push(w);
+            }
+            if fixes.recheck_after_register
+                && (self.shutdown.load(Ordering::SeqCst)
+                    || !self.injector.lock().expect("injector poisoned").is_empty())
+            {
+                self.sleepers
+                    .lock()
+                    .expect("sleepers poisoned")
+                    .retain(|&s| s != w);
+                continue;
+            }
+            self.parkers[w].park();
+            if fixes.deregister_stale {
+                self.sleepers
+                    .lock()
+                    .expect("sleepers poisoned")
+                    .retain(|&s| s != w);
+            }
+        }
+    }
+
+    /// The driver side: submit `total` tasks, wait for the last one,
+    /// then shut down exactly like `WorkStealingPool::drop` (flag, then
+    /// unpark everyone).
+    pub fn drive_and_shutdown(&self) {
+        for t in 0..self.total {
+            self.submit(t as u32);
+        }
+        self.all_done.park();
+        self.shutdown.store(true, Ordering::SeqCst);
+        for parker in &self.parkers {
+            parker.unpark();
+        }
+    }
+}
+
+/// Runs a full scenario under the model: `workers` workers with `fixes`,
+/// `total` tasks, driver on the model's root thread.
+pub fn check_idle_protocol(workers: usize, total: usize, fixes: IdleFixes, bound: usize) {
+    let mut builder = loom::Builder::new();
+    builder.preemption_bound = Some(bound);
+    builder.check(move || {
+        let model = Arc::new(IdleModel::new(workers, total));
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let m = Arc::clone(&model);
+                loom::thread::spawn(move || m.worker(w, fixes))
+            })
+            .collect();
+        model.drive_and_shutdown();
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        assert_eq!(
+            model.completed.load(Ordering::SeqCst),
+            total,
+            "tasks lost in the idle protocol"
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_failure(f: impl Fn() + Send + Sync + 'static) -> String {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loom::model(f)));
+        let payload = caught.expect_err("the model should have found a failing schedule");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+
+    #[test]
+    fn parker_token_survives_every_schedule() {
+        // Park/unpark in both orders, including unpark-first: the token
+        // must make every schedule terminate.
+        loom::model(|| {
+            let parker = Arc::new(LoomParker::new());
+            let p = Arc::clone(&parker);
+            let t = loom::thread::spawn(move || p.park());
+            parker.unpark();
+            t.join().expect("parked thread");
+        });
+    }
+
+    #[test]
+    fn shipped_idle_protocol_delivers_every_task() {
+        // One worker, two tasks, full fix set: every schedule within the
+        // bound completes with both tasks run and no duplicate sleeper
+        // registration. This is the mechanical re-proof of both
+        // historical fixes at once.
+        check_idle_protocol(1, 2, IdleFixes::shipped(), 3);
+    }
+
+    #[test]
+    fn shipped_idle_protocol_holds_with_two_workers() {
+        // Two workers contending over the sleeper stack; smaller bound
+        // to keep the schedule tree tractable.
+        check_idle_protocol(2, 2, IdleFixes::shipped(), 2);
+    }
+
+    #[test]
+    fn missing_recheck_loses_the_submit_race() {
+        // Historical bug #1 re-seeded: without the post-registration
+        // re-check, the schedule `search fails → submit (sleepers still
+        // empty, nobody to wake) → register → park` strands the task and
+        // the model reports the deadlock.
+        let msg = model_failure(|| {
+            let model = Arc::new(IdleModel::new(1, 1));
+            let m = Arc::clone(&model);
+            let fixes = IdleFixes {
+                recheck_after_register: false,
+                deregister_stale: true,
+            };
+            let h = loom::thread::spawn(move || m.worker(0, fixes));
+            model.drive_and_shutdown();
+            h.join().expect("worker thread");
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn reverted_stale_sleeper_fix_is_caught() {
+        // Historical bug #2 (the PR 3 fix) re-seeded: without the
+        // post-park deregistration, the schedule `register → submit
+        // (wake_one pops the entry, setting a token the worker never
+        // parked for) → re-check finds the task → … → next park consumes
+        // the stale token` leaves the registration behind, and the next
+        // idle round registers a duplicate. The model finds that
+        // schedule and the invariant assertion names the bug.
+        let msg = model_failure(|| {
+            let model = Arc::new(IdleModel::new(1, 1));
+            let m = Arc::clone(&model);
+            let fixes = IdleFixes {
+                recheck_after_register: true,
+                deregister_stale: false,
+            };
+            let h = loom::thread::spawn(move || m.worker(0, fixes));
+            model.drive_and_shutdown();
+            h.join().expect("worker thread");
+        });
+        assert!(
+            msg.contains("duplicate sleeper entry") || msg.contains("deadlock"),
+            "unexpected failure: {msg}"
+        );
+    }
+
+    #[test]
+    fn chunked_deque_owner_steal_conserves_items() {
+        // The owner pushes and LIFO-pops while a thief FIFO-steals, all
+        // under the queue lock as in the real pool: across every
+        // schedule, each pushed item is popped exactly once.
+        loom::model(|| {
+            let deque = Arc::new(Mutex::new(ChunkedDeque::new()));
+            let d = Arc::clone(&deque);
+            let thief = loom::thread::spawn(move || {
+                let mut stolen = Vec::new();
+                for _ in 0..2 {
+                    if let Some(x) = d.lock().expect("queue poisoned").pop_front() {
+                        stolen.push(x);
+                    }
+                }
+                stolen
+            });
+            let mut kept = Vec::new();
+            for i in 0..3u32 {
+                deque.lock().expect("queue poisoned").push_back(i);
+            }
+            if let Some(x) = deque.lock().expect("queue poisoned").pop_back() {
+                kept.push(x);
+            }
+            let mut stolen = thief.join().expect("thief thread");
+            // Drain the remainder and check conservation.
+            while let Some(x) = deque.lock().expect("queue poisoned").pop_front() {
+                kept.push(x);
+            }
+            kept.append(&mut stolen);
+            kept.sort_unstable();
+            assert_eq!(kept, vec![0, 1, 2]);
+        });
+    }
+}

@@ -31,9 +31,6 @@
 //! assert!(lanecert_graph::components::is_connected(&g));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod ids;
 pub use ids::{EdgeId, VertexId};
 

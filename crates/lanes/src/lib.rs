@@ -16,9 +16,6 @@
 //! 4. a [`Hierarchy`] — the bounded-depth hierarchical decomposition into
 //!    `V/E/P/B/T` nodes (Section 5.3, Proposition 5.6, Observation 5.5).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod lane;
 pub use lane::{Lane, LaneSet};
 

@@ -24,9 +24,6 @@
 //! assert!(eval::check(&g, &props::hamiltonian_cycle()));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod ast;
 pub use ast::{Formula, Sort, Var, VarGen};
 

@@ -23,9 +23,6 @@
 //! pd.validate(&g).unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod decomposition;
 mod interval;
 pub mod solver;

@@ -1,0 +1,182 @@
+//! A self-contained stand-in for the `loom` model checker.
+//!
+//! The build environment has no crates.io access, so the real loom crate
+//! is unavailable; this facade reimplements the slice of its API that the
+//! engine's `#[cfg(loom)]` pool-protocol models need — [`model`],
+//! [`thread::spawn`]/[`thread::JoinHandle`], and [`sync`]'s `Mutex`,
+//! `Condvar`, and atomics — on top of a deterministic cooperative
+//! scheduler.
+//!
+//! # How it explores interleavings
+//!
+//! Each simulated thread is a real OS thread, but exactly one is ever
+//! *granted* execution at a time. Every synchronization operation (mutex
+//! acquire, condvar wait/notify, atomic access, spawn, join) is a
+//! *decision point*: the scheduler picks which runnable thread proceeds.
+//! [`model`] runs the closure to completion, records the choice made at
+//! each decision point together with the alternatives that were runnable,
+//! then backtracks depth-first: the deepest decision with an untried
+//! alternative seeds the next execution, whose prefix replays
+//! deterministically up to that point. Exploration is exhaustive up to a
+//! *preemption bound* (switching away from a thread that could have kept
+//! running counts as one preemption; forced switches, where the current
+//! thread blocked, are free) — the classic result being that almost all
+//! real concurrency bugs manifest within two or three preemptions.
+//!
+//! Blocking is scheduler-visible, so a state where no thread is runnable
+//! but some are blocked is reported as a deadlock — which is exactly what
+//! a lost wakeup looks like under exhaustive scheduling: some
+//! interleaving parks a thread that nobody ever unparks. A panic in any
+//! simulated thread (a failed assertion in the model body) aborts the
+//! execution and is re-raised from [`model`] on the caller.
+//!
+//! # Scope
+//!
+//! No weak-memory modeling: atomics here are sequentially consistent
+//! regardless of the `Ordering` argument. The pool's protocols hand off
+//! through mutexes and condvars (and its atomics are flags read in loops),
+//! so the interesting bugs — the historical sleeper-registration and
+//! stale-token races — are scheduling bugs, which this scheduler covers.
+//! Critical sections execute atomically between decision points; all
+//! orderings of critical sections over the same locks are still explored,
+//! because each acquire is a decision point.
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{model, Builder};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+    use crate::sync::{Condvar, Mutex};
+
+    /// The message a model failure panics with, for assertions below.
+    fn failure_message(f: impl Fn() + Send + Sync + 'static) -> String {
+        let caught = catch_unwind(AssertUnwindSafe(|| crate::model(f)));
+        let payload = caught.expect_err("model should have failed");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    }
+
+    #[test]
+    fn explores_both_writer_orders() {
+        // Two racing writers: across the exploration, both final values
+        // must be observed — proof that schedules actually differ.
+        let seen = StdArc::new(StdMutex::new(BTreeSet::new()));
+        let seen2 = StdArc::clone(&seen);
+        crate::model(move || {
+            let cell = std::sync::Arc::new(Mutex::new(0u32));
+            let c2 = std::sync::Arc::clone(&cell);
+            let t = crate::thread::spawn(move || {
+                *c2.lock().expect("model mutex") = 1;
+            });
+            *cell.lock().expect("model mutex") = 2;
+            t.join().expect("writer thread");
+            let last = *cell.lock().expect("model mutex");
+            seen2.lock().expect("recorder").insert(last);
+        });
+        let seen = seen.lock().expect("recorder").clone();
+        assert_eq!(seen, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn finds_lost_update_interleaving() {
+        // A read-modify-write split across two lock acquisitions is the
+        // textbook lost update; some schedule must end at 1, some at 2.
+        let seen = StdArc::new(StdMutex::new(BTreeSet::new()));
+        let seen2 = StdArc::clone(&seen);
+        crate::model(move || {
+            let cell = std::sync::Arc::new(Mutex::new(0u32));
+            let c2 = std::sync::Arc::clone(&cell);
+            let bump = |c: &Mutex<u32>| {
+                let v = *c.lock().expect("model mutex");
+                *c.lock().expect("model mutex") = v + 1;
+            };
+            let t = crate::thread::spawn(move || bump(&c2));
+            bump(&cell);
+            t.join().expect("bump thread");
+            let last = *cell.lock().expect("model mutex");
+            seen2.lock().expect("recorder").insert(last);
+        });
+        let seen = seen.lock().expect("recorder").clone();
+        assert_eq!(seen, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn detects_plain_deadlock() {
+        // A waiter nobody notifies: the very first execution blocks every
+        // live thread and must be reported, not hung on.
+        let msg = failure_message(|| {
+            let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = std::sync::Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (lock, cvar) = &*p2;
+                let mut ready = lock.lock().expect("model mutex");
+                while !*ready {
+                    ready = cvar.wait(ready).expect("model condvar");
+                }
+            });
+            t.join().expect("waiter thread");
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn finds_lost_wakeup_without_a_token() {
+        // Park/unpark with a bare condvar and no token: the schedule
+        // where the notify lands before the wait loses the wakeup. The
+        // model must find that interleaving among the others.
+        let msg = failure_message(|| {
+            let pair = std::sync::Arc::new((Mutex::new(()), Condvar::new()));
+            let p2 = std::sync::Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (lock, cvar) = &*p2;
+                let guard = lock.lock().expect("model mutex");
+                // BUG under test: waits unconditionally, no token check.
+                drop(cvar.wait(guard).expect("model condvar"));
+            });
+            pair.1.notify_one();
+            t.join().expect("parked thread");
+        });
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn token_protocol_has_no_lost_wakeup() {
+        // The pool Parker's actual protocol — token under the mutex —
+        // must complete under *every* schedule.
+        crate::model(|| {
+            let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = std::sync::Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (lock, cvar) = &*p2;
+                let mut token = lock.lock().expect("model mutex");
+                while !*token {
+                    token = cvar.wait(token).expect("model condvar");
+                }
+                *token = false;
+            });
+            let (lock, cvar) = &*pair;
+            *lock.lock().expect("model mutex") = true;
+            cvar.notify_one();
+            t.join().expect("parked thread");
+        });
+    }
+
+    #[test]
+    fn assertion_failures_surface_with_their_message() {
+        let msg = failure_message(|| {
+            let flag = Mutex::new(3u32);
+            assert_eq!(*flag.lock().expect("model mutex"), 4, "flag mismatch");
+        });
+        assert!(msg.contains("flag mismatch"), "unexpected failure: {msg}");
+    }
+}

@@ -1,0 +1,508 @@
+//! The deterministic cooperative scheduler behind [`crate::model`].
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Preemptions allowed per execution when [`Builder::preemption_bound`]
+/// is `None`. Three covers every historically-observed pool race with
+/// headroom; raising it grows the schedule tree combinatorially.
+const DEFAULT_PREEMPTION_BOUND: usize = 3;
+
+/// Hard cap on decision points in one execution — a model body that
+/// schedules this often is looping, not terminating.
+const MAX_BRANCHES: usize = 20_000;
+
+/// Default cap on explored executions before [`Builder::check`] gives up.
+const DEFAULT_MAX_ITERATIONS: usize = 500_000;
+
+/// Sentinel unwind payload used to tear simulated threads down when an
+/// execution aborts (deadlock found, a panic elsewhere, limits hit).
+/// Wrappers swallow it; only the genuine failure reaches the caller.
+pub(crate) struct AbortUnwind;
+
+/// Scheduler-visible state of one simulated thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    /// Eligible to be granted execution.
+    Runnable,
+    /// Waiting to acquire the mutex with this id.
+    BlockedMutex(usize),
+    /// Waiting on the condvar with this id.
+    BlockedCond(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    /// Returned (or unwound); never runnable again.
+    Finished,
+}
+
+/// One recorded decision point: the runnable threads in exploration
+/// order, which was chosen, and what the choice cost in preemptions.
+struct Branch {
+    /// Candidate threads, exploration order: the zero-cost default first.
+    order: Vec<usize>,
+    /// Index into `order` of the thread actually granted.
+    chosen_pos: usize,
+    /// Thread that was executing when the decision arose.
+    cur: usize,
+    /// Whether `cur` could have kept running (a switch is a preemption).
+    cur_runnable: bool,
+}
+
+impl Branch {
+    /// Preemption cost of granting `t` at this decision point.
+    fn cost(&self, t: usize) -> usize {
+        usize::from(self.cur_runnable && t != self.cur)
+    }
+}
+
+/// All scheduler state, under one lock: thread statuses, the mutex and
+/// condvar tables, and the exploration bookkeeping for this execution.
+pub(crate) struct State {
+    threads: Vec<Status>,
+    /// Thread currently granted execution.
+    active: usize,
+    /// Forced choices for the replayed prefix of this execution.
+    replay: Vec<usize>,
+    branches: Vec<Branch>,
+    /// Per-mutex held flag.
+    mutexes: Vec<bool>,
+    /// Per-condvar wait queue: `(thread, mutex to reacquire)`, FIFO.
+    cond_waiters: Vec<Vec<(usize, usize)>>,
+    /// When set, every thread unwinds via [`AbortUnwind`].
+    abort: bool,
+    /// All threads finished; the driver may inspect the outcome.
+    done: bool,
+    /// Model-level failure (deadlock, divergence, limits).
+    failure: Option<String>,
+    /// First user panic, re-raised from [`model`].
+    panic_payload: Option<Box<dyn Any + Send>>,
+    preemption_bound: usize,
+}
+
+/// The scheduler: shared by every simulated thread of one execution.
+pub(crate) struct Scheduler {
+    inner: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Binds this OS thread to `sched` as simulated thread `tid`.
+pub(crate) fn set_current(sched: &Arc<Scheduler>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(sched), tid)));
+}
+
+impl Scheduler {
+    fn new(replay: Vec<usize>, preemption_bound: usize) -> Self {
+        Scheduler {
+            inner: StdMutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                replay,
+                branches: Vec::new(),
+                mutexes: Vec::new(),
+                cond_waiters: Vec::new(),
+                abort: false,
+                done: false,
+                failure: None,
+                panic_payload: None,
+                preemption_bound,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    /// The scheduler and simulated-thread id bound to this OS thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called outside a [`model`] execution — every facade
+    /// primitive requires the scheduler.
+    pub(crate) fn current() -> (Arc<Scheduler>, usize) {
+        Self::try_current().expect("loom primitive used outside loom::model")
+    }
+
+    /// Like [`Scheduler::current`] but `None` outside a model run; used
+    /// from `Drop` impls where panicking would double-panic.
+    pub(crate) fn try_current() -> Option<(Arc<Scheduler>, usize)> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, State> {
+        self.inner.lock().expect("loom scheduler poisoned")
+    }
+
+    /// Registers a new simulated thread; returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Status::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Registers a new mutex; returns its id.
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(false);
+        st.mutexes.len() - 1
+    }
+
+    /// Registers a new condvar; returns its id.
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.cond_waiters.push(Vec::new());
+        st.cond_waiters.len() - 1
+    }
+
+    /// The decision point: picks the next thread to grant. Replays the
+    /// forced prefix, otherwise defaults to the cheapest choice (keep
+    /// `cur` running when it can). Detects deadlock and completion.
+    fn choose(&self, st: &mut State, cur: usize, cur_runnable: bool) {
+        if st.abort {
+            return;
+        }
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|&t| t == Status::Finished) {
+                st.done = true;
+            } else {
+                st.failure = Some(format!(
+                    "deadlock: every live thread is blocked — {:?}",
+                    st.threads
+                ));
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if st.branches.len() >= MAX_BRANCHES {
+            st.failure = Some(format!(
+                "execution exceeded {MAX_BRANCHES} decision points; the model body must terminate"
+            ));
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        }
+        let default = if cur_runnable && runnable.contains(&cur) {
+            cur
+        } else {
+            runnable[0]
+        };
+        let mut order = vec![default];
+        order.extend(runnable.iter().copied().filter(|&t| t != default));
+        let k = st.branches.len();
+        let chosen = if k < st.replay.len() {
+            st.replay[k]
+        } else {
+            default
+        };
+        let Some(chosen_pos) = order.iter().position(|&t| t == chosen) else {
+            st.failure = Some(
+                "schedule replay diverged: the model body is not deterministic \
+                 (no clocks, randomness, or real-thread timing inside loom::model)"
+                    .to_string(),
+            );
+            st.abort = true;
+            self.cv.notify_all();
+            return;
+        };
+        st.branches.push(Branch {
+            order,
+            chosen_pos,
+            cur,
+            cur_runnable,
+        });
+        if k >= st.replay.len() {
+            st.replay.push(chosen);
+        }
+        st.active = chosen;
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling OS thread until simulated thread `me` is granted
+    /// execution again. Unwinds via [`AbortUnwind`] on abort.
+    fn wait_granted(&self, mut st: StdMutexGuard<'_, State>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                panic_any(AbortUnwind);
+            }
+            if st.active == me && st.threads[me] == Status::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).expect("loom scheduler poisoned");
+        }
+    }
+
+    /// A voluntary decision point: `me` stays runnable but another thread
+    /// may be granted here.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic_any(AbortUnwind);
+        }
+        self.choose(&mut st, me, true);
+        self.wait_granted(st, me);
+    }
+
+    /// Blocks `me` with `status` and grants someone else; returns once
+    /// `me` has been made runnable *and* granted again.
+    fn block_on(&self, mut st: StdMutexGuard<'_, State>, me: usize, status: Status) {
+        st.threads[me] = status;
+        self.choose(&mut st, me, false);
+        self.wait_granted(st, me);
+    }
+
+    /// Acquires the shim mutex `mid`, blocking through the scheduler.
+    /// The caller must already be at a decision point (or freshly
+    /// granted), so no extra yield happens here.
+    pub(crate) fn acquire_mutex(&self, mid: usize, me: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.abort {
+                drop(st);
+                panic_any(AbortUnwind);
+            }
+            if !st.mutexes[mid] {
+                st.mutexes[mid] = true;
+                return;
+            }
+            self.block_on(st, me, Status::BlockedMutex(mid));
+        }
+    }
+
+    /// Releases the shim mutex `mid` and makes its waiters runnable. Not
+    /// a decision point: the next acquire/wait/atomic op yields, and that
+    /// is enough granularity to explore all critical-section orders.
+    pub(crate) fn unlock_mutex(&self, mid: usize) {
+        let mut st = self.lock();
+        st.mutexes[mid] = false;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Status::BlockedMutex(mid) {
+                st.threads[t] = Status::Runnable;
+            }
+        }
+    }
+
+    /// Atomically registers `me` on condvar `cid`, releases mutex `mid`,
+    /// and blocks until notified (and granted). The caller reacquires the
+    /// mutex afterwards, exactly like a real condvar.
+    pub(crate) fn cond_wait(&self, cid: usize, mid: usize, me: usize) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic_any(AbortUnwind);
+        }
+        st.cond_waiters[cid].push((me, mid));
+        st.mutexes[mid] = false;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Status::BlockedMutex(mid) {
+                st.threads[t] = Status::Runnable;
+            }
+        }
+        self.block_on(st, me, Status::BlockedCond(cid));
+    }
+
+    /// Wakes the first (or, with `all`, every) waiter of condvar `cid`.
+    /// Waking with no waiters is a no-op — the semantics whose misuse is
+    /// exactly a lost wakeup.
+    pub(crate) fn notify(&self, cid: usize, all: bool) {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            panic_any(AbortUnwind);
+        }
+        let woken: Vec<usize> = if all {
+            st.cond_waiters[cid].drain(..).map(|(t, _)| t).collect()
+        } else if st.cond_waiters[cid].is_empty() {
+            Vec::new()
+        } else {
+            vec![st.cond_waiters[cid].remove(0).0]
+        };
+        for t in woken {
+            st.threads[t] = Status::Runnable;
+        }
+    }
+
+    /// `true` once thread `tid` has finished; blocks `me` until then.
+    pub(crate) fn join_thread(&self, tid: usize, me: usize) {
+        loop {
+            let st = self.lock();
+            if st.abort {
+                drop(st);
+                panic_any(AbortUnwind);
+            }
+            if st.threads[tid] == Status::Finished {
+                return;
+            }
+            self.block_on(st, me, Status::BlockedJoin(tid));
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners, and grants the next
+    /// thread (or completes the execution).
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.threads[me] = Status::Finished;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Status::BlockedJoin(me) {
+                st.threads[t] = Status::Runnable;
+            }
+        }
+        if st.abort {
+            if st.threads.iter().all(|&t| t == Status::Finished) {
+                st.done = true;
+            }
+            self.cv.notify_all();
+        } else {
+            self.choose(&mut st, me, false);
+        }
+    }
+
+    /// Waits for the new simulated thread's first grant.
+    pub(crate) fn wait_first_grant(&self, me: usize) {
+        let st = self.lock();
+        self.wait_granted(st, me);
+    }
+
+    /// Records the first user panic and aborts the execution.
+    pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut st = self.lock();
+        if st.panic_payload.is_none() {
+            st.panic_payload = Some(payload);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Given a completed execution, computes the replay prefix of the next
+/// one: the deepest decision point with an untried alternative whose
+/// preemption cost stays within the bound. `None` when the (bounded)
+/// schedule tree is exhausted.
+fn next_replay(st: &State) -> Option<Vec<usize>> {
+    let chosens: Vec<usize> = st.branches.iter().map(|b| b.order[b.chosen_pos]).collect();
+    // Cumulative preemptions spent *before* each decision point.
+    let mut spent = Vec::with_capacity(st.branches.len());
+    let mut acc = 0;
+    for (k, b) in st.branches.iter().enumerate() {
+        spent.push(acc);
+        acc += b.cost(chosens[k]);
+    }
+    for k in (0..st.branches.len()).rev() {
+        let b = &st.branches[k];
+        for pos in b.chosen_pos + 1..b.order.len() {
+            let alt = b.order[pos];
+            if spent[k] + b.cost(alt) <= st.preemption_bound {
+                let mut replay = chosens[..k].to_vec();
+                replay.push(alt);
+                return Some(replay);
+            }
+        }
+    }
+    None
+}
+
+/// Configures and runs an exploration; [`model`] uses the defaults.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Max context switches away from a still-runnable thread per
+    /// execution; `None` means the default bound (3).
+    pub preemption_bound: Option<usize>,
+    /// Max executions before the exploration panics as too large.
+    pub max_iterations: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// A builder with the default preemption bound and iteration cap.
+    pub fn new() -> Self {
+        Builder {
+            preemption_bound: None,
+            max_iterations: DEFAULT_MAX_ITERATIONS,
+        }
+    }
+
+    /// Explores `f` under every schedule within the preemption bound.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic from any simulated thread of the
+    /// failing execution; panics with a `deadlock:` message when some
+    /// schedule blocks every live thread; panics if the exploration
+    /// exceeds `max_iterations`.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let bound = self.preemption_bound.unwrap_or(DEFAULT_PREEMPTION_BOUND);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom: exploration exceeded {} executions; lower the preemption bound \
+                 or shrink the model",
+                self.max_iterations
+            );
+            let sched = Arc::new(Scheduler::new(replay.clone(), bound));
+            let tid0 = sched.register_thread();
+            debug_assert_eq!(tid0, 0, "thread 0 registers first");
+            let (s2, f2) = (Arc::clone(&sched), Arc::clone(&f));
+            let root = std::thread::Builder::new()
+                .name("loom-0".into())
+                .spawn(move || {
+                    set_current(&s2, 0);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f2()));
+                    if let Err(payload) = outcome {
+                        if !payload.is::<AbortUnwind>() {
+                            s2.record_panic(payload);
+                        }
+                    }
+                    s2.finish(0);
+                })
+                .expect("failed to spawn loom root thread");
+            {
+                let mut st = sched.lock();
+                while !st.done {
+                    st = sched.cv.wait(st).expect("loom scheduler poisoned");
+                }
+            }
+            let _ = root.join();
+            let mut st = sched.lock();
+            if let Some(payload) = st.panic_payload.take() {
+                drop(st);
+                resume_unwind(payload);
+            }
+            if let Some(msg) = st.failure.take() {
+                panic!("loom: {msg} (execution {iterations})");
+            }
+            match next_replay(&st) {
+                Some(r) => replay = r,
+                None => return,
+            }
+        }
+    }
+}
+
+/// Explores every interleaving of `f` (bounded as documented on
+/// [`Builder`]) and panics on the first failing schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

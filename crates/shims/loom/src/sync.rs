@@ -1,0 +1,283 @@
+//! Scheduler-aware drop-ins for `std::sync` primitives.
+//!
+//! Each operation is a decision point for the model scheduler (see the
+//! crate docs); blocking goes through the scheduler so deadlocks are
+//! detected rather than hung on. The data itself lives in ordinary std
+//! containers — mutual exclusion is enforced by the scheduler's
+//! held-flags, so the inner `std::sync::Mutex` is never contended.
+
+use std::ops::{Deref, DerefMut};
+
+use crate::sched::Scheduler;
+
+pub use std::sync::Arc;
+
+/// Atomics whose every access is a scheduler decision point.
+pub mod atomic {
+    use crate::sched::Scheduler;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// Inserts a decision point before an atomic access.
+    fn yield_here() {
+        let (sched, me) = Scheduler::current();
+        sched.yield_point(me);
+    }
+
+    macro_rules! int_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Wraps an initial value.
+                pub fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Reads the value (a decision point).
+                pub fn load(&self, o: Ordering) -> $prim {
+                    yield_here();
+                    self.0.load(o)
+                }
+
+                /// Writes the value (a decision point).
+                pub fn store(&self, v: $prim, o: Ordering) {
+                    yield_here();
+                    self.0.store(v, o);
+                }
+
+                /// Swaps in `v`, returning the previous value.
+                pub fn swap(&self, v: $prim, o: Ordering) -> $prim {
+                    yield_here();
+                    self.0.swap(v, o)
+                }
+
+                /// Adds `v`, returning the previous value.
+                pub fn fetch_add(&self, v: $prim, o: Ordering) -> $prim {
+                    yield_here();
+                    self.0.fetch_add(v, o)
+                }
+
+                /// Subtracts `v`, returning the previous value.
+                pub fn fetch_sub(&self, v: $prim, o: Ordering) -> $prim {
+                    yield_here();
+                    self.0.fetch_sub(v, o)
+                }
+
+                /// Stores `new` if the value equals `current`.
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it was not `current`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$prim, $prim> {
+                    yield_here();
+                    self.0.compare_exchange(current, new, ok, err)
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Model-checked `AtomicUsize`.
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    int_atomic!(
+        /// Model-checked `AtomicU64`.
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Model-checked `AtomicU32`.
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+
+    /// Model-checked `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Wraps an initial value.
+        pub fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        /// Reads the flag (a decision point).
+        pub fn load(&self, o: Ordering) -> bool {
+            yield_here();
+            self.0.load(o)
+        }
+
+        /// Writes the flag (a decision point).
+        pub fn store(&self, v: bool, o: Ordering) {
+            yield_here();
+            self.0.store(v, o);
+        }
+
+        /// Swaps in `v`, returning the previous flag.
+        pub fn swap(&self, v: bool, o: Ordering) -> bool {
+            yield_here();
+            self.0.swap(v, o)
+        }
+    }
+}
+
+/// Result alias matching `std::sync::Mutex::lock`; the model never
+/// poisons, so every lock returns `Ok`.
+pub type LockResult<T> = std::sync::LockResult<T>;
+
+/// A mutex whose blocking is visible to the model scheduler.
+///
+/// Must be created inside [`crate::model`] — construction registers the
+/// mutex with the current execution's scheduler.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value`; registers with the current model execution.
+    pub fn new(value: T) -> Self {
+        let (sched, _) = Scheduler::current();
+        Mutex {
+            id: sched.register_mutex(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking through the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Never errs; the signature matches `std` so call sites port
+    /// unchanged (`.lock().expect(..)` and friends).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (sched, me) = Scheduler::current();
+        sched.yield_point(me);
+        sched.acquire_mutex(self.id, me);
+        let inner = self
+            .data
+            .try_lock()
+            .expect("loom: scheduler granted a held mutex");
+        Ok(MutexGuard {
+            mutex: self,
+            inner: Some(inner),
+        })
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing is scheduler-visible.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<'a, T> MutexGuard<'a, T> {
+    /// Drops the data lock without the scheduler-level release — used by
+    /// [`Condvar::wait`], which hands the release to the scheduler
+    /// atomically with the wait registration.
+    fn release_for_wait(mut self) -> &'a Mutex<T> {
+        let mutex = self.mutex;
+        self.inner.take();
+        mutex
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("loom: guard already released")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("loom: guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            // Release even mid-unwind (abort teardown): unlock_mutex only
+            // flips scheduler flags and cannot block or panic.
+            if let Some((sched, _)) = Scheduler::try_current() {
+                sched.unlock_mutex(self.mutex.id);
+            }
+        }
+    }
+}
+
+/// A condition variable whose waits and wakeups the scheduler tracks —
+/// a wait no notify ever reaches is reported as a deadlock instead of
+/// hanging the test.
+#[derive(Debug)]
+pub struct Condvar {
+    id: usize,
+}
+
+impl Condvar {
+    /// Registers a condvar with the current model execution.
+    pub fn new() -> Self {
+        let (sched, _) = Scheduler::current();
+        Condvar {
+            id: sched.register_condvar(),
+        }
+    }
+
+    /// Atomically releases `guard`'s mutex and waits to be notified,
+    /// then reacquires the mutex. No spurious wakeups are modeled.
+    ///
+    /// # Errors
+    ///
+    /// Never errs; signature matches `std`.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (sched, me) = Scheduler::current();
+        let mutex = guard.release_for_wait();
+        sched.cond_wait(self.id, mutex.id, me);
+        sched.acquire_mutex(mutex.id, me);
+        let inner = mutex
+            .data
+            .try_lock()
+            .expect("loom: scheduler granted a held mutex");
+        Ok(MutexGuard {
+            mutex,
+            inner: Some(inner),
+        })
+    }
+
+    /// Wakes one waiter (FIFO — deterministic); no-op with none waiting.
+    pub fn notify_one(&self) {
+        let (sched, me) = Scheduler::current();
+        sched.yield_point(me);
+        sched.notify(self.id, false);
+    }
+
+    /// Wakes every current waiter; no-op with none waiting.
+    pub fn notify_all(&self) {
+        let (sched, me) = Scheduler::current();
+        sched.yield_point(me);
+        sched.notify(self.id, true);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,96 @@
+//! Simulated threads: each is a real OS thread, but only runs when the
+//! model scheduler grants it, and finishing/joining are scheduler events.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::sched::{self, Scheduler};
+
+/// Result slot shared between a simulated thread and its join handle.
+type ResultSlot<T> = Arc<StdMutex<Option<std::thread::Result<T>>>>;
+
+/// Handle to a simulated thread, joinable through the scheduler.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    tid: usize,
+    real: Option<std::thread::JoinHandle<()>>,
+    result: ResultSlot<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (scheduler-visibly) until the thread finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload, like `std`. Under an aborted
+    /// execution the joiner itself unwinds instead of returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the finished thread left no result (a model bug).
+    pub fn join(mut self) -> std::thread::Result<T> {
+        let (sched, me) = Scheduler::current();
+        sched.join_thread(self.tid, me);
+        if let Some(real) = self.real.take() {
+            // The scheduler already saw the thread finish; the OS thread
+            // is at its tail and exits immediately.
+            let _ = real.join();
+        }
+        self.result
+            .lock()
+            .expect("loom result slot poisoned")
+            .take()
+            .expect("loom: joined thread left no result")
+    }
+}
+
+/// Spawns a simulated thread running `f`. The spawn itself is a decision
+/// point, so the child may be scheduled before or after the parent
+/// continues — both orders are explored.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = Scheduler::current();
+    let tid = sched.register_thread();
+    let result: ResultSlot<T> = Arc::new(StdMutex::new(None));
+    let (s2, r2) = (Arc::clone(&sched), Arc::clone(&result));
+    let real = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            sched::set_current(&s2, tid);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                s2.wait_first_grant(tid);
+                f()
+            }));
+            match outcome {
+                Ok(v) => {
+                    *r2.lock().expect("loom result slot poisoned") = Some(Ok(v));
+                }
+                Err(payload) => {
+                    let aborted = payload.is::<crate::sched::AbortUnwind>();
+                    *r2.lock().expect("loom result slot poisoned") = Some(Err(Box::new(
+                        "loom simulated thread unwound; failure re-raised from loom::model",
+                    )));
+                    if !aborted {
+                        s2.record_panic(payload);
+                    }
+                }
+            }
+            s2.finish(tid);
+        })
+        .expect("failed to spawn loom thread");
+    sched.yield_point(me);
+    JoinHandle {
+        tid,
+        real: Some(real),
+        result,
+    }
+}
+
+/// A voluntary decision point: lets the scheduler run another thread.
+pub fn yield_now() {
+    let (sched, me) = Scheduler::current();
+    sched.yield_point(me);
+}

@@ -11,9 +11,6 @@
 //! CI is reproducible), and there is no shrinking — a failing case panics
 //! immediately with the case index, which is enough to re-run it.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 

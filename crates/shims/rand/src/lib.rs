@@ -7,9 +7,6 @@
 //! All generators in the workspace are seeded, so determinism is a feature:
 //! every test run sees the same stream.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use core::ops::{Range, RangeInclusive};
 
 /// A source of random 64-bit words.

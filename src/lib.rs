@@ -34,8 +34,6 @@
 //! assert!(certifier.run(&cfg).unwrap().accepted());
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub use lanecert as pls;
 pub use lanecert_algebra as algebra;
 pub use lanecert_engine as engine;
