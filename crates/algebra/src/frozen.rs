@@ -243,13 +243,12 @@ impl FrozenAlgebra {
                 .fetch_add(1, Ordering::Relaxed)
                 .hash(&mut hasher);
             std::process::id().hash(&mut hasher);
-            // lint: allow(determinism) reason="entropy for the sealed-instance nonce: deliberately unique per instance, hashed into the fingerprint, never ordered or compared"
-            #[allow(clippy::disallowed_methods)]
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_nanos())
-                .unwrap_or(0)
-                .hash(&mut hasher);
+            // Wall-clock entropy for the sealed-instance nonce —
+            // deliberately unique per instance, hashed into the
+            // fingerprint, never ordered or compared. Routed through
+            // the workspace's single audited clock site in the obs
+            // crate rather than reading `SystemTime` here.
+            lanecert_obs::wall_entropy_ns().hash(&mut hasher);
         }
         let canonical: Vec<Class> = keyed.into_iter().map(|(_, c)| c).collect();
         let index = canonical

@@ -11,19 +11,20 @@
 //!   `BENCH_results.json` in the current directory).
 //! * `--no-json` — skip writing the summary.
 //! * `--quick` — CI-sized runs (same code paths, small `n`).
+//! * `--trace-out PATH` — additionally run a dedicated traced engine
+//!   sweep and write its span log as JSONL to `PATH`, plus a
+//!   collapsed-stack profile (flamegraph input) to `PATH.collapsed`.
+//!   Build with `--features obs`, or the recorder compiles to no-ops
+//!   and the log carries a header but no events.
 //!
 //! Built with `--features count-allocs`, the binary installs a counting
 //! global allocator and the throughput section reports measured
 //! allocations-per-vertex under `mem_stats`.
 
-// Timing is this binary's job: the wall-clock ban from clippy.toml's
-// disallowed-methods list is lifted for the whole experiment harness.
-#![allow(clippy::disallowed_methods)]
-
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use lanecert_bench::{stats, throughput, RunCtx, Scale};
+use lanecert_obs::Clock;
 
 /// The counting global allocator behind the `count-allocs` feature: two
 /// relaxed atomics per allocation, delegating to the system allocator.
@@ -126,6 +127,7 @@ fn main() {
         }
     }
 
+    let clock = Clock::monotonic();
     let mut results: Vec<(&'static str, f64, String)> = Vec::new();
     for (name, table) in lanecert_bench::all_tables() {
         if let Some(sel) = &selected {
@@ -133,9 +135,9 @@ fn main() {
                 continue;
             }
         }
-        let start = Instant::now();
+        let start = clock.now_ns();
         let rendered = table(&ctx);
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = clock.seconds_since(start);
         println!("==== {} ({seconds:.2}s) ====", name.to_uppercase());
         println!("{rendered}");
         results.push((name, seconds, rendered));
@@ -145,9 +147,9 @@ fn main() {
     // trajectory), selectable alone via `--table throughput`.
     let run_sweep = selected.as_deref().is_none_or(|s| s == "throughput");
     let sweep = run_sweep.then(|| {
-        let start = Instant::now();
+        let start = clock.now_ns();
         let report = throughput::sweep_with(scale, alloc_snapshot());
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = clock.seconds_since(start);
         println!("==== THROUGHPUT ({seconds:.2}s) ====");
         println!("{}", report.render());
         report
@@ -158,13 +160,20 @@ fn main() {
     // — the CI determinism job diffs this section across thread counts.
     let run_stats = selected.as_deref().is_none_or(|s| s == "label-stats");
     let label_stats = run_stats.then(|| {
-        let start = Instant::now();
+        let start = clock.now_ns();
         let report = stats::collect(scale, ctx.threads);
-        let seconds = start.elapsed().as_secs_f64();
+        let seconds = clock.seconds_since(start);
         println!("==== LABEL-STATS ({seconds:.2}s) ====");
         println!("{}", report.render());
         report
     });
+
+    if let Some(trace_path) = flag_value("--trace-out") {
+        if let Err(e) = lanecert_bench::write_trace(&trace_path, ctx.threads) {
+            eprintln!("failed to write trace to {trace_path}: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if results.is_empty() && sweep.is_none() && label_stats.is_none() {
         let known: Vec<&str> = lanecert_bench::all_tables()
@@ -182,7 +191,7 @@ fn main() {
     if !write_json {
         return;
     }
-    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/4\",\n");
+    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/5\",\n");
     let _ = writeln!(json, "  \"threads\": {},", ctx.threads);
     json.push_str("  \"tables\": [\n");
     for (i, (name, seconds, rendered)) in results.iter().enumerate() {

@@ -17,9 +17,6 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-// Timing is this crate's job: the wall-clock ban from clippy.toml's
-// disallowed-methods list is lifted for the whole bench harness.
-#![allow(clippy::disallowed_methods)]
 
 use lanecert::theorem1::PathwidthScheme;
 use lanecert::{
@@ -383,20 +380,21 @@ pub fn table_t5(ctx: &RunCtx) -> String {
         ctx.threads,
     );
     let certifier = theorem1_certifier(Algebra::shared(Connected));
+    let clock = lanecert_obs::Clock::monotonic();
     for &n in sizes {
         let (g, rep) = path_family(n);
         let cfg = Configuration::with_random_ids(g, 3);
         let hint = ProverHint::with_representation(rep);
-        let t0 = std::time::Instant::now();
+        let t0 = clock.now_ns();
         let labels = certifier.certify_with(&cfg, &hint).unwrap();
-        let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = std::time::Instant::now();
+        let prove_ms = clock.seconds_since(t0) * 1e3;
+        let t1 = clock.now_ns();
         let report = certifier.verify(&cfg, &labels).unwrap();
-        let ver_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let ver_ms = clock.seconds_since(t1) * 1e3;
         assert!(report.accepted());
-        let t2 = std::time::Instant::now();
+        let t2 = clock.now_ns();
         let par_report = certifier.par_verify(&cfg, &labels, ctx.threads).unwrap();
-        let par_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let par_ms = clock.seconds_since(t2) * 1e3;
         assert_eq!(par_report, report, "par-verify must be bit-identical");
         out += &format!(
             "{:<6} {:>9.2}  {:>14.2}  {:>14.2}  {:>13.2}\n",
@@ -593,6 +591,68 @@ pub fn table_t9(ctx: &RunCtx) -> String {
         }
     }
     out
+}
+
+/// Runs a dedicated traced engine sweep and writes the span log as JSONL
+/// to `path` plus a collapsed-stack profile (flamegraph input) to
+/// `path.collapsed`.
+///
+/// The corpus is sized for scheduling visibility, not speed: enough jobs
+/// and a low shard threshold so every worker proves, verifies shards,
+/// steals, and parks — the pool counters in the JSONL summary line are
+/// what CI asserts nonzero. With the `obs` feature off the recorder is
+/// compiled out; the files are still written (header + summary), and a
+/// warning goes to stderr.
+pub fn write_trace(path: &str, threads: usize) -> std::io::Result<()> {
+    if !lanecert_obs::COMPILED {
+        eprintln!(
+            "warning: recorder compiled out (build with --features obs); \
+             {path} will have no span events"
+        );
+    }
+    let engine = Engine::builder()
+        .certifier(theorem1_certifier(Algebra::shared(Connected)))
+        .workers(threads)
+        .shard_threshold(32)
+        .trace(lanecert_obs::TraceConfig::new())
+        .build()
+        .expect("spec is complete");
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    for fam in families() {
+        for n in [128usize, 256, 384] {
+            for seed in 1u64..=3 {
+                let (g, rep) = (fam.make)(n);
+                jobs.push(
+                    BatchJob::new(Configuration::with_random_ids(g, seed))
+                        .with_hint(ProverHint::with_representation(rep))
+                        .named(format!("{}/{n}/{seed}", fam.name)),
+                );
+            }
+        }
+    }
+    let report = engine.run(jobs);
+    assert!(
+        report.batch.all_accepted(),
+        "trace corpus must certify cleanly: {}",
+        report.batch.summary()
+    );
+    let log = report.trace.as_ref().expect("engine ran with .trace()");
+    let obs = report.batch.obs.as_ref();
+    std::fs::write(path, log.to_jsonl(obs))?;
+    std::fs::write(format!("{path}.collapsed"), log.to_collapsed())?;
+    if let Some(obs) = obs {
+        let pool = obs.pool.as_ref().expect("engine attaches pool stats");
+        eprintln!(
+            "wrote {path} ({} span events) and {path}.collapsed; pool: {} tasks, {} steals, {} parks",
+            log.event_count(),
+            pool.total_tasks(),
+            pool.steals,
+            pool.parks,
+        );
+    } else {
+        eprintln!("wrote {path} and {path}.collapsed");
+    }
+    Ok(())
 }
 
 /// A table renderer: `(name, render)`.

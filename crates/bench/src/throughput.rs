@@ -25,11 +25,11 @@
 //! expect ≈ 1×.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use lanecert::{Configuration, ProverHint};
 use lanecert_algebra::{props::Connected, Algebra};
 use lanecert_engine::{CorpusSpec, Engine};
+use lanecert_obs::{Clock, TraceConfig, TraceSession};
 
 use crate::{path_family, theorem1_certifier, Scale};
 
@@ -97,6 +97,26 @@ pub struct MemStats {
 /// library forbids.
 pub type AllocSnapshot = fn() -> (u64, u64);
 
+/// Instrumentation cost of the observability layer on the verify stage:
+/// the same verify-only workload run twice, once with an active
+/// [`TraceSession`] recording spans and counters and once without.
+///
+/// With the `obs` feature off (`compiled: false`) the session is a
+/// no-op, so the two rates measure the same code and the ratio pins the
+/// zero-cost claim (≈ 1.0 up to scheduler noise). With it on, the ratio
+/// is the honest recording overhead the README quotes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObsOverhead {
+    /// Whether the recorder was compiled in (`lanecert_obs::COMPILED`).
+    pub compiled: bool,
+    /// Vertices verified per second with no session active.
+    pub uninstrumented_vertices_per_sec: f64,
+    /// Vertices verified per second inside a recording session.
+    pub instrumented_vertices_per_sec: f64,
+    /// `uninstrumented / instrumented` — ≥ 1.0 means recording cost.
+    pub slowdown: f64,
+}
+
 /// The full scaling sweep: pipeline and verify-only series.
 #[derive(Clone, Debug)]
 pub struct ThroughputReport {
@@ -112,6 +132,9 @@ pub struct ThroughputReport {
     pub verify_only: Vec<VerifyRun>,
     /// Allocator traffic of the verify stage (see [`MemStats`]).
     pub mem_stats: MemStats,
+    /// Instrumented-vs-uninstrumented verify throughput (see
+    /// [`ObsOverhead`]).
+    pub obs_overhead: ObsOverhead,
 }
 
 const FULL_SIZES: &[usize] = &[64, 256, 1024];
@@ -221,6 +244,7 @@ pub fn sweep_with(scale: Scale, alloc_snapshot: Option<AllocSnapshot>) -> Throug
             .expect("prover thread panicked")
             .expect("path family certifies")
     });
+    let clock = Clock::monotonic();
     let mut verify_only = Vec::new();
     let mut base_rate = 0.0;
     let mut mem_stats = MemStats::default();
@@ -230,14 +254,14 @@ pub fn sweep_with(scale: Scale, alloc_snapshot: Option<AllocSnapshot>) -> Throug
             .expect("honest labels verify")
             .accepted());
         let before = alloc_snapshot.map(|snap| snap());
-        let t0 = Instant::now();
+        let t0 = clock.now_ns();
         for _ in 0..reps {
             let report = certifier
                 .par_verify(&cfg, &labels, workers)
                 .expect("honest labels verify");
             assert!(report.accepted());
         }
-        let seconds = t0.elapsed().as_secs_f64();
+        let seconds = clock.seconds_since(t0);
         if workers == 1 {
             if let (Some(snap), Some((a0, b0))) = (alloc_snapshot, before) {
                 let (a1, b1) = snap();
@@ -272,12 +296,48 @@ pub fn sweep_with(scale: Scale, alloc_snapshot: Option<AllocSnapshot>) -> Throug
         });
     }
 
+    // Instrumentation overhead: the 1-thread verify workload again,
+    // untraced then traced. Both windows run the identical code path —
+    // only the presence of a recording session differs.
+    let obs_overhead = {
+        let timed_pass = || {
+            let t0 = clock.now_ns();
+            for _ in 0..reps {
+                assert!(certifier
+                    .par_verify(&cfg, &labels, 1)
+                    .expect("honest labels verify")
+                    .accepted());
+            }
+            let seconds = clock.seconds_since(t0);
+            if seconds > 0.0 {
+                (n * reps) as f64 / seconds
+            } else {
+                0.0
+            }
+        };
+        let uninstrumented = timed_pass();
+        let session = TraceSession::begin(TraceConfig::new());
+        let instrumented = timed_pass();
+        drop(session.end());
+        ObsOverhead {
+            compiled: lanecert_obs::COMPILED,
+            uninstrumented_vertices_per_sec: uninstrumented,
+            instrumented_vertices_per_sec: instrumented,
+            slowdown: if instrumented > 0.0 {
+                uninstrumented / instrumented
+            } else {
+                0.0
+            },
+        }
+    };
+
     ThroughputReport {
         corpus,
         pipeline,
         driver_prove,
         verify_only,
         mem_stats,
+        obs_overhead,
     }
 }
 
@@ -332,6 +392,15 @@ impl ThroughputReport {
                 self.mem_stats.allocations_per_vertex, self.mem_stats.bytes_per_vertex,
             );
         }
+        let o = &self.obs_overhead;
+        let _ = writeln!(
+            out,
+            "obs-overhead (recorder {}): {:.0} vert/s untraced vs {:.0} vert/s traced ({:.3}x slowdown)",
+            if o.compiled { "compiled in" } else { "compiled out" },
+            o.uninstrumented_vertices_per_sec,
+            o.instrumented_vertices_per_sec,
+            o.slowdown,
+        );
         out
     }
 
@@ -393,10 +462,21 @@ impl ThroughputReport {
         let _ = writeln!(
             json,
             "    ],\n    \"mem_stats\": {{\"enabled\": {}, \"allocations_per_vertex\": {:.3}, \
-             \"bytes_per_vertex\": {:.3}}}",
+             \"bytes_per_vertex\": {:.3}}},",
             self.mem_stats.enabled,
             self.mem_stats.allocations_per_vertex,
             self.mem_stats.bytes_per_vertex,
+        );
+        let o = &self.obs_overhead;
+        let _ = writeln!(
+            json,
+            "    \"obs_overhead\": {{\"compiled\": {}, \
+             \"uninstrumented_vertices_per_sec\": {:.3}, \
+             \"instrumented_vertices_per_sec\": {:.3}, \"slowdown\": {:.4}}}",
+            o.compiled,
+            o.uninstrumented_vertices_per_sec,
+            o.instrumented_vertices_per_sec,
+            o.slowdown,
         );
         json.push_str("  }");
         json
@@ -441,5 +521,10 @@ mod tests {
         assert!(json.contains("\"allocations_per_vertex\""));
         assert!(json.contains("\"speedup_vs_1\""));
         assert!(json.contains("\"prove_speedup_vs_driver\""));
+        assert!(json.contains("\"obs_overhead\""));
+        assert!(json.contains("\"slowdown\""));
+        assert!(rendered.contains("obs-overhead"));
+        assert!(report.obs_overhead.uninstrumented_vertices_per_sec > 0.0);
+        assert!(report.obs_overhead.instrumented_vertices_per_sec > 0.0);
     }
 }

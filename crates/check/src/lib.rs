@@ -40,6 +40,11 @@ const NO_PANIC_FILES: &[&str] = &[
 /// The crate whose values must behave as plain data.
 const INTERIOR_MUT_CRATE: &str = "crates/algebra";
 
+/// The one crate allowed to read the OS clock directly: it hosts the
+/// audited `Instant::now`/`SystemTime::now` sites behind
+/// `lanecert_obs::Clock` and `lanecert_obs::wall_entropy_ns`.
+const OBS_CRATE: &str = "crates/obs";
+
 /// Path fragments excluded from the token rules: integration tests and
 /// benches are not product code, and the linter's own fixtures violate
 /// rules on purpose.
@@ -63,10 +68,14 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 
 /// Derives the rule context for one workspace-relative file path.
 fn ctx_for(rel: &str) -> FileCtx {
+    let determinism = DETERMINISM_CRATES.iter().any(|c| rel.starts_with(c));
     FileCtx {
-        determinism: DETERMINISM_CRATES.iter().any(|c| rel.starts_with(c)),
+        determinism,
         no_panic: NO_PANIC_FILES.contains(&rel),
         interior_mut: rel.starts_with(INTERIOR_MUT_CRATE),
+        // Determinism crates are exempt here only because their stricter
+        // rule already reports the same tokens — one finding per site.
+        obs_clock: !determinism && !rel.starts_with(OBS_CRATE),
     }
 }
 
@@ -163,5 +172,11 @@ mod tests {
         assert!(ctx_for("crates/core/src/theorem1/verifier.rs").no_panic);
         let engine = ctx_for("crates/engine/src/pool.rs");
         assert!(!engine.determinism && !engine.no_panic && !engine.interior_mut);
+        // obs-clock: everywhere except the obs crate itself and the
+        // determinism crates (whose stricter rule subsumes it).
+        assert!(engine.obs_clock);
+        assert!(ctx_for("crates/bench/src/lib.rs").obs_clock);
+        assert!(!ctx_for("crates/obs/src/clock.rs").obs_clock);
+        assert!(!ctx_for("crates/algebra/src/frozen.rs").obs_clock);
     }
 }

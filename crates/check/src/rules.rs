@@ -7,6 +7,7 @@
 //! | `zero-alloc`   | no allocating calls inside `// lint: zero-alloc { … }` regions     |
 //! | `no-panic`     | no `unwrap`/`expect`/`panic!` in adversarial-wire modules          |
 //! | `interior-mut` | no interior mutability in `crates/algebra` outside the sealed tail |
+//! | `obs-clock`    | raw `Instant::now`/`SystemTime` only inside `crates/obs`           |
 //!
 //! Any finding can be suppressed at its site with
 //! `// lint: allow(<rule>) reason="…"` on the same line or the line
@@ -25,6 +26,7 @@ pub const RULES: &[&str] = &[
     "zero-alloc",
     "no-panic",
     "interior-mut",
+    "obs-clock",
 ];
 
 /// Which rules apply to one file (derived from its path by the walker).
@@ -36,6 +38,11 @@ pub struct FileCtx {
     pub no_panic: bool,
     /// File lives in `crates/algebra`.
     pub interior_mut: bool,
+    /// File must route timing through `lanecert_obs::Clock` — every
+    /// crate except `crates/obs` (which hosts the audited raw-clock
+    /// sites) and the determinism crates (where the stricter
+    /// `determinism` rule already reports the same tokens).
+    pub obs_clock: bool,
 }
 
 /// One diagnostic.
@@ -332,6 +339,27 @@ pub fn lint_source(file: &str, src: &str, ctx: FileCtx) -> Vec<Finding> {
                     "determinism",
                     line,
                     "`RandomState` in a determinism-critical crate".into(),
+                    &mut findings,
+                );
+            }
+        }
+
+        if ctx.obs_clock && !ctx.determinism {
+            if path2(i, "Instant", "now") {
+                push(
+                    "obs-clock",
+                    line,
+                    "raw `Instant::now` outside crates/obs — time through `lanecert_obs::Clock`"
+                        .into(),
+                    &mut findings,
+                );
+            }
+            if ident(i) == Some("SystemTime") {
+                push(
+                    "obs-clock",
+                    line,
+                    "raw `SystemTime` outside crates/obs — use `lanecert_obs::wall_entropy_ns`"
+                        .into(),
                     &mut findings,
                 );
             }

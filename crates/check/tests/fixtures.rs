@@ -66,6 +66,29 @@ fn interior_mut_fixture_fails_with_its_rule() {
 }
 
 #[test]
+fn obs_clock_fixture_fails_with_its_rule() {
+    let ctx = FileCtx {
+        obs_clock: true,
+        ..FileCtx::default()
+    };
+    let findings = lint_source("obs_clock.rs", &fixture("obs_clock.rs"), ctx);
+    assert_eq!(rule_counts(&findings), [("obs-clock".to_string(), 2)]);
+}
+
+#[test]
+fn obs_clock_defers_to_the_determinism_rule() {
+    // In a determinism crate the same tokens are the determinism rule's
+    // findings — obs-clock stays silent so no site is reported twice.
+    let ctx = FileCtx {
+        obs_clock: true,
+        determinism: true,
+        ..FileCtx::default()
+    };
+    let findings = lint_source("obs_clock.rs", &fixture("obs_clock.rs"), ctx);
+    assert_eq!(rule_counts(&findings), [("determinism".to_string(), 2)]);
+}
+
+#[test]
 fn forbid_unsafe_fixture_fails_with_its_rule() {
     let mut findings = Vec::new();
     check_forbid_unsafe(
@@ -92,7 +115,12 @@ fn fixtures_are_rule_neutral_outside_their_context() {
     // A fixture's violations exist only under its rule context: the same
     // sources lint clean with every context flag off (zero-alloc regions
     // and directives excepted, which are context-free by design).
-    for name in ["determinism.rs", "no_panic.rs", "interior_mut.rs"] {
+    for name in [
+        "determinism.rs",
+        "no_panic.rs",
+        "interior_mut.rs",
+        "obs_clock.rs",
+    ] {
         let findings = lint_source(name, &fixture(name), FileCtx::default());
         assert!(findings.is_empty(), "{name}: {findings:?}");
     }

@@ -1,0 +1,11 @@
+//! Fixture: raw OS-clock reads outside `crates/obs`. Expected findings:
+//! two `obs-clock` (one `Instant::now`, one `SystemTime`).
+
+pub fn times_with_raw_clocks() -> u64 {
+    let started = std::time::Instant::now();
+    let wall = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    started.elapsed().as_nanos() as u64 + wall
+}

@@ -63,11 +63,30 @@ pub struct BatchOutcome {
 }
 
 /// Aggregated results of a batch run.
-#[derive(Debug, Default, PartialEq, Eq)]
+#[derive(Debug, Default)]
 pub struct BatchReport {
     /// One outcome per job, in job order.
     pub outcomes: Vec<BatchOutcome>,
+    /// Observability summary for the run, attached by the engine when
+    /// tracing is enabled (`None` on the sequential runner and on
+    /// untraced engine runs). Diagnostic only: it describes *how* the
+    /// run executed, never what it certified — see the `PartialEq`
+    /// impl below.
+    pub obs: Option<lanecert_obs::ObsReport>,
 }
+
+/// Equality compares certified outputs only — the `obs` field is
+/// execution diagnostics (timings, scheduling counters) and is
+/// deliberately excluded, so the engine's traced-vs-untraced and
+/// sequential-vs-parallel parity suites can assert reports equal while
+/// instrumentation varies.
+impl PartialEq for BatchReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcomes == other.outcomes
+    }
+}
+
+impl Eq for BatchReport {}
 
 impl BatchReport {
     /// Number of jobs that were certified and accepted everywhere.
@@ -178,7 +197,10 @@ impl BatchRunner {
                 }
             })
             .collect();
-        BatchReport { outcomes }
+        BatchReport {
+            outcomes,
+            obs: None,
+        }
     }
 }
 

@@ -489,14 +489,27 @@ fn verify_span<S: Scheme + Send + Sync>(
 ) -> Vec<Verdict> {
     // Decode pass. `arena[e]` is `None` until edge `e` is first touched,
     // then `Some(decode result)` — endpoints inside the span share it.
+    // The per-span decode tallies feed the obs counters after the loop;
+    // `COMPILED` is a const, so uninstrumented builds fold all of this
+    // away (and the zero-alloc region below is untouched either way).
+    let (mut decoded, mut bytes_read) = (0u64, 0u64);
     let mut arena: Vec<Option<Option<S::Label>>> = (0..g.edge_count()).map(|_| None).collect();
     for v in lo..hi {
         for h in g.incident(VertexId::new(v)) {
             let e = h.edge.index();
             if arena[e].is_none() {
-                arena[e] = Some(labels.get(e).decode_canonical::<S::Label>());
+                let raw = labels.get(e);
+                if lanecert_obs::COMPILED {
+                    decoded += 1;
+                    bytes_read += raw.bytes.len() as u64;
+                }
+                arena[e] = Some(raw.decode_canonical::<S::Label>());
             }
         }
+    }
+    if lanecert_obs::COMPILED && decoded > 0 {
+        lanecert_obs::counter_add(lanecert_obs::names::LABELS_DECODED, decoded);
+        lanecert_obs::counter_add(lanecert_obs::names::LABEL_BYTES_READ, bytes_read);
     }
     // Verify loop: reuses one scratch slice; views borrow from the arena.
     // An arena slot the decode pass somehow missed reads as an undecodable

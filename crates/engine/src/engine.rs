@@ -35,14 +35,14 @@
 //! the scheme via `DynScheme::canonical_labels`, so sealed schemes keep
 //! reproducible sizes by default; verdicts agree in either placement).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
 
 use lanecert::{
     BatchJob, BatchOutcome, BatchReport, CertError, Certifier, Configuration, EncodedLabeling,
     RunReport, Verdict,
 };
+use lanecert_obs::{names, Clock, ObsReport, TraceConfig, TraceLog, TraceSession};
 
 use crate::pool::{Spawner, WorkStealingPool};
 
@@ -62,11 +62,13 @@ pub struct Throughput {
     pub edges: usize,
     /// Wall-clock duration of the whole run, in seconds.
     pub wall_seconds: f64,
-    /// Time the driver spent proving — zero in the default
-    /// pool-proving mode, nonzero only under
-    /// [`EngineBuilder::parallel_prove`]`(false)`, where
-    /// `wall_seconds - prove_seconds` bounds the verify stage's critical
-    /// path from above.
+    /// Time spent in the prove stage, summed over whichever threads
+    /// proved. Under [`EngineBuilder::parallel_prove`]`(false)` this is
+    /// driver wall-clock time (and `wall_seconds - prove_seconds`
+    /// bounds the verify stage's critical path from above); in the
+    /// default pool-proving mode it is CPU-seconds accumulated from the
+    /// workers' own prove timings, so it can legitimately exceed
+    /// `wall_seconds` when proves overlap.
     pub prove_seconds: f64,
 }
 
@@ -106,13 +108,18 @@ fn per_second(count: usize, seconds: f64) -> f64 {
 }
 
 /// What an engine run returns: the batch outcomes (bit-identical to the
-/// sequential path) plus throughput accounting.
+/// sequential path) plus throughput accounting — and, for traced runs,
+/// the drained span log.
 #[derive(Debug)]
 pub struct EngineReport {
-    /// Per-job outcomes folded into the standard batch report.
+    /// Per-job outcomes folded into the standard batch report (carries
+    /// the run's [`ObsReport`] when tracing was enabled).
     pub batch: BatchReport,
     /// Rate accounting for the run.
     pub throughput: Throughput,
+    /// The span event log, when the engine was built with
+    /// [`EngineBuilder::trace`] (empty in an obs-disabled build).
+    pub trace: Option<TraceLog>,
 }
 
 /// The parallel certification engine: a work-stealing pool plus one
@@ -148,6 +155,11 @@ pub struct Engine {
     shard_threshold: usize,
     window_per_worker: usize,
     parallel_prove: bool,
+    /// Set by [`EngineBuilder::trace`]; every run installs a session.
+    trace: Option<TraceConfig>,
+    /// The trace clock when tracing, the monotonic clock otherwise —
+    /// all engine timing reads this, never `Instant::now` directly.
+    clock: Clock,
 }
 
 impl Engine {
@@ -175,18 +187,28 @@ impl Engine {
     /// The source is pulled lazily: at most `window_per_worker × workers`
     /// jobs are in flight at once, so arbitrarily long corpora stream in
     /// bounded memory.
-    // Audited timing site: wall-clock feeds only the throughput report,
-    // never the certification outputs.
-    #[allow(clippy::disallowed_methods)]
+    ///
+    /// When the engine was built with [`EngineBuilder::trace`], the run
+    /// installs a run-scoped [`TraceSession`]: stage spans and
+    /// histograms record as the pipeline executes, and the drained
+    /// [`TraceLog`] / [`ObsReport`] ride back on the report. Tracing
+    /// never changes the batch outcomes — pinned bit-for-bit by the
+    /// parity proptests.
     pub fn run(&self, jobs: impl IntoIterator<Item = BatchJob>) -> EngineReport {
-        let start = Instant::now();
+        let session = self
+            .trace
+            .as_ref()
+            .map(|config| TraceSession::begin(config.clone()));
+        let pool_base = self.pool.stats();
+        let run_span = lanecert_obs::span!("run");
+        let start_ns = self.clock.now_ns();
         let window = (self.window_per_worker * self.workers()).max(1);
         let state = Arc::new(RunState {
             slots: Mutex::new(Vec::new()),
             in_flight: Mutex::new(0),
             job_done: Condvar::new(),
+            prove_ns: AtomicU64::new(0),
         });
-        let mut prove_seconds = 0.0;
 
         for (index, job) in jobs.into_iter().enumerate() {
             {
@@ -210,20 +232,21 @@ impl Engine {
                 index,
                 shards: self.shard_plan(),
                 spawner: self.pool.spawner(),
+                clock: self.clock.clone(),
             };
             if self.parallel_prove {
                 // Default: the prove is a pool task like any other —
                 // canonical class ids make it a pure function of the
-                // job, so scheduling cannot perturb the labels.
+                // job, so scheduling cannot perturb the labels. The
+                // prove stage times itself (see [`JobTask::prove`]), so
+                // worker-side prove time is attributed exactly as on
+                // the driver path.
                 self.pool.spawn(move || task.prove_and_verify(job));
             } else {
                 // Measurement baseline / sealed-algebra mode: prove on
                 // the driver, in job order; hand only the verification
                 // to the pool.
-                let t0 = Instant::now();
-                let proved = task.prove(job);
-                prove_seconds += t0.elapsed().as_secs_f64();
-                if let Some((task, cfg, labels)) = proved {
+                if let Some((task, cfg, labels)) = task.prove(job) {
                     task.submit_verify(cfg, labels);
                 }
             }
@@ -247,12 +270,13 @@ impl Engine {
             .drain(..)
             .map(|slot| slot.expect("every submitted job reports"))
             .collect();
-        let wall_seconds = start.elapsed().as_secs_f64();
+        let wall_ns = self.clock.now_ns().saturating_sub(start_ns);
+        drop(run_span);
         let mut throughput = Throughput {
             workers: self.workers(),
             jobs: outcomes.len(),
-            wall_seconds,
-            prove_seconds,
+            wall_seconds: wall_ns as f64 / 1e9,
+            prove_seconds: state.prove_ns.load(Ordering::Relaxed) as f64 / 1e9,
             ..Throughput::default()
         };
         for outcome in &outcomes {
@@ -262,9 +286,23 @@ impl Engine {
                 throughput.edges += report.edges;
             }
         }
+        let (trace, obs) = match session {
+            Some(session) => {
+                let run = session.end();
+                let report = ObsReport {
+                    wall_ns,
+                    counters: run.counters,
+                    histograms: run.histograms,
+                    pool: Some(self.pool.stats().delta_since(&pool_base)),
+                };
+                (Some(run.log), Some(report))
+            }
+            None => (None, None),
+        };
         EngineReport {
-            batch: BatchReport { outcomes },
+            batch: BatchReport { outcomes, obs },
             throughput,
+            trace,
         }
     }
 
@@ -284,6 +322,10 @@ struct RunState {
     /// Signalled on every job completion (feeds both the window gate and
     /// the final drain).
     job_done: Condvar,
+    /// Nanoseconds spent proving, accumulated by whichever thread ran
+    /// each prove — driver or worker — so `prove_seconds` is reported
+    /// in both placements.
+    prove_ns: AtomicU64,
 }
 
 impl RunState {
@@ -345,6 +387,7 @@ struct JobTask {
     index: usize,
     shards: ShardPlan,
     spawner: Spawner,
+    clock: Clock,
 }
 
 impl JobTask {
@@ -363,7 +406,13 @@ impl JobTask {
         // Borrow the certifier's default hint rather than cloning it per
         // job — this runs on the sequential prove critical path.
         let hint = hint.as_ref().unwrap_or_else(|| self.certifier.hint());
-        match no_panic(|| self.certifier.scheme().prove_encoded(&cfg, hint)) {
+        let _span = lanecert_obs::span!("prove", job = self.index);
+        let t0 = self.clock.now_ns();
+        let result = no_panic(|| self.certifier.scheme().prove_encoded(&cfg, hint));
+        let dt = self.clock.now_ns().saturating_sub(t0);
+        self.state.prove_ns.fetch_add(dt, Ordering::Relaxed);
+        lanecert_obs::record_ns(names::PROVE_NS, dt);
+        match result {
             Ok(labels) => Some((NamedTask { task: self, name }, cfg, labels)),
             Err(e) => {
                 self.state.finish(self.index, name, Err(e));
@@ -398,8 +447,12 @@ impl NamedTask {
                 let certifier = Arc::clone(&task.certifier);
                 let state = Arc::clone(&task.state);
                 let index = task.index;
+                let clock = task.clock.clone();
                 task.spawner.spawn(move || {
+                    let _span = lanecert_obs::span!("verify", job = index);
+                    let t0 = clock.now_ns();
                     let result = no_panic(|| certifier.scheme().verify_encoded(&cfg, &labels));
+                    lanecert_obs::record_ns(names::VERIFY_NS, clock.now_ns().saturating_sub(t0));
                     state.finish(index, name, result);
                 });
             }
@@ -413,6 +466,7 @@ impl NamedTask {
                     name: Mutex::new(Some(name)),
                     verdicts: Mutex::new((0..ranges.len()).map(|_| None).collect()),
                     remaining: AtomicUsize::new(ranges.len()),
+                    clock: task.clock.clone(),
                 });
                 for (shard, range) in ranges.into_iter().enumerate() {
                     let gather = Arc::clone(&gather);
@@ -438,6 +492,7 @@ struct ShardGather {
     name: Mutex<Option<String>>,
     verdicts: Mutex<Vec<ShardSlot>>,
     remaining: AtomicUsize,
+    clock: Clock,
 }
 
 /// Runs `f`, mapping an unwind to [`CertError::Internal`] so pipeline
@@ -452,11 +507,20 @@ fn no_panic<T>(f: impl FnOnce() -> Result<T, CertError>) -> Result<T, CertError>
 
 impl ShardGather {
     fn verify_shard(&self, shard: usize, range: std::ops::Range<usize>) {
+        // The span covers the whole shard task — including, on the last
+        // shard, report assembly — so collapsed stacks attribute that
+        // tail work to the shard that performed it.
+        let _span = lanecert_obs::span!("verify_shard", shard = shard);
+        let t0 = self.clock.now_ns();
         let result = no_panic(|| {
             self.certifier
                 .scheme()
                 .verify_encoded_range(&self.cfg, &self.labels, range)
         });
+        lanecert_obs::record_ns(
+            names::VERIFY_SHARD_NS,
+            self.clock.now_ns().saturating_sub(t0),
+        );
         self.verdicts.lock().expect("shard state poisoned")[shard] = Some(result);
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             self.assemble();
@@ -508,6 +572,7 @@ pub struct EngineBuilder {
     window_per_worker: usize,
     parallel_prove: Option<bool>,
     heuristic_limit: Option<usize>,
+    trace: Option<TraceConfig>,
 }
 
 impl Default for EngineBuilder {
@@ -519,6 +584,7 @@ impl Default for EngineBuilder {
             window_per_worker: 4,
             parallel_prove: None,
             heuristic_limit: None,
+            trace: None,
         }
     }
 }
@@ -575,6 +641,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables run-scoped tracing: every [`Engine::run`] installs a
+    /// [`TraceSession`] on `config`'s clock, records stage spans
+    /// (`run`, `prove`, `verify`, `verify_shard`) and histograms, and
+    /// returns the drained [`TraceLog`] plus an [`ObsReport`] (with
+    /// per-run pool statistics) on its report. Engine timing switches
+    /// onto the same clock, so a [`lanecert_obs::ManualClock`] makes
+    /// the whole report deterministic. In a build without the `obs`
+    /// feature the spans compile to nothing: the log comes back empty,
+    /// but pool statistics (always-on counters) are still populated.
+    /// Batch outcomes are bit-identical either way.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
     /// Builds the engine, spawning its workers.
     ///
     /// # Errors
@@ -595,12 +676,19 @@ impl EngineBuilder {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         });
+        let clock = self
+            .trace
+            .as_ref()
+            .map(|t| t.clock.clone())
+            .unwrap_or_default();
         Ok(Engine {
             pool: WorkStealingPool::new(workers),
             certifier: Arc::new(certifier),
             shard_threshold: self.shard_threshold,
             window_per_worker: self.window_per_worker,
             parallel_prove,
+            trace: self.trace,
+            clock,
         })
     }
 }

@@ -137,6 +137,46 @@ impl Parker {
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Always-on pool instrumentation: relaxed atomics bumped at the
+/// scheduling decision points, snapshotted into a
+/// [`lanecert_obs::PoolStats`] by [`WorkStealingPool::stats`]. The
+/// counters ride the locks already taken at each site, so keeping them
+/// unconditional costs a handful of uncontended atomic adds per task.
+#[derive(Debug)]
+struct PoolCounters {
+    /// Tasks lifted from another worker's deque.
+    steals: AtomicU64,
+    /// Tasks pushed to the injector (submissions from outside the pool).
+    injector_pushes: AtomicU64,
+    /// Tasks a worker popped from the injector.
+    injector_pops: AtomicU64,
+    /// Park transitions (a worker went to sleep).
+    parks: AtomicU64,
+    /// Unpark transitions (a sleeping worker was woken by a submission).
+    unparks: AtomicU64,
+    /// Tasks executed, per worker.
+    tasks: Vec<AtomicU64>,
+    /// High-water mark of each worker's own deque depth.
+    queue_hwm: Vec<AtomicU64>,
+    /// High-water mark of the injector depth.
+    injector_hwm: AtomicU64,
+}
+
+impl PoolCounters {
+    fn new(workers: usize) -> Self {
+        Self {
+            steals: AtomicU64::new(0),
+            injector_pushes: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            tasks: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            queue_hwm: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            injector_hwm: AtomicU64::new(0),
+        }
+    }
+}
+
 struct PoolShared {
     /// Per-worker deques: owner pops the back, thieves pop the front.
     queues: Vec<Mutex<ChunkedDeque<Task>>>,
@@ -147,6 +187,8 @@ struct PoolShared {
     /// Stack of currently-parked worker ids.
     sleepers: Mutex<Vec<usize>>,
     shutdown: AtomicBool,
+    /// Scheduling counters (see [`PoolCounters`]).
+    counters: PoolCounters,
 }
 
 impl PoolShared {
@@ -162,6 +204,7 @@ impl PoolShared {
     fn wake_one(&self) {
         let popped = self.sleepers.lock().expect("sleepers poisoned").pop();
         if let Some(id) = popped {
+            self.counters.unparks.fetch_add(1, Ordering::Relaxed);
             self.parkers[id].unpark();
         }
     }
@@ -204,6 +247,7 @@ impl WorkStealingPool {
             parkers: (0..workers).map(|_| Parker::default()).collect(),
             sleepers: Mutex::new(Vec::with_capacity(workers)),
             shutdown: AtomicBool::new(false),
+            counters: PoolCounters::new(workers),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -232,6 +276,25 @@ impl WorkStealingPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Snapshot of the pool's lifetime scheduling counters. Counters
+    /// are cumulative since construction; scope them to one run with
+    /// [`lanecert_obs::PoolStats::delta_since`].
+    pub fn stats(&self) -> lanecert_obs::PoolStats {
+        let c = &self.shared.counters;
+        let load = |v: &[AtomicU64]| v.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        lanecert_obs::PoolStats {
+            workers: self.workers(),
+            steals: c.steals.load(Ordering::Relaxed),
+            injector_pushes: c.injector_pushes.load(Ordering::Relaxed),
+            injector_pops: c.injector_pops.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            unparks: c.unparks.load(Ordering::Relaxed),
+            tasks_per_worker: load(&c.tasks),
+            queue_hwm_per_worker: load(&c.queue_hwm),
+            injector_hwm: c.injector_hwm.load(Ordering::Relaxed),
+        }
     }
 
     /// Submits a task. From a worker thread of this pool the task lands on
@@ -337,17 +400,27 @@ impl Spawner {
 fn spawn_task(pool_id: u64, shared: &PoolShared, task: Task) {
     match CURRENT_WORKER.get() {
         Some((pool, w)) if pool == pool_id => {
-            shared.queues[w]
-                .lock()
-                .expect("queue poisoned")
-                .push_back(task);
+            let depth = {
+                let mut queue = shared.queues[w].lock().expect("queue poisoned");
+                queue.push_back(task);
+                queue.len() as u64
+            };
+            shared.counters.queue_hwm[w].fetch_max(depth, Ordering::Relaxed);
         }
         _ => {
+            let depth = {
+                let mut injector = shared.injector.lock().expect("injector poisoned");
+                injector.push_back(task);
+                injector.len() as u64
+            };
             shared
-                .injector
-                .lock()
-                .expect("injector poisoned")
-                .push_back(task);
+                .counters
+                .injector_pushes
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .counters
+                .injector_hwm
+                .fetch_max(depth, Ordering::Relaxed);
         }
     }
     shared.wake_one();
@@ -373,6 +446,7 @@ fn worker_loop(pool_id: u64, worker: usize, shared: &PoolShared) {
             return;
         }
         if let Some(task) = find_task(worker, workers, shared) {
+            shared.counters.tasks[worker].fetch_add(1, Ordering::Relaxed);
             // A panicking task must not take the worker thread (and its
             // execution slot) down with it; result-bearing wrappers
             // (scatter, the engine pipeline) catch and surface their own
@@ -396,6 +470,7 @@ fn worker_loop(pool_id: u64, worker: usize, shared: &PoolShared) {
                 .retain(|&s| s != worker);
             continue;
         }
+        shared.counters.parks.fetch_add(1, Ordering::Relaxed);
         shared.parkers[worker].park();
         // Deregister on wake. Normally `wake_one` already popped this
         // entry (no-op); but when the park consumed a *stale* token — an
@@ -428,6 +503,10 @@ fn find_task(worker: usize, workers: usize, shared: &PoolShared) -> Option<Task>
         .expect("injector poisoned")
         .pop_front()
     {
+        shared
+            .counters
+            .injector_pops
+            .fetch_add(1, Ordering::Relaxed);
         return Some(task);
     }
     for offset in 1..workers {
@@ -437,6 +516,7 @@ fn find_task(worker: usize, workers: usize, shared: &PoolShared) -> Option<Task>
             .expect("queue poisoned")
             .pop_front()
         {
+            shared.counters.steals.fetch_add(1, Ordering::Relaxed);
             return Some(task);
         }
     }
@@ -551,6 +631,29 @@ mod tests {
         assert!(caught.is_err(), "scatter must re-raise the task panic");
         // Every worker survived: the pool still runs full batches.
         assert_eq!(pool.scatter(vec![|| 7, || 8, || 9, || 10]), [7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn stats_count_scheduling_transitions() {
+        let pool = WorkStealingPool::new(2);
+        // Let both workers go idle so parks are observable.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let base = pool.stats();
+        assert_eq!(base.workers, 2);
+        assert!(base.parks >= 2, "both idle workers parked: {base:?}");
+        let n = 32u64;
+        let _ = pool.scatter((0..n).map(|i| move || i).collect::<Vec<_>>());
+        let run = pool.stats().delta_since(&base);
+        // Driver-side submissions all route through the injector...
+        assert_eq!(run.injector_pushes, n);
+        // ...and every task was executed by some worker, arriving either
+        // straight off the injector or via a steal of nothing (workers
+        // cannot steal the injector), so the pops account for all of it.
+        assert_eq!(run.injector_pops, n);
+        assert_eq!(run.total_tasks(), n);
+        assert_eq!(run.steals, 0);
+        assert!(run.unparks >= 1, "a parked worker must have been woken");
+        assert!(run.injector_hwm >= 1);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! Both are named by `&'static str` and recorded through free functions
+//! ([`counter_add`], [`record_ns`]) so call sites need no handle
+//! plumbing; recordings land on the active [`crate::trace::TraceSession`]
+//! collector, and are inlined no-ops when no session is active — or when
+//! the `enabled` feature is off, in which case they compile to nothing.
+//!
+//! Histograms use fixed power-of-two buckets: bucket 0 counts the value
+//! 0 and bucket `k ≥ 1` counts values in `[2^(k-1), 2^k)`. Bucketing is
+//! a pure function of the value, so summaries are deterministic and the
+//! unit tests pin them exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets (value 0, then one per power of two).
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `k` with `2^(k-1) ≤ v < 2^k`.
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Exclusive upper bound of bucket `i` (`u64::MAX` for the last bucket,
+/// whose top value is unreachable as an exclusive bound).
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 1,
+        1..=63 => 1u64 << i,
+        _ => u64::MAX,
+    }
+}
+
+/// A concurrent fixed-bucket histogram (all-atomic, relaxed ordering:
+/// totals are read only after the run's happens-before edge at drain).
+/// Only the `enabled` recorder instantiates it outside tests.
+#[derive(Debug)]
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn summary(&self, name: &str) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSummary {
+            name: name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((bucket_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An immutable snapshot of one histogram, taken at session drain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Histogram name (e.g. `"prove_ns"`).
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(exclusive upper bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Adds `delta` to the named monotonic counter on the active session.
+#[cfg(feature = "enabled")]
+pub fn counter_add(name: &'static str, delta: u64) {
+    crate::trace::with_collector(|c| c.counter_add(name, delta));
+}
+
+/// Adds `delta` to the named monotonic counter on the active session.
+/// (No-op build: the `enabled` feature is off.)
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+/// Records one nanosecond value into the named histogram on the active
+/// session.
+#[cfg(feature = "enabled")]
+pub fn record_ns(name: &'static str, value: u64) {
+    crate::trace::with_collector(|c| c.record_ns(name, value));
+}
+
+/// Records one nanosecond value into the named histogram on the active
+/// session. (No-op build: the `enabled` feature is off.)
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn record_ns(_name: &'static str, _value: u64) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_the_power_of_two_ladder() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(10), 1024);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary_is_pinned() {
+        let h = Histogram::new();
+        for v in [0, 1, 1, 3, 900, 1024] {
+            h.record(v);
+        }
+        let s = h.summary("t");
+        assert_eq!(
+            s,
+            HistogramSummary {
+                name: "t".into(),
+                count: 6,
+                sum: 1929,
+                min: 0,
+                max: 1024,
+                buckets: vec![(1, 1), (2, 2), (4, 1), (1024, 1), (2048, 1)],
+            }
+        );
+        assert_eq!(s.mean(), 1929.0 / 6.0);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let s = Histogram::new().summary("e");
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+}

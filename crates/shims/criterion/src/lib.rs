@@ -8,7 +8,9 @@
 
 use std::fmt::Display;
 use std::hint;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use lanecert_obs::Clock;
 
 /// Opaque value barrier preventing the optimizer from deleting benched work.
 pub fn black_box<T>(x: T) -> T {
@@ -53,29 +55,35 @@ pub struct Bencher {
 
 impl Bencher {
     /// Runs `routine` repeatedly and records the mean wall-clock time.
-    // Audited timing site: this shim exists to measure wall-clock time.
-    #[allow(clippy::disallowed_methods)]
+    /// Timing goes through [`lanecert_obs::Clock`] — the workspace's
+    /// blessed monotonic source — rather than reading `Instant` here.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let clock = Clock::monotonic();
+        let warm_up = self.warm_up.as_nanos() as u64;
+        let measure = self.measure.as_nanos() as u64;
         // Warm-up: run until the warm-up budget elapses, measuring nothing.
-        let start = Instant::now();
+        let start = clock.now_ns();
         let mut warm_iters: u64 = 0;
-        while start.elapsed() < self.warm_up {
+        while clock.now_ns().saturating_sub(start) < warm_up {
             black_box(routine());
             warm_iters += 1;
         }
         // Choose a batch size so each batch is ~1ms, then measure batches
         // until the measurement budget elapses.
-        let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
-        let batch = ((1_000_000 / per_iter.max(1)) as u64).clamp(1, 1 << 20);
+        let warm_ns = clock.now_ns().saturating_sub(start).max(1);
+        let per_iter = warm_ns / warm_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1 << 20);
         let mut iters: u64 = 0;
-        let measured = Instant::now();
-        while measured.elapsed() < self.measure {
+        let measured = clock.now_ns();
+        let mut elapsed = 0u64;
+        while elapsed < measure {
             for _ in 0..batch {
                 black_box(routine());
             }
             iters += batch;
+            elapsed = clock.now_ns().saturating_sub(measured);
         }
-        self.result = Some((iters, measured.elapsed()));
+        self.result = Some((iters, Duration::from_nanos(elapsed)));
     }
 }
 

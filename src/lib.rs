@@ -16,6 +16,8 @@
 //! * [`engine`] — the parallel certification engine: a work-stealing
 //!   executor plus a streaming corpus pipeline ([`Engine`],
 //!   [`CorpusSpec`]).
+//! * [`obs`] — structured tracing, metrics, and the blessed [`obs::Clock`]
+//!   timing source; zero-cost unless the `obs` feature enables recording.
 //!
 //! The unified certification API is additionally re-exported at the crate
 //! root, so the common path is one import away:
@@ -40,6 +42,7 @@ pub use lanecert_engine as engine;
 pub use lanecert_graph as graph;
 pub use lanecert_lanes as lanes;
 pub use lanecert_mso as mso;
+pub use lanecert_obs as obs;
 pub use lanecert_pathwidth as pathwidth;
 
 pub use lanecert::{

@@ -128,8 +128,10 @@ proptest! {
                     workers
                 );
                 prop_assert_eq!(parallel.throughput.jobs, sequential.outcomes.len());
-                // Proving happens on the pool: the driver never proves.
-                prop_assert_eq!(parallel.throughput.prove_seconds, 0.0);
+                // Prove time is attributed from inside the prove task,
+                // so pool-mode runs report it too (as summed worker
+                // CPU-seconds), not just driver-mode runs.
+                prop_assert!(parallel.throughput.prove_seconds > 0.0);
             }
         }
     }

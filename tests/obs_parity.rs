@@ -1,0 +1,146 @@
+//! Tracing is a pure observer: for every registered scheme family, an
+//! engine run with a [`TraceSession`](lanecert_suite::obs::TraceSession)
+//! recording spans, counters, and pool statistics produces a
+//! `BatchReport` **bit-identical** to the uninstrumented run at 1, 2,
+//! and 8 workers — same names, same per-vertex verdicts in the same
+//! order, same label-size statistics, same refusal errors. The shard
+//! threshold is forced low so the instrumented per-vertex fan-out path
+//! (where span guards and decode counters actually fire) is the one
+//! under test, and the traced run must come back with a non-empty
+//! `TraceLog` and an `ObsReport` so the parity claim is about real
+//! instrumentation, not a disabled recorder.
+
+use proptest::prelude::*;
+
+use lanecert_suite::engine::{CorpusFamily, CorpusSpec};
+use lanecert_suite::graph::generators;
+use lanecert_suite::obs::TraceConfig;
+use lanecert_suite::pls::registry;
+use lanecert_suite::{BatchJob, BatchRunner, Certifier, Configuration, Engine};
+
+/// A named, rebuildable certifier constructor.
+type Factory = (&'static str, fn() -> Certifier);
+
+/// Every scheme family in the standard registry (mirrors
+/// `tests/engine_parity.rs`, which pins the untraced claim).
+fn scheme_factories() -> Vec<Factory> {
+    vec![
+        (registry::THEOREM1, || {
+            Certifier::builder()
+                .property(lanecert_suite::algebra::Algebra::shared(
+                    lanecert_suite::algebra::props::Connected,
+                ))
+                .scheme(registry::THEOREM1)
+                .max_lanes(4)
+                .build()
+                .unwrap()
+        }),
+        (registry::FMR_BASELINE, || {
+            Certifier::builder()
+                .scheme(registry::FMR_BASELINE)
+                .build()
+                .unwrap()
+        }),
+        (registry::BIPARTITE_1BIT, || {
+            Certifier::builder()
+                .property(lanecert_suite::algebra::Algebra::shared(
+                    lanecert_suite::algebra::props::Bipartite,
+                ))
+                .scheme(registry::BIPARTITE_1BIT)
+                .build()
+                .unwrap()
+        }),
+        (registry::WHOLE_GRAPH, || {
+            Certifier::builder()
+                .property(lanecert_suite::algebra::Algebra::shared(
+                    lanecert_suite::algebra::props::Connected,
+                ))
+                .scheme(registry::WHOLE_GRAPH)
+                .build()
+                .unwrap()
+        }),
+    ]
+}
+
+/// A mixed corpus for one scheme: accepting and refusing instances.
+fn jobs_for(scheme: &str, seed: u64, small: usize, large: usize) -> Vec<BatchJob> {
+    if scheme == registry::BIPARTITE_1BIT {
+        return vec![
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(2 * small),
+                seed,
+            ))
+            .named("even"),
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(2 * small + 1),
+                seed ^ 1,
+            ))
+            .named("odd"),
+            BatchJob::new(Configuration::with_random_ids(
+                generators::path_graph(large),
+                seed ^ 2,
+            ))
+            .named("path"),
+        ];
+    }
+    CorpusSpec::new()
+        .families([
+            CorpusFamily::Path,
+            CorpusFamily::Cycle,
+            CorpusFamily::Ladder,
+            CorpusFamily::DisjointPaths,
+        ])
+        .sizes([small, large])
+        .seed(seed)
+        .jobs()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Traced-vs-untraced parity for every scheme at every worker count.
+    #[test]
+    fn traced_engine_is_bit_identical_to_untraced(
+        seed in any::<u64>(),
+        small in 4usize..12,
+        large in 16usize..40,
+    ) {
+        for (name, certifier) in scheme_factories() {
+            let sequential =
+                BatchRunner::new(certifier()).run(jobs_for(name, seed, small, large));
+            for workers in [1usize, 2, 8] {
+                let traced = Engine::builder()
+                    .certifier(certifier())
+                    .workers(workers)
+                    .shard_threshold(16)
+                    .trace(TraceConfig::new())
+                    .build()
+                    .unwrap()
+                    .run(jobs_for(name, seed, small, large));
+                // Bit-parity: equality on BatchReport compares the
+                // certified outcomes; the obs field rides alongside.
+                prop_assert_eq!(
+                    &traced.batch,
+                    &sequential,
+                    "{} at {} workers",
+                    name,
+                    workers
+                );
+                // And the instrumentation was really on.
+                let log = traced.trace.as_ref().expect("trace log attached");
+                prop_assert!(log.event_count() > 0, "{}: no span events", name);
+                let obs = traced.batch.obs.as_ref().expect("obs report attached");
+                prop_assert!(obs.wall_ns > 0);
+                let pool = obs.pool.as_ref().expect("pool stats attached");
+                prop_assert_eq!(pool.workers, workers);
+                prop_assert!(
+                    pool.total_tasks() > 0,
+                    "{}: no tasks counted at {} workers",
+                    name,
+                    workers
+                );
+            }
+        }
+    }
+}
