@@ -191,7 +191,7 @@ fn main() {
     if !write_json {
         return;
     }
-    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/5\",\n");
+    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/6\",\n");
     let _ = writeln!(json, "  \"threads\": {},", ctx.threads);
     json.push_str("  \"tables\": [\n");
     for (i, (name, seconds, rendered)) in results.iter().enumerate() {

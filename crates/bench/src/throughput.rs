@@ -26,10 +26,12 @@
 
 use std::fmt::Write as _;
 
-use lanecert::{Configuration, ProverHint};
+use lanecert::{registry, Certifier, Configuration, ProverHint};
 use lanecert_algebra::{props::Connected, Algebra};
 use lanecert_engine::{CorpusSpec, Engine};
+use lanecert_graph::{generators, Graph};
 use lanecert_obs::{Clock, TraceConfig, TraceSession};
+use lanecert_pathwidth::bnb::{pathwidth_bnb, BnbOptions};
 
 use crate::{path_family, theorem1_certifier, Scale};
 
@@ -117,6 +119,42 @@ pub struct ObsOverhead {
     pub slowdown: f64,
 }
 
+/// One hintless certification run: a bounded-pathwidth instance with
+/// **no supplied representation**, so the prover's decomposition ladder
+/// (exact DP → branch-and-bound → refusal) does the work. Before the
+/// B&B solver these instances refused outright past 256 vertices.
+#[derive(Clone, Debug)]
+pub struct HintlessRun {
+    /// Corpus family (`caterpillar` / `random-pw2`).
+    pub family: &'static str,
+    /// Instance vertex count.
+    pub vertices: usize,
+    /// Seconds spent in the standalone solver probe
+    /// (`pathwidth_bnb` with the auto budget — the same call
+    /// `ProverHint::resolve` makes).
+    pub solve_seconds: f64,
+    /// Width of the derived decomposition.
+    pub width: usize,
+    /// Whether the solver proved the width optimal.
+    pub optimal: bool,
+    /// Whether the heuristic seed already matched the lower bound
+    /// (search skipped entirely).
+    pub seed_known_optimal: bool,
+    /// Branch nodes the solver expanded.
+    pub solver_nodes: u64,
+    /// Branches pruned by the incumbent bound.
+    pub solver_prunes: u64,
+    /// Dominated prefix re-visits answered by the memo table.
+    pub memo_hits: u64,
+    /// Wall-clock seconds for the full hintless certification
+    /// (resolve + prove + everywhere-verify).
+    pub certify_seconds: f64,
+    /// Vertices certified per second, hintless end to end.
+    pub vertices_per_sec: f64,
+    /// Whether every vertex accepted.
+    pub accepted: bool,
+}
+
 /// The full scaling sweep: pipeline and verify-only series.
 #[derive(Clone, Debug)]
 pub struct ThroughputReport {
@@ -130,6 +168,9 @@ pub struct ThroughputReport {
     pub driver_prove: Vec<PipelineRun>,
     /// Verify-only runs, one per [`WORKER_COUNTS`] entry.
     pub verify_only: Vec<VerifyRun>,
+    /// Hintless certification runs (no supplied representation), one
+    /// per family × size.
+    pub hintless: Vec<HintlessRun>,
     /// Allocator traffic of the verify stage (see [`MemStats`]).
     pub mem_stats: MemStats,
     /// Instrumented-vs-uninstrumented verify throughput (see
@@ -336,9 +377,93 @@ pub fn sweep_with(scale: Scale, alloc_snapshot: Option<AllocSnapshot>) -> Throug
         pipeline,
         driver_prove,
         verify_only,
+        hintless: hintless_series(scale, &clock),
         mem_stats,
         obs_overhead,
     }
+}
+
+/// Sizes for the hintless sweep: the full scale tops out at the
+/// 10k-vertex acceptance family, the quick scale keeps CI under a
+/// second per run.
+const HINTLESS_FULL_SIZES: &[usize] = &[1024, 10_000];
+const HINTLESS_QUICK_SIZES: &[usize] = &[256, 2048];
+
+/// The hintless corpus families: both connected with small bounded
+/// pathwidth, neither carrying a representation — certification stands
+/// or falls with the solver ladder.
+fn hintless_instance(family: &'static str, n: usize) -> Graph {
+    match family {
+        // ~n vertices, pathwidth 1: spine of n/3, two legs per spine
+        // vertex. The seed heuristic proves these optimal outright.
+        "caterpillar" => generators::caterpillar(n.div_ceil(3), 2),
+        // Random connected pathwidth-≤2 graphs: the width witness is
+        // thrown away, so the solver has to rediscover a bound.
+        "random-pw2" => {
+            let mut rng = generators::seeded_rng(n as u64);
+            generators::random_pathwidth_graph(n, 2, 0.35, &mut rng).0
+        }
+        other => unreachable!("unknown hintless family {other}"),
+    }
+}
+
+/// Runs the hintless certification sweep: per family × size, a
+/// standalone solver probe (for width/node/memo metrics) followed by a
+/// timed end-to-end hintless certification through [`Certifier::run`].
+fn hintless_series(scale: Scale, clock: &Clock) -> Vec<HintlessRun> {
+    let sizes = scale.pick(HINTLESS_FULL_SIZES, HINTLESS_QUICK_SIZES);
+    let mut series = Vec::new();
+    for &n in sizes {
+        for family in ["caterpillar", "random-pw2"] {
+            let g = hintless_instance(family, n);
+            let vertices = g.vertex_count();
+            // The solver probe mirrors the call `ProverHint::resolve`
+            // makes, exposing the stats resolve discards.
+            let t0 = clock.now_ns();
+            let solve = pathwidth_bnb(&g, &BnbOptions::for_auto(vertices));
+            let solve_seconds = clock.seconds_since(t0);
+            let certifier = Certifier::builder()
+                .property(Algebra::shared(Connected))
+                .scheme(registry::THEOREM1)
+                .max_lanes((solve.width + 1).max(4))
+                .build()
+                .expect("theorem1 spec is complete");
+            let cfg = Configuration::with_random_ids(g, 29);
+            // The prover's hierarchy walk is chain-deep on these
+            // families — same dedicated big-stack thread as the
+            // verify-only prove above.
+            let t0 = clock.now_ns();
+            let report = std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(32 * 1024 * 1024)
+                    .spawn_scoped(s, || certifier.run(&cfg))
+                    .expect("spawn hintless prover thread")
+                    .join()
+                    .expect("hintless prover thread panicked")
+                    .expect("hintless certification must resolve a decomposition")
+            });
+            let certify_seconds = clock.seconds_since(t0);
+            series.push(HintlessRun {
+                family,
+                vertices,
+                solve_seconds,
+                width: solve.width,
+                optimal: solve.optimal,
+                seed_known_optimal: solve.stats.seed_known_optimal,
+                solver_nodes: solve.stats.nodes,
+                solver_prunes: solve.stats.prunes,
+                memo_hits: solve.stats.memo_hits,
+                certify_seconds,
+                vertices_per_sec: if certify_seconds > 0.0 {
+                    vertices as f64 / certify_seconds
+                } else {
+                    0.0
+                },
+                accepted: report.accepted(),
+            });
+        }
+    }
+    series
 }
 
 impl ThroughputReport {
@@ -383,6 +508,27 @@ impl ThroughputReport {
                 out,
                 "{:>7}  {:>4}  {:>8}  {:>7.4}  {:>8.0}  {:>6.2}x",
                 r.workers, r.reps, r.vertices, r.seconds, r.vertices_per_sec, r.speedup_vs_1,
+            );
+        }
+        out.push_str(
+            "hintless (no representation supplied — solver ladder derives one)\n\
+             family           vertices  width  opt  seed-opt  nodes  prunes  memo-hits  solve(s)  cert(s)    vert/s\n",
+        );
+        for r in &self.hintless {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8}  {:>5}  {:>3}  {:>8}  {:>5}  {:>6}  {:>9}  {:>8.4}  {:>7.3}  {:>8.0}",
+                r.family,
+                r.vertices,
+                r.width,
+                if r.optimal { "yes" } else { "no" },
+                if r.seed_known_optimal { "yes" } else { "no" },
+                r.solver_nodes,
+                r.solver_prunes,
+                r.memo_hits,
+                r.solve_seconds,
+                r.certify_seconds,
+                r.vertices_per_sec,
             );
         }
         if self.mem_stats.enabled {
@@ -459,6 +605,29 @@ impl ThroughputReport {
                 comma(i, self.verify_only.len()),
             );
         }
+        json.push_str("    ],\n    \"hintless\": [\n");
+        for (i, r) in self.hintless.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{\"family\": \"{}\", \"vertices\": {}, \"width\": {}, \"optimal\": {}, \
+                 \"seed_known_optimal\": {}, \"solver_nodes\": {}, \"solver_prunes\": {}, \
+                 \"memo_hits\": {}, \"solve_seconds\": {:.6}, \"certify_seconds\": {:.6}, \
+                 \"vertices_per_sec\": {:.3}, \"accepted\": {}}}{}",
+                escape(r.family),
+                r.vertices,
+                r.width,
+                r.optimal,
+                r.seed_known_optimal,
+                r.solver_nodes,
+                r.solver_prunes,
+                r.memo_hits,
+                r.solve_seconds,
+                r.certify_seconds,
+                r.vertices_per_sec,
+                r.accepted,
+                comma(i, self.hintless.len()),
+            );
+        }
         let _ = writeln!(
             json,
             "    ],\n    \"mem_stats\": {{\"enabled\": {}, \"allocations_per_vertex\": {:.3}, \
@@ -510,12 +679,27 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("verify-only"));
         assert!(rendered.contains("driver-prove baseline"));
+        assert!(rendered.contains("hintless"));
         assert!(report.verify_only.iter().all(|r| r.reps > 0));
+        assert_eq!(report.hintless.len(), 4, "two families × two sizes");
+        assert!(
+            report.hintless.iter().all(|r| r.accepted),
+            "hintless corpus must certify cleanly"
+        );
+        assert!(report.hintless.iter().all(|r| r.width >= 1));
+        assert!(report
+            .hintless
+            .iter()
+            .filter(|r| r.family == "caterpillar")
+            .all(|r| r.width == 1 && r.seed_known_optimal));
         assert!(!report.mem_stats.enabled, "no hook installed in tests");
         let json = report.to_json(|s| s.to_string());
         assert!(json.contains("\"pipeline\""));
         assert!(json.contains("\"driver_prove\""));
         assert!(json.contains("\"verify_only\""));
+        assert!(json.contains("\"hintless\""));
+        assert!(json.contains("\"solver_nodes\""));
+        assert!(json.contains("\"memo_hits\""));
         assert!(json.contains("\"reps\""));
         assert!(json.contains("\"mem_stats\""));
         assert!(json.contains("\"allocations_per_vertex\""));

@@ -217,10 +217,10 @@ impl CertifierBuilder {
     }
 
     /// Vertex-count ceiling up to which hintless prove calls derive a
-    /// decomposition themselves (exact solver, then the beam-search
-    /// heuristic); beyond it they fail with
+    /// decomposition themselves (exact solver, then the budgeted
+    /// branch-and-bound solver); beyond it they fail with
     /// [`CertError::NeedRepresentation`]. Defaults to
-    /// [`crate::AUTO_HEURISTIC_LIMIT`] (256). Applies to the certifier's
+    /// [`crate::AUTO_HEURISTIC_LIMIT`]. Applies to the certifier's
     /// default hint; per-job hints carry their own ceiling
     /// ([`ProverHint::heuristic_limit`]).
     pub fn heuristic_limit(mut self, limit: usize) -> Self {
@@ -336,8 +336,8 @@ mod tests {
 
     #[test]
     fn heuristic_limit_knob_gates_the_fallback() {
-        // C40 is past the exact solver; the default ceiling (256) lets
-        // the beam-search heuristic cover it, a lowered ceiling refuses.
+        // C40 is past the exact solver; the default ceiling lets the
+        // branch-and-bound solver cover it, a lowered ceiling refuses.
         let build = |limit: Option<usize>| {
             let mut b = Certifier::builder()
                 .property(Algebra::shared(Connected))
@@ -354,19 +354,17 @@ mod tests {
             build(Some(10)).run(&cfg).unwrap_err(),
             CertError::NeedRepresentation
         );
-        // Raising the ceiling extends hintless coverage past the default.
-        let big = Configuration::with_random_ids(
-            generators::cycle_graph(crate::scheme::AUTO_HEURISTIC_LIMIT + 2),
-            9,
-        );
+        // Raising the ceiling extends hintless coverage past a lowered
+        // one (the default now sits at tens of thousands of vertices, so
+        // the knob is exercised with explicit bounds around a mid-size
+        // instance — small enough that the prover's chain-deep hierarchy
+        // walk fits a test thread's stack).
+        let big = Configuration::with_random_ids(generators::cycle_graph(64), 9);
         assert_eq!(
-            build(None).run(&big).unwrap_err(),
+            build(Some(50)).run(&big).unwrap_err(),
             CertError::NeedRepresentation
         );
-        assert!(build(Some(2 * crate::scheme::AUTO_HEURISTIC_LIMIT))
-            .run(&big)
-            .unwrap()
-            .accepted());
+        assert!(build(Some(100)).run(&big).unwrap().accepted());
         // The mutating form used by the engine builder agrees.
         let mut c = build(None);
         c.set_heuristic_limit(10);

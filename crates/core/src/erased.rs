@@ -396,7 +396,10 @@ pub trait DynScheme: Send + Sync {
     ) -> Result<Vec<Verdict>, CertError>;
 
     /// Runs the verifier everywhere, sharding the vertex set across
-    /// `threads` OS threads (scoped; clamped to `1..=n`). Verdict order,
+    /// `threads` OS threads (scoped; clamped to `1..=n`, and down to a
+    /// sequential pass when shards would fall under
+    /// [`PAR_VERIFY_MIN_SHARD`] vertices — see
+    /// [`par_verify_threads`]). Verdict order,
     /// verdict values, and label-size statistics are bit-identical to
     /// [`DynScheme::verify_encoded`] — shards are contiguous vertex
     /// ranges concatenated in index order, and every per-vertex check is
@@ -420,7 +423,7 @@ pub trait DynScheme: Send + Sync {
             });
         }
         let n = g.vertex_count();
-        let threads = threads.clamp(1, n.max(1));
+        let threads = par_verify_threads(threads, n);
         if threads == 1 {
             return self.verify_encoded(cfg, labels);
         }
@@ -458,6 +461,25 @@ pub trait DynScheme: Send + Sync {
             edges: g.edge_count(),
         })
     }
+}
+
+/// Minimum vertices per shard before [`DynScheme::par_verify_encoded`]
+/// fans out. A whole-graph verification pass over a few thousand
+/// vertices takes well under a millisecond, so below this point thread
+/// spawn/join overhead costs more than it saves — the committed bench
+/// numbers showed 2-worker verify-only running at 0.6× sequential on a
+/// 512-vertex instance before this cutoff existed.
+pub const PAR_VERIFY_MIN_SHARD: usize = 2048;
+
+/// Effective thread count for [`DynScheme::par_verify_encoded`]: the
+/// request, clamped to `1..=n` and further so that every shard keeps at
+/// least [`PAR_VERIFY_MIN_SHARD`] vertices. Returns 1 (sequential) for
+/// instances too small to amortize fan-out. Pure, so the cutoff is
+/// testable without timing.
+pub fn par_verify_threads(requested: usize, n: usize) -> usize {
+    requested
+        .clamp(1, n.max(1))
+        .min((n / PAR_VERIFY_MIN_SHARD).max(1))
 }
 
 /// Rejects labelings recorded under a different scheme fingerprint (see
@@ -762,6 +784,22 @@ mod tests {
                 got: 0
             }
         );
+    }
+
+    #[test]
+    fn par_verify_stays_sequential_below_the_shard_cutoff() {
+        // The BENCH regression this pins: 2-worker verify-only ran at
+        // 0.6× sequential on a 512-vertex instance because fan-out
+        // overhead dominated the sub-millisecond pass.
+        assert_eq!(par_verify_threads(2, 512), 1);
+        assert_eq!(par_verify_threads(8, PAR_VERIFY_MIN_SHARD), 1);
+        assert_eq!(par_verify_threads(8, 2 * PAR_VERIFY_MIN_SHARD), 2);
+        // Large instances still fan all the way out…
+        assert_eq!(par_verify_threads(8, 16 * PAR_VERIFY_MIN_SHARD), 8);
+        // …and the existing clamps survive the cutoff.
+        assert_eq!(par_verify_threads(0, 10 * PAR_VERIFY_MIN_SHARD), 1);
+        assert_eq!(par_verify_threads(64, 0), 1);
+        assert_eq!(par_verify_threads(usize::MAX, 3), 1);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::borrow::Cow;
 use std::ops::{Deref, DerefMut};
 
 use lanecert_graph::EdgeId;
-use lanecert_pathwidth::{solver, Interval, IntervalRep};
+use lanecert_pathwidth::{bnb, solver, Interval, IntervalRep};
 
 use crate::bits::{self, Enc};
 use crate::{CertError, Configuration};
@@ -176,8 +176,9 @@ impl<L> DerefMut for Labeling<L> {
 ///
 /// The Theorem 1 scheme and the baseline need an interval representation
 /// of the network. [`ProverHint::auto`] lets the prover compute one: an
-/// optimal one with the exact solver on small graphs, and a beam-search
-/// upper bound ([`lanecert_pathwidth::solver::pathwidth_heuristic`]) up to
+/// optimal one with the exact solver on small graphs, and a
+/// branch-and-bound result ([`lanecert_pathwidth::bnb::pathwidth_bnb`],
+/// exact when its budget suffices, the heuristic seed otherwise) up to
 /// [`AUTO_HEURISTIC_LIMIT`] vertices. [`ProverHint::with_representation`]
 /// supplies a known one, e.g. from the generator of a benchmark family,
 /// which is how experiments scale past the derivation limits. Schemes that
@@ -208,8 +209,8 @@ impl ProverHint {
         self.rep.as_ref()
     }
 
-    /// Overrides the vertex-count ceiling for the beam-search heuristic
-    /// fallback of [`ProverHint::resolve`] (default
+    /// Overrides the vertex-count ceiling for the branch-and-bound
+    /// solver fallback of [`ProverHint::resolve`] (default
     /// [`AUTO_HEURISTIC_LIMIT`]). Raising it trades prover latency on
     /// hintless jobs for coverage; lowering it makes
     /// [`CertError::NeedRepresentation`] fire earlier. Also settable
@@ -231,11 +232,13 @@ impl ProverHint {
     /// hint is an error rather than a downstream panic — provers may use
     /// the result without re-validating), otherwise a derived one — an
     /// optimal one from the exact pathwidth solver when the graph fits its
-    /// limit, falling back to the beam-search heuristic up to
-    /// [`AUTO_HEURISTIC_LIMIT`] vertices (an upper-bound decomposition: the
-    /// verifier's lane bound may still refuse it when the heuristic
-    /// overshoots). Borrows the supplied representation instead of cloning
-    /// it.
+    /// limit, then the branch-and-bound solver
+    /// ([`lanecert_pathwidth::bnb::pathwidth_bnb`], seeded and budget-capped
+    /// by the beam heuristic) up to [`AUTO_HEURISTIC_LIMIT`] vertices. The
+    /// derived decomposition is an upper bound when the solver's budget
+    /// runs out before proving optimality — the verifier's lane bound may
+    /// still refuse it in that case. Borrows the supplied representation
+    /// instead of cloning it.
     ///
     /// # Errors
     ///
@@ -257,8 +260,7 @@ impl ProverHint {
         let pd = match solver::pathwidth_exact(cfg.graph()) {
             Ok((_, pd)) => pd,
             Err(_) if cfg.n() <= self.effective_heuristic_limit() => {
-                let (_, pd) = solver::pathwidth_heuristic(cfg.graph(), AUTO_HEURISTIC_BEAM);
-                pd
+                bnb::pathwidth_bnb(cfg.graph(), &bnb::BnbOptions::for_auto(cfg.n())).decomposition
             }
             Err(_) => return Err(CertError::NeedRepresentation),
         };
@@ -267,16 +269,16 @@ impl ProverHint {
 }
 
 /// Default ceiling on the vertex count for which [`ProverHint::resolve`]
-/// derives a decomposition itself (exact solver below its own limit,
-/// beam-search heuristic beyond). Larger graphs must supply a
-/// representation — the heuristic's cost grows cubically, which would
-/// turn a missing hint into a silent multi-second stall per batch job.
-/// Override per hint with [`ProverHint::heuristic_limit`], per pipeline
-/// with `CertifierBuilder::heuristic_limit` / `EngineBuilder::heuristic_limit`.
-pub const AUTO_HEURISTIC_LIMIT: usize = 256;
-
-/// Beam width used by the automatic heuristic fallback.
-const AUTO_HEURISTIC_BEAM: usize = 8;
+/// derives a decomposition itself (exact solver below its own limit, the
+/// budgeted branch-and-bound solver beyond). The solver's work budget is
+/// deterministic and shrinks with instance size
+/// ([`lanecert_pathwidth::bnb::BnbOptions::for_auto`]), so a missing hint
+/// costs a bounded, size-aware amount of prover time instead of a stall —
+/// which is what lets this ceiling sit at tens of thousands of vertices
+/// where the pre-B&B cubic heuristic capped it at 256. Override per hint
+/// with [`ProverHint::heuristic_limit`], per pipeline with
+/// `CertifierBuilder::heuristic_limit` / `EngineBuilder::heuristic_limit`.
+pub const AUTO_HEURISTIC_LIMIT: usize = 32_768;
 
 /// Deterministic (within one build) digest of a scheme name — the
 /// default [`Scheme::fingerprint`].

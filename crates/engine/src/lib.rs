@@ -57,6 +57,9 @@ pub mod loom_model;
 pub mod corpus;
 pub use corpus::{CorpusFamily, CorpusSpec};
 
+pub mod solver;
+pub use solver::par_pathwidth_bnb;
+
 pub mod engine;
 pub use engine::{Engine, EngineBuilder, EngineReport, Throughput};
 

@@ -1,0 +1,142 @@
+//! Parallel driver for the branch-and-bound pathwidth solver.
+//!
+//! [`lanecert_pathwidth::bnb`] exposes the search's root branches as
+//! independent subproblems ([`bnb_root_tasks`]); this module explores
+//! them as work-stealing pool tasks. Each task runs against its own
+//! workspace and memo table with the heuristic seed as a fixed upper
+//! bound, so tasks share nothing and their outcomes are independent of
+//! scheduling; [`merge_outcomes`] then folds them deterministically
+//! (best width, ties to the lowest task index). The returned
+//! decomposition is therefore a **pure function of the graph and
+//! options** — identical at any worker count — which is the same purity
+//! invariant the engine pins for certification reports.
+//!
+//! Relative to the sequential [`pathwidth_bnb`], a parallel run may
+//! expand more nodes (tasks do not see each other's incumbent
+//! improvements, and each task carries its own work budget), but never
+//! returns a different width when the search completes.
+
+use std::sync::Arc;
+
+use lanecert_graph::{CsrGraph, Graph};
+use lanecert_pathwidth::bnb::{
+    bnb_root_tasks, merge_outcomes, pathwidth_bnb, BnbOptions, BnbResult, RootSplit,
+};
+
+use crate::pool::WorkStealingPool;
+
+/// Below this vertex count the parallel driver runs the sequential
+/// solver outright: root subtrees of small graphs finish in
+/// microseconds, so fan-out overhead would dominate (the same reasoning
+/// as the verify-shard cutoff).
+pub const PAR_BNB_MIN_VERTICES: usize = 64;
+
+/// Minimum number of root branches worth scattering; with fewer, the
+/// sequential solver's shared incumbent does strictly less work.
+pub const PAR_BNB_MIN_TASKS: usize = 2;
+
+/// Computes the pathwidth with the branch-and-bound solver, exploring
+/// independent root branches on `pool`.
+///
+/// Equivalent to [`pathwidth_bnb`] in width and validity, and —
+/// because tasks are isolated and merged in task order — returns the
+/// exact same result at any worker count. Falls back to the sequential
+/// solver below [`PAR_BNB_MIN_VERTICES`] vertices or
+/// [`PAR_BNB_MIN_TASKS`] root branches.
+///
+/// # Panics
+///
+/// Panics if called from a worker thread of `pool` itself (the
+/// underlying [`WorkStealingPool::scatter`] would deadlock).
+pub fn par_pathwidth_bnb(pool: &WorkStealingPool, g: &Graph, opts: &BnbOptions) -> BnbResult {
+    let _span = lanecert_obs::span!("par_pathwidth_bnb");
+    if g.vertex_count() < PAR_BNB_MIN_VERTICES {
+        return pathwidth_bnb(g, opts);
+    }
+    match bnb_root_tasks(g, opts) {
+        RootSplit::Done(r) => *r,
+        RootSplit::Branches { seed, tasks } if tasks.len() >= PAR_BNB_MIN_TASKS => {
+            let csr = Arc::new(CsrGraph::from_graph(g));
+            let opts = Arc::new(opts.clone());
+            let (lb, ub) = (seed.lower_bound, seed.width);
+            let outcomes = pool.scatter(
+                tasks
+                    .into_iter()
+                    .map(|t| {
+                        let csr = Arc::clone(&csr);
+                        let opts = Arc::clone(&opts);
+                        move || t.run(&csr, lb, ub, &opts)
+                    })
+                    .collect(),
+            );
+            merge_outcomes(g, seed, &outcomes)
+        }
+        RootSplit::Branches { .. } => pathwidth_bnb(g, opts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lanecert_graph::generators;
+    use lanecert_pathwidth::solver::pathwidth_exact;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_graphs_take_the_sequential_path() {
+        let pool = WorkStealingPool::new(2);
+        let g = generators::grid(3, 5);
+        let r = par_pathwidth_bnb(&pool, &g, &BnbOptions::default());
+        let (pw, _) = pathwidth_exact(&g).unwrap();
+        assert_eq!(r.width, pw);
+        assert!(r.optimal);
+    }
+
+    /// A budget small enough that a 68-vertex search cannot stall a
+    /// test, yet deterministic like any other (exhaustion is part of the
+    /// pure function).
+    fn test_opts() -> BnbOptions {
+        BnbOptions {
+            max_work: 200_000,
+            ..BnbOptions::default()
+        }
+    }
+
+    #[test]
+    fn parallel_run_above_the_cutoff_is_valid_and_seed_bounded() {
+        // 4×17 grid: 68 vertices (above the sequential cutoff), seed is
+        // not known-optimal (degeneracy 2 < pathwidth 4), so root
+        // branches really run on the pool. Whatever the budget leaves
+        // unproved, the result is valid and never worse than the seed.
+        let pool = WorkStealingPool::new(4);
+        let g = generators::grid(4, 17);
+        let r = par_pathwidth_bnb(&pool, &g, &test_opts());
+        r.decomposition.validate(&g).unwrap();
+        assert_eq!(r.width, 4);
+        assert!(r.width <= r.stats.seed_width);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let opts = test_opts();
+        for _ in 0..3 {
+            let g = generators::gnp(70, 0.08, &mut rng);
+            let results: Vec<BnbResult> = [1, 2, 8]
+                .into_iter()
+                .map(|w| par_pathwidth_bnb(&WorkStealingPool::new(w), &g, &opts))
+                .collect();
+            for r in &results[1..] {
+                assert_eq!(r.width, results[0].width);
+                assert_eq!(r.optimal, results[0].optimal);
+                assert_eq!(
+                    r.decomposition.bags(),
+                    results[0].decomposition.bags(),
+                    "decomposition must be a pure function of the graph"
+                );
+                assert_eq!(r.stats.nodes, results[0].stats.nodes);
+            }
+            results[0].decomposition.validate(&g).unwrap();
+        }
+    }
+}

@@ -73,6 +73,12 @@ pub mod names {
     pub const LABELS_DECODED: &str = "labels_decoded";
     /// Counter: encoded label bytes read during verification.
     pub const LABEL_BYTES_READ: &str = "label_bytes_read";
+    /// Counter: branch nodes expanded by the pathwidth B&B solver.
+    pub const BNB_NODES: &str = "bnb_nodes";
+    /// Counter: branches pruned by the B&B incumbent bound.
+    pub const BNB_PRUNES: &str = "bnb_prunes";
+    /// Counter: dominated prefix re-visits answered by the B&B memo.
+    pub const BNB_MEMO_HITS: &str = "bnb_memo_hits";
 }
 
 /// Opens a structured span: `span!("prove")` or

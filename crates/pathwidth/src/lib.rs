@@ -10,6 +10,9 @@
 //! * [`solver`] — an exact exponential solver (vertex-separation DP over
 //!   subsets with ordering reconstruction), a brute-force permutation solver
 //!   (test oracle), and a beam-search heuristic for larger graphs.
+//! * [`bnb`] — a branch-and-bound vertex-separation search with greedy-exact
+//!   extension and budgeted prefix memoization, seeded by the heuristic; the
+//!   hintless prover's solver between the exact DP and refusal.
 //!
 //! # Example
 //!
@@ -23,6 +26,7 @@
 //! pd.validate(&g).unwrap();
 //! ```
 
+pub mod bnb;
 mod decomposition;
 mod interval;
 pub mod solver;
