@@ -37,7 +37,7 @@ pub use frozen::{
     FreezeOptions, FrozenAlgebra, SharedFrozenAlgebra, StateId, DEFAULT_OP_BUDGET,
     DEFAULT_STATE_BUDGET, MAX_FREEZE_ARITY,
 };
-pub use property::{Property, Slot};
+pub use property::{glue_order, Property, Slot};
 
 pub mod mirror;
 pub mod props;

@@ -4,7 +4,8 @@
 //!
 //! Flags:
 //! * `--table tN` — run a single table (`--table throughput` for the
-//!   scaling sweep alone).
+//!   scaling sweep alone, `--table label-stats` for the per-scheme label
+//!   histograms, `--table compiled` for the compiled-formula series).
 //! * `--threads N` — engine worker count for the table sweeps (default:
 //!   available parallelism; the throughput sweep always visits 1/2/4/8).
 //! * `--out PATH` — where to write the JSON summary (default
@@ -23,7 +24,7 @@
 
 use std::fmt::Write as _;
 
-use lanecert_bench::{stats, throughput, RunCtx, Scale};
+use lanecert_bench::{compiled, stats, throughput, RunCtx, Scale};
 use lanecert_obs::Clock;
 
 /// The counting global allocator behind the `count-allocs` feature: two
@@ -168,6 +169,20 @@ fn main() {
         report
     });
 
+    // The compiled-formula series: every standard catalog formula
+    // through the MSO compiler and the engine — part of every full run,
+    // selectable alone via `--table compiled`. The engine-smoke CI job
+    // asserts each formula certifies its witness corpus.
+    let run_compiled = selected.as_deref().is_none_or(|s| s == "compiled");
+    let compiled_report = run_compiled.then(|| {
+        let start = clock.now_ns();
+        let report = compiled::series(scale, ctx.threads);
+        let seconds = clock.seconds_since(start);
+        println!("==== COMPILED ({seconds:.2}s) ====");
+        println!("{}", report.render());
+        report
+    });
+
     if let Some(trace_path) = flag_value("--trace-out") {
         if let Err(e) = lanecert_bench::write_trace(&trace_path, ctx.threads) {
             eprintln!("failed to write trace to {trace_path}: {e}");
@@ -175,13 +190,13 @@ fn main() {
         }
     }
 
-    if results.is_empty() && sweep.is_none() && label_stats.is_none() {
+    if results.is_empty() && sweep.is_none() && label_stats.is_none() && compiled_report.is_none() {
         let known: Vec<&str> = lanecert_bench::all_tables()
             .iter()
             .map(|(n, _)| *n)
             .collect();
         eprintln!(
-            "no table matched {:?}; known tables: {}, throughput, label-stats",
+            "no table matched {:?}; known tables: {}, throughput, label-stats, compiled",
             selected.as_deref().unwrap_or("<none>"),
             known.join(", ")
         );
@@ -191,7 +206,7 @@ fn main() {
     if !write_json {
         return;
     }
-    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/6\",\n");
+    let mut json = String::from("{\n  \"schema\": \"lanecert-bench/7\",\n");
     let _ = writeln!(json, "  \"threads\": {},", ctx.threads);
     json.push_str("  \"tables\": [\n");
     for (i, (name, seconds, rendered)) in results.iter().enumerate() {
@@ -211,6 +226,10 @@ fn main() {
     }
     if let Some(report) = &label_stats {
         json.push_str(",\n  \"label_stats\": ");
+        json.push_str(&report.to_json(json_escape));
+    }
+    if let Some(report) = &compiled_report {
+        json.push_str(",\n  \"compiled\": ");
         json.push_str(&report.to_json(json_escape));
     }
     json.push_str("\n}\n");

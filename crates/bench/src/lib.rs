@@ -29,6 +29,7 @@ use lanecert_graph::{generators, Graph};
 use lanecert_lanes::{bounds, pipeline::LaneStrategy, recursive, Completion, Layout};
 use lanecert_pathwidth::{Interval, IntervalRep};
 
+pub mod compiled;
 pub mod stats;
 pub mod throughput;
 

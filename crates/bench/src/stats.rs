@@ -20,9 +20,21 @@ use std::fmt::Write as _;
 use lanecert::{registry, BatchJob, Certifier};
 use lanecert_algebra::props::{Bipartite, Connected};
 use lanecert_algebra::Algebra;
-use lanecert_engine::CorpusSpec;
+use lanecert_engine::{CorpusSpec, FormulaCorpus};
 
 use crate::Scale;
+
+/// Compiled catalog formulas measured alongside the registry schemes:
+/// the cheap-to-freeze subset (the full catalog's heavyweight freezes
+/// live in the release-built `compiled` series, not in this section,
+/// which also runs inside the dev-profile test suite). `connected` is
+/// the one nontrivial freeze kept here so the determinism diff covers
+/// real multi-class compiled labels.
+pub const COMPILED_STATS_FORMULAS: &[&str] = &["connected", "max-degree-1", "vertex-cover-1"];
+
+/// Seeds for the compiled witness jobs (two, so the round-robin prover
+/// threads genuinely shard the per-formula corpus).
+const COMPILED_SEEDS: &[u64] = &[5, 6];
 
 /// Label statistics of one scheme over the corpus.
 #[derive(Clone, Debug)]
@@ -50,7 +62,9 @@ impl SchemeLabelStats {
     }
 }
 
-/// The `label_stats` section: one entry per registry scheme.
+/// The `label_stats` section: one entry per registry scheme, plus one
+/// `compiled:<formula>` entry per [`COMPILED_STATS_FORMULAS`] member
+/// (measured over its witness corpus).
 #[derive(Clone, Debug)]
 pub struct LabelStatsReport {
     /// Description of the measured corpus.
@@ -80,10 +94,12 @@ fn corpus_spec(scale: Scale) -> CorpusSpec {
 pub fn collect(scale: Scale, threads: usize) -> LabelStatsReport {
     let spec = corpus_spec(scale);
     let corpus = format!(
-        "benchmark families × sizes {:?} × seed 5",
-        corpus_sizes(scale)
+        "benchmark families × sizes {:?} × seed 5; compiled formulas on witnesses × sizes {:?} × seeds {:?}",
+        corpus_sizes(scale),
+        corpus_sizes(scale),
+        COMPILED_SEEDS,
     );
-    let schemes: Vec<Certifier> = vec![
+    let registry_schemes: Vec<Certifier> = vec![
         crate::theorem1_certifier(Algebra::shared(Connected)),
         Certifier::builder()
             .scheme(registry::FMR_BASELINE)
@@ -100,10 +116,34 @@ pub fn collect(scale: Scale, threads: usize) -> LabelStatsReport {
             .build()
             .expect("whole-graph spec is complete"),
     ];
+    let mut entries: Vec<(String, Certifier, Vec<BatchJob>)> = registry_schemes
+        .into_iter()
+        .map(|c| (c.name(), c, spec.jobs().collect()))
+        .collect();
+    // Compiled schemes measure their own witness corpus: the benchmark
+    // families include pathwidth-2 instances, which the default compiled
+    // lane bound refuses — a histogram of refusals would make the
+    // determinism diff vacuous for exactly the schemes it was extended
+    // to cover.
+    for &name in COMPILED_STATS_FORMULAS {
+        let entry = lanecert::compiled::standard_formula(name)
+            .unwrap_or_else(|| panic!("{name} is not in the standard formula catalog"));
+        let certifier = Certifier::builder()
+            .compiled(entry.formula())
+            .build()
+            .unwrap_or_else(|e| panic!("catalog formula {name} must compile and freeze: {e}"));
+        let single = FormulaCorpus::new().formula(name, entry.formula());
+        let mut jobs = Vec::new();
+        for n in corpus_sizes(scale) {
+            for &seed in COMPILED_SEEDS {
+                jobs.extend(single.witness_jobs(n, seed));
+            }
+        }
+        entries.push((format!("compiled:{name}"), certifier, jobs));
+    }
     let threads = threads.max(1);
-    let mut out = Vec::with_capacity(schemes.len());
-    for certifier in schemes {
-        let jobs: Vec<BatchJob> = spec.jobs().collect();
+    let mut out = Vec::with_capacity(entries.len());
+    for (display, certifier, jobs) in entries {
         // Prove concurrently: round-robin the jobs over `threads` OS
         // threads sharing one certifier. Refusals (non-bipartite
         // instances for the 1-bit scheme) and capacity errors
@@ -146,7 +186,7 @@ pub fn collect(scale: Scale, threads: usize) -> LabelStatsReport {
         }
         let labels = histogram.values().sum();
         out.push(SchemeLabelStats {
-            scheme: certifier.name(),
+            scheme: display,
             fingerprint: certifier.scheme().fingerprint(),
             interned_states: certifier.scheme().algebra_state_count(),
             certified_jobs: certified,
@@ -224,7 +264,11 @@ mod tests {
     #[test]
     fn quick_stats_collect_and_serialize() {
         let report = collect(Scale::Quick, 2);
-        assert_eq!(report.schemes.len(), 4);
+        assert_eq!(
+            report.schemes.len(),
+            4 + COMPILED_STATS_FORMULAS.len(),
+            "four registry schemes plus the compiled stats subset"
+        );
         let t1 = &report.schemes[0];
         assert!(t1.scheme.starts_with("theorem1"));
         assert!(t1.interned_states.unwrap() > 0);
@@ -237,11 +281,27 @@ mod tests {
             .find(|s| s.scheme == "bipartite-1bit")
             .unwrap();
         assert_eq!(bip.histogram, vec![(2, bip.labels)]);
+        // Every compiled row certifies its whole witness corpus (two
+        // sizes × two seeds) with a real, nonempty histogram — the
+        // determinism diff over these rows is not vacuous.
+        for name in COMPILED_STATS_FORMULAS {
+            let row = report
+                .schemes
+                .iter()
+                .find(|s| s.scheme == format!("compiled:{name}"))
+                .unwrap_or_else(|| panic!("missing compiled row for {name}"));
+            assert_eq!(row.certified_jobs, 4, "{name}");
+            assert!(row.interned_states.unwrap() > 0, "{name}");
+            assert!(row.labels > 0, "{name}");
+            assert!(row.max_bits() > 0, "{name}");
+        }
         let json = report.to_json(|s| s.to_string());
         assert!(json.contains("\"label_size_histogram\""));
         assert!(json.contains("\"interned_states\""));
+        assert!(json.contains("compiled:connected"));
         let rendered = report.render();
         assert!(rendered.contains("|C|"));
+        assert!(rendered.contains("compiled:vertex-cover-1"));
     }
 
     #[test]

@@ -21,10 +21,11 @@
 
 use lanecert_algebra::SharedAlgebra;
 use lanecert_lanes::LaneStrategy;
+use lanecert_mso::Formula;
 use lanecert_pathwidth::IntervalRep;
 
 use crate::erased::{BoxedScheme, EncodedLabeling};
-use crate::registry::{SchemeRegistry, SchemeSpec, THEOREM1};
+use crate::registry::{SchemeRegistry, SchemeSpec, COMPILED, THEOREM1};
 use crate::scheme::{ProverHint, RunReport};
 use crate::{CertError, Configuration};
 
@@ -187,6 +188,19 @@ impl CertifierBuilder {
     /// Certify `pathwidth ≤ k` alongside the property.
     pub fn pathwidth(mut self, k: usize) -> Self {
         self.spec.pathwidth = Some(k);
+        self
+    }
+
+    /// Certify an MSO₂ formula via the Courcelle-style compiler
+    /// ([`crate::compiled`]). Selects the [`COMPILED`] scheme (a later
+    /// [`CertifierBuilder::scheme`] call overrides). The lane bound
+    /// defaults to [`crate::compiled::DEFAULT_MAX_LANES`] unless
+    /// `.pathwidth(...)` / `.max_lanes(...)` is given.
+    pub fn compiled(mut self, formula: Formula) -> Self {
+        self.spec.formula = Some(formula);
+        if self.scheme.is_none() {
+            self.scheme = Some(COMPILED.into());
+        }
         self
     }
 

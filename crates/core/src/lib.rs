@@ -51,6 +51,9 @@
 //!   bounded-outdegree orientation, port-numbering model).
 //! * [`simple`] — the 1-bit bipartiteness scheme from the introduction and
 //!   the trivial whole-graph scheme.
+//! * [`compiled`] — the Courcelle-style front-end: compile any MSO₂
+//!   [`Formula`](lanecert_mso::Formula) into a Theorem 1 certifier
+//!   (registry name `"compiled"`).
 //! * [`baseline`] — an FMR+24-style `O(log² n)` baseline for label-size
 //!   comparison.
 //! * [`attacks`] — soundness fuzzing (typed and wire-level) and the classic
@@ -90,6 +93,9 @@ pub mod transform;
 
 pub mod theorem1;
 pub use theorem1::{PathwidthScheme, SchemeOptions};
+
+pub mod compiled;
+pub use compiled::{compile_scheme, StandardFormula};
 
 pub mod baseline;
 

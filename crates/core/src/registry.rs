@@ -11,6 +11,7 @@
 //! | [`FMR_BASELINE`] | FMR+24-style balanced-recursion baseline | `O(log² n)` bits |
 //! | [`BIPARTITE_1BIT`] | the classic 1-bit bipartiteness scheme | 2 bits |
 //! | [`WHOLE_GRAPH`] | trivial whole-graph yardstick | `Θ((n+m) log n)` bits |
+//! | [`COMPILED`] | Courcelle front-end over an MSO₂ formula | `O(log n)` bits |
 //!
 //! Future backends (e.g. a treewidth meta-theorem scheme in the style of
 //! Cook–Kim–Masařík) drop in by registering another factory — nothing
@@ -35,6 +36,8 @@ pub const FMR_BASELINE: &str = "fmr-baseline";
 pub const BIPARTITE_1BIT: &str = "bipartite-1bit";
 /// Registry name of the trivial whole-graph yardstick scheme.
 pub const WHOLE_GRAPH: &str = "whole-graph";
+/// Registry name of the compiled-formula (Courcelle front-end) scheme.
+pub const COMPILED: &str = "compiled";
 
 /// What a scheme factory may consume: the property, the pathwidth bound,
 /// and tuning knobs. Factories ignore fields they don't need and reject
@@ -52,6 +55,10 @@ pub struct SchemeSpec {
     pub strategy: Option<LaneStrategy>,
     /// Explicit verifier lane bound, overriding `pathwidth + 1`.
     pub max_lanes: Option<usize>,
+    /// An MSO₂ formula for the [`COMPILED`] scheme (which certifies the
+    /// formula via the Courcelle-style compiler). Rejected by every
+    /// other factory.
+    pub formula: Option<lanecert_mso::Formula>,
 }
 
 impl std::fmt::Debug for SchemeSpec {
@@ -61,6 +68,10 @@ impl std::fmt::Debug for SchemeSpec {
             .field("pathwidth", &self.pathwidth)
             .field("strategy", &self.strategy)
             .field("max_lanes", &self.max_lanes)
+            .field(
+                "formula",
+                &self.formula.as_ref().map(lanecert_mso::sexpr::canonical),
+            )
             .finish()
     }
 }
@@ -82,6 +93,20 @@ impl SchemeSpec {
             return Err(CertError::InvalidSpec(format!(
                 "{scheme} certifies no pathwidth bound and has no lane strategy; \
                  drop .pathwidth(...) / .max_lanes(...) / .strategy(...)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Rejects a spec carrying a formula when the scheme is not the
+    /// compiled front-end — a formula the built certifier would not
+    /// certify must fail loudly.
+    fn reject_formula(&self, scheme: &str) -> Result<(), CertError> {
+        if let Some(f) = &self.formula {
+            return Err(CertError::InvalidSpec(format!(
+                "{scheme} does not certify MSO formulas (got {}); use the \
+                 {COMPILED:?} scheme or drop .compiled(...)",
+                lanecert_mso::sexpr::canonical(f)
             )));
         }
         Ok(())
@@ -108,6 +133,7 @@ impl SchemeRegistry {
     pub fn standard() -> Self {
         let mut reg = Self::new();
         reg.register(THEOREM1, |spec: &SchemeSpec| {
+            spec.reject_formula(THEOREM1)?;
             let algebra = spec.require_algebra(THEOREM1)?;
             let max_lanes = match (spec.max_lanes, spec.pathwidth) {
                 (Some(w), _) => w,
@@ -135,6 +161,7 @@ impl SchemeRegistry {
                 )));
             }
             spec.reject_width_knobs(FMR_BASELINE)?;
+            spec.reject_formula(FMR_BASELINE)?;
             Ok(Box::new(BaselineScheme) as BoxedScheme)
         });
         reg.register(BIPARTITE_1BIT, |spec: &SchemeSpec| {
@@ -149,12 +176,42 @@ impl SchemeRegistry {
                 }
             }
             spec.reject_width_knobs(BIPARTITE_1BIT)?;
+            spec.reject_formula(BIPARTITE_1BIT)?;
             Ok(Box::new(BipartiteScheme) as BoxedScheme)
         });
         reg.register(WHOLE_GRAPH, |spec: &SchemeSpec| {
             let algebra = spec.require_algebra(WHOLE_GRAPH)?;
             spec.reject_width_knobs(WHOLE_GRAPH)?;
+            spec.reject_formula(WHOLE_GRAPH)?;
             Ok(Box::new(WholeGraphScheme::for_algebra(algebra)) as BoxedScheme)
+        });
+        reg.register(COMPILED, |spec: &SchemeSpec| {
+            let Some(formula) = &spec.formula else {
+                return Err(CertError::InvalidSpec(
+                    "compiled needs an MSO formula (.compiled(...))".into(),
+                ));
+            };
+            // A hand-written algebra alongside a formula is ambiguous:
+            // the scheme would certify the formula and silently drop the
+            // algebra.
+            if let Some(alg) = &spec.algebra {
+                return Err(CertError::InvalidSpec(format!(
+                    "compiled certifies its formula, not the algebra {:?}; drop .property(...)",
+                    alg.name()
+                )));
+            }
+            let max_lanes = match (spec.max_lanes, spec.pathwidth) {
+                (Some(w), _) => w,
+                (None, Some(k)) => k + 1,
+                (None, None) => crate::compiled::DEFAULT_MAX_LANES,
+            };
+            let opts = SchemeOptions {
+                strategy: spec.strategy.unwrap_or(LaneStrategy::Greedy),
+                max_lanes,
+            };
+            let freeze = crate::compiled::freeze_options_for(formula, max_lanes);
+            let scheme = crate::compiled::compile_scheme(formula, opts, &freeze)?;
+            Ok(Box::new(scheme) as BoxedScheme)
         });
         reg
     }
@@ -215,9 +272,16 @@ mod tests {
         let names: Vec<&str> = reg.names().collect();
         assert_eq!(
             names,
-            vec![BIPARTITE_1BIT, FMR_BASELINE, THEOREM1, WHOLE_GRAPH]
+            vec![
+                BIPARTITE_1BIT,
+                COMPILED,
+                FMR_BASELINE,
+                THEOREM1,
+                WHOLE_GRAPH
+            ]
         );
         assert!(reg.contains(THEOREM1));
+        assert!(reg.contains(COMPILED));
     }
 
     #[test]
@@ -248,6 +312,23 @@ mod tests {
             let report = scheme.verify_encoded(&cfg, &enc).unwrap();
             assert!(report.accepted(), "{name}: {:?}", report.first_rejection());
         }
+        // The compiled scheme defaults to max_lanes = 2 (pathwidth ≤ 1),
+        // so it gets a path rather than the cycle above; the formula is
+        // one of the catalog's cheapest freezes (the middle vertex of P3
+        // is a vertex cover of size 1).
+        let compiled_spec = SchemeSpec {
+            formula: Some(lanecert_mso::props::vertex_cover_at_most(1)),
+            ..SchemeSpec::default()
+        };
+        let path = Configuration::with_sequential_ids(generators::path_graph(3));
+        let scheme = reg.build(COMPILED, &compiled_spec).unwrap();
+        let enc = scheme.prove_encoded(&path, &ProverHint::auto()).unwrap();
+        let report = scheme.verify_encoded(&path, &enc).unwrap();
+        assert!(
+            report.accepted(),
+            "compiled: {:?}",
+            report.first_rejection()
+        );
     }
 
     #[test]
@@ -279,6 +360,37 @@ mod tests {
         ));
         assert!(matches!(
             reg.build(WHOLE_GRAPH, &spec()).err().unwrap(),
+            CertError::InvalidSpec(_)
+        ));
+    }
+
+    #[test]
+    fn formula_and_algebra_do_not_cross_schemes() {
+        let reg = SchemeRegistry::standard();
+        // A formula on a non-compiled scheme must fail loudly.
+        let with_formula = SchemeSpec {
+            algebra: Some(Algebra::shared(Connected)),
+            pathwidth: Some(2),
+            formula: Some(lanecert_mso::props::triangle_free()),
+            ..SchemeSpec::default()
+        };
+        assert!(matches!(
+            reg.build(THEOREM1, &with_formula).err().unwrap(),
+            CertError::InvalidSpec(_)
+        ));
+        // The compiled scheme without a formula, or with a stray
+        // hand-written algebra, is equally invalid.
+        assert!(matches!(
+            reg.build(COMPILED, &SchemeSpec::default()).err().unwrap(),
+            CertError::InvalidSpec(_)
+        ));
+        let ambiguous = SchemeSpec {
+            algebra: Some(Algebra::shared(Connected)),
+            formula: Some(lanecert_mso::props::max_degree_at_most(2)),
+            ..SchemeSpec::default()
+        };
+        assert!(matches!(
+            reg.build(COMPILED, &ambiguous).err().unwrap(),
             CertError::InvalidSpec(_)
         ));
     }

@@ -76,14 +76,43 @@ pub struct PathwidthScheme {
     opts: SchemeOptions,
 }
 
+impl std::fmt::Debug for PathwidthScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PathwidthScheme")
+            .field("algebra", &self.frozen.name())
+            .field("states", &self.frozen.state_count())
+            .field("total", &self.frozen.is_total())
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
 impl PathwidthScheme {
     /// Creates the scheme for a property algebra and options, freezing
     /// the algebra's canonical class table for the options' lane bound.
     pub fn new(algebra: SharedAlgebra, opts: SchemeOptions) -> Self {
-        let frozen = FrozenAlgebra::freeze(
+        Self::with_freeze_options(
             algebra,
+            opts,
             &FreezeOptions::for_interface_arity(2 * opts.max_lanes),
-        );
+        )
+    }
+
+    /// Like [`PathwidthScheme::new`] with explicit freeze tuning (state
+    /// and op budgets). Used by the MSO compiler front-end
+    /// ([`crate::compiled`]), whose machine-generated state spaces need
+    /// per-formula budgets; the freeze arity cap is still forced to
+    /// `2 × max_lanes` so the table matches the verifier's interfaces.
+    pub fn with_freeze_options(
+        algebra: SharedAlgebra,
+        opts: SchemeOptions,
+        freeze: &FreezeOptions,
+    ) -> Self {
+        let freeze = FreezeOptions {
+            max_arity: 2 * opts.max_lanes,
+            ..freeze.clone()
+        };
+        let frozen = FrozenAlgebra::freeze(algebra, &freeze);
         Self { frozen, opts }
     }
 

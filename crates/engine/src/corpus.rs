@@ -308,6 +308,124 @@ impl CorpusSpec {
     }
 }
 
+/// A named set of MSO₂ formulas to sweep through the compiled
+/// (Courcelle front-end) scheme — the formula-level analogue of
+/// [`CorpusSpec`].
+///
+/// [`FormulaCorpus::standard`] starts from the catalog of
+/// `lanecert::compiled::standard_formulas`; [`FormulaCorpus::parse`]
+/// adds runtime-supplied formulas in the s-expression syntax of
+/// `lanecert_mso::sexpr`, so a workload file can sweep user formulas the
+/// workspace has never seen:
+///
+/// ```
+/// use lanecert_engine::FormulaCorpus;
+///
+/// let corpus = FormulaCorpus::standard()
+///     .parse("has-edge", "(exists-edge e true)")
+///     .unwrap();
+/// assert!(corpus.names().any(|n| n == "has-edge"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FormulaCorpus {
+    entries: Vec<(String, lanecert_mso::Formula)>,
+}
+
+impl FormulaCorpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard catalog: every formula of
+    /// `lanecert::compiled::standard_formulas`, under its catalog name.
+    pub fn standard() -> Self {
+        let mut corpus = Self::new();
+        for entry in lanecert::compiled::standard_formulas() {
+            corpus = corpus.formula(entry.name, entry.formula());
+        }
+        corpus
+    }
+
+    /// Adds one formula under a display name.
+    pub fn formula(mut self, name: impl Into<String>, formula: lanecert_mso::Formula) -> Self {
+        self.entries.push((name.into(), formula));
+        self
+    }
+
+    /// Parses and adds an s-expression formula (the runtime-supplied
+    /// path; see `lanecert_mso::sexpr` for the syntax).
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::InvalidSpec`](lanecert::CertError) when `src` does
+    /// not parse.
+    pub fn parse(self, name: impl Into<String>, src: &str) -> Result<Self, lanecert::CertError> {
+        let formula = lanecert_mso::sexpr::parse(src).map_err(|e| {
+            lanecert::CertError::InvalidSpec(format!("formula does not parse: {e}"))
+        })?;
+        Ok(self.formula(name, formula))
+    }
+
+    /// Number of formulas.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the corpus holds no formulas.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The display names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The `(name, formula)` pairs, in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &lanecert_mso::Formula)> {
+        self.entries.iter().map(|(n, f)| (n.as_str(), f))
+    }
+
+    /// Builds one compiled certifier per formula (insertion order). Each
+    /// build is reported individually — a formula whose compiled state
+    /// space overruns its freeze budget yields `Err(InvalidSpec)` without
+    /// sinking the rest of the sweep.
+    pub fn certifiers(
+        &self,
+    ) -> impl Iterator<Item = (&str, Result<lanecert::Certifier, lanecert::CertError>)> {
+        self.entries.iter().map(|(name, formula)| {
+            let built = lanecert::Certifier::builder()
+                .compiled(formula.clone())
+                .build();
+            (name.as_str(), built)
+        })
+    }
+
+    /// A `pathwidth ≤ 1` yes-instance for the named standard formula —
+    /// the graph the smoke sweeps certify it on. Formulas differ in
+    /// where they hold (`max-degree-1` only on a single edge,
+    /// `vertex-cover-1` on stars, the rest on paths), so the witness is
+    /// per-name; unknown names get a path.
+    pub fn witness(name: &str, n: usize) -> Graph {
+        match name {
+            "max-degree-1" => generators::path_graph(2),
+            "vertex-cover-1" => generators::star(n.max(3)),
+            _ => generators::path_graph(n.max(3)),
+        }
+    }
+
+    /// One [`BatchJob`] per formula on its [`FormulaCorpus::witness`]
+    /// graph (a hintless yes-instance; the compiled scheme's automatic
+    /// decomposition covers pathwidth-1 graphs of these sizes).
+    pub fn witness_jobs(&self, n: usize, seed: u64) -> impl Iterator<Item = BatchJob> + '_ {
+        self.entries.iter().map(move |(name, _)| {
+            let cfg = Configuration::with_random_ids(Self::witness(name, n), seed);
+            BatchJob::new(cfg).named(format!("{name}/n{n}/s{seed}"))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +481,43 @@ mod tests {
         // Disjoint paths are disconnected by construction.
         let (g, _) = CorpusFamily::DisjointPaths.instance(12, 2);
         assert!(!lanecert_graph::components::is_connected(&g));
+    }
+
+    #[test]
+    fn formula_corpus_lists_parses_and_builds() {
+        let corpus = FormulaCorpus::standard();
+        // The whole standard catalog is present, in catalog order.
+        let names: Vec<&str> = corpus.names().collect();
+        assert!(names.len() >= 6, "catalog shrank: {names:?}");
+        assert!(names.contains(&"connected") && names.contains(&"bipartite"));
+        // Runtime-parsed formulas join the sweep; parse failures are
+        // reported as InvalidSpec.
+        let with_user = corpus
+            .clone()
+            .parse("has-edge", "(exists-edge e true)")
+            .unwrap();
+        assert_eq!(with_user.len(), corpus.len() + 1);
+        assert!(matches!(
+            FormulaCorpus::new().parse("broken", "(exists-vertex").err(),
+            Some(lanecert::CertError::InvalidSpec(_))
+        ));
+        // Witness jobs cover every formula, named like corpus jobs.
+        let jobs: Vec<_> = with_user.witness_jobs(8, 3).collect();
+        assert_eq!(jobs.len(), with_user.len());
+        assert_eq!(jobs[0].name.as_deref(), Some("connected/n8/s3"));
+        // The cheap user formula builds and certifies its witness
+        // end-to-end (the heavyweight catalog builds are exercised by the
+        // engine parity suite and the release smoke sweep).
+        let (name, built) = FormulaCorpus::new()
+            .parse("has-edge", "(exists-edge e true)")
+            .unwrap()
+            .certifiers()
+            .next()
+            .map(|(n, b)| (n.to_string(), b))
+            .unwrap();
+        let certifier = built.unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cfg = Configuration::with_random_ids(FormulaCorpus::witness(&name, 8), 1);
+        assert!(certifier.run(&cfg).unwrap().accepted());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use pool::{ChunkedDeque, Parker, Spawner, WorkStealingPool};
 pub mod loom_model;
 
 pub mod corpus;
-pub use corpus::{CorpusFamily, CorpusSpec};
+pub use corpus::{CorpusFamily, CorpusSpec, FormulaCorpus};
 
 pub mod solver;
 pub use solver::par_pathwidth_bnb;

@@ -1,0 +1,1736 @@
+//! Courcelle-style compilation of MSO₂ formulas into homomorphism
+//! algebras ([`lanecert_algebra::Property`] implementations).
+//!
+//! [`compile`] lowers a **closed** [`Formula`] to a [`CompiledProperty`]
+//! whose automaton states are satisfying-assignment summaries of the
+//! formula restricted to the live interface, built by structural
+//! recursion on the AST:
+//!
+//! * atomic predicates become small hand-minimised leaf automata that
+//!   track only what future operations can still change (terminal
+//!   `True`/`False` collapses keep the reachable space small);
+//! * boolean connectives become product automata over their operands;
+//! * quantifiers become *run sets* — one run per choice of the bound
+//!   variable's decoration, deduplicated and canonically sorted so the
+//!   state is a pure value (powerset projection).
+//!
+//! Each quantifier occurrence gets a dense bit index; an operation's
+//! decoration (which runs place an individual variable on the new
+//! vertex/edge, which runs put it in a set) travels down the recursion
+//! as a `u64` mask, so formulas are limited to [`MAX_QUANTIFIERS`]
+//! quantifier occurrences.
+//!
+//! # Semantics
+//!
+//! The compiled property evaluates the formula on the **marked
+//! subgraph** (the workspace-wide algebra convention: unmarked edges are
+//! completion-only structure). Edge quantifiers range over marked edges,
+//! `adj`/`inc` see marked edges only, and vertex labels are read from
+//! `add_vertex` (the certification pipeline always passes label `0`,
+//! matching the unlabeled [`crate::eval::check`] oracle; edge labels are
+//! uniformly `0` for the same reason). On the pipeline's op sequences —
+//! where every real edge is marked — this coincides with evaluating the
+//! formula on the real graph, which is exactly what the differential
+//! tests pin.
+//!
+//! States are congruences: two equal states accept identically under any
+//! continuation (validated against the brute-force trace mirror and the
+//! naive evaluator in this module's tests and `tests/compile_parity.rs`).
+
+use std::fmt;
+
+use lanecert_algebra::{glue_order, Property, Slot};
+
+use crate::{Formula, Sort, Var};
+
+/// Maximum number of quantifier *occurrences* a compilable formula may
+/// contain (decorations travel as a `u64` bitmask).
+pub const MAX_QUANTIFIERS: usize = 64;
+
+/// Why a formula could not be compiled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A variable is used without an enclosing quantifier binding it.
+    UnboundVariable(Var),
+    /// A variable is used at a sort other than the one it was bound at.
+    SortMismatch {
+        /// The offending variable.
+        var: Var,
+        /// The sort the enclosing quantifier bound it at.
+        bound: Sort,
+        /// The sort the predicate uses it at.
+        used: Sort,
+    },
+    /// More than [`MAX_QUANTIFIERS`] quantifier occurrences.
+    TooManyQuantifiers {
+        /// The number of quantifier occurrences found.
+        count: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnboundVariable(v) => write!(f, "unbound variable {v} (formula not closed)"),
+            Self::SortMismatch { var, bound, used } => {
+                write!(f, "variable {var} bound as {bound:?} but used as {used:?}")
+            }
+            Self::TooManyQuantifiers { count } => {
+                write!(
+                    f,
+                    "{count} quantifier occurrences exceed the limit of {MAX_QUANTIFIERS}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Binary boolean connective of a compiled [`Node::Bin`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum BinOp {
+    And,
+    Or,
+    Implies,
+    Iff,
+}
+
+/// The compiled plan: the formula with every variable occurrence
+/// resolved to the dense bit index of its binding quantifier.
+#[derive(Clone, Debug)]
+enum Node {
+    Const(bool),
+    InVSet {
+        v: u8,
+        set: u8,
+    },
+    InESet {
+        e: u8,
+        set: u8,
+    },
+    Inc {
+        e: u8,
+        v: u8,
+    },
+    Adj {
+        u: u8,
+        v: u8,
+    },
+    EqV {
+        u: u8,
+        v: u8,
+    },
+    EqE {
+        a: u8,
+        b: u8,
+    },
+    VLabelIs {
+        v: u8,
+        label: u32,
+    },
+    ELabelIs {
+        e: u8,
+        label: u32,
+    },
+    Not(Box<Node>),
+    Bin(BinOp, Box<Node>, Box<Node>),
+    Quant {
+        sort: Sort,
+        forall: bool,
+        bit: u8,
+        body: Box<Node>,
+    },
+}
+
+/// Where an individual (vertex) variable currently lives.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum Place {
+    /// Not placed yet in this run.
+    Unplaced,
+    /// Placed on the vertex at this live slot.
+    At(u8),
+    /// Placed on a vertex that has since been forgotten.
+    Inside,
+}
+
+impl Place {
+    /// Slot renumbering after `drop` disappears (glue/forget).
+    fn shift_down(self, drop: usize) -> Self {
+        match self {
+            Self::At(s) if usize::from(s) > drop => Self::At(s - 1),
+            other => other,
+        }
+    }
+
+    fn swap(self, a: usize, b: usize) -> Self {
+        match self {
+            Self::At(s) if usize::from(s) == a => Self::At(b as u8),
+            Self::At(s) if usize::from(s) == b => Self::At(a as u8),
+            other => other,
+        }
+    }
+
+    fn shift_up(self, by: usize) -> Self {
+        match self {
+            Self::At(s) => Self::At(s + by as u8),
+            other => other,
+        }
+    }
+}
+
+/// A set of live slots as a bitmask (slots ≥ 64 are untracked; the
+/// freeze arity cap and every pipeline interface stay far below that).
+type SlotSet = u64;
+
+fn bit(s: usize) -> SlotSet {
+    if s < 64 {
+        1u64 << s
+    } else {
+        0
+    }
+}
+
+fn has(set: SlotSet, s: usize) -> bool {
+    set & bit(s) != 0
+}
+
+/// Removes slot `drop` from a slot set and shifts higher slots down.
+fn set_shift_down(set: SlotSet, drop: usize) -> SlotSet {
+    if drop >= 64 {
+        return set;
+    }
+    let low = set & (bit(drop) - 1);
+    let high = (set >> (drop + 1)) << drop;
+    low | high
+}
+
+fn set_swap(set: SlotSet, a: usize, b: usize) -> SlotSet {
+    let (ba, bb) = (has(set, a), has(set, b));
+    let mut out = set & !(bit(a) | bit(b));
+    if ba {
+        out |= bit(b);
+    }
+    if bb {
+        out |= bit(a);
+    }
+    out
+}
+
+/// Three-valued leaf state for predicates whose verdict is fixed the
+/// moment their variable is placed (`∈`-membership, label tests).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum Tri {
+    Undecided,
+    Yes,
+    No,
+}
+
+impl Tri {
+    fn of(b: bool) -> Self {
+        if b {
+            Self::Yes
+        } else {
+            Self::No
+        }
+    }
+
+    fn union(self, other: Self) -> Self {
+        match (self, other) {
+            (Self::Undecided, x) => x,
+            (x, _) => x,
+        }
+    }
+}
+
+/// Leaf automaton for `x = y` over vertex variables.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum EqVState {
+    True,
+    False,
+    Pending { u: Place, v: Place },
+}
+
+/// Leaf automaton for `a = b` over edge variables (edges are created
+/// once and never merge, so five states suffice).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum EqEState {
+    Neither,
+    AOnly,
+    BOnly,
+    True,
+    False,
+}
+
+/// Leaf automaton for `adj(u, v)`: terminal `True` once a marked edge
+/// connects the two vertices, otherwise the placements plus the live
+/// slots currently adjacent to each (adjacency can still arise by
+/// gluing a live slot into a recorded neighbour).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum AdjState {
+    True,
+    False,
+    Pending {
+        u: Place,
+        v: Place,
+        u_adj: SlotSet,
+        v_adj: SlotSet,
+    },
+}
+
+/// Leaf automaton for `inc(e, v)`: the vertex placement plus the edge's
+/// still-live endpoint slots (`ends` is `None` while the edge variable
+/// is unplaced).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum IncState {
+    True,
+    False,
+    Pending { v: Place, ends: Option<SlotSet> },
+}
+
+/// Per-run decoration data of one quantifier run.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum RunData {
+    /// Vertex/edge variable: has this run placed it yet?
+    Individual { placed: bool },
+    /// Vertex-set variable: membership of each live slot's vertex
+    /// (needed to reject glue of vertices the run decorated
+    /// inconsistently).
+    VSet { bits: SlotSet },
+    /// Edge-set variable: edges never merge, so no consistency data.
+    ESet,
+}
+
+/// One decoration choice of a quantifier: the choice data plus the body
+/// state under that choice.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+struct Run {
+    data: RunData,
+    body: CState,
+}
+
+/// A compiled automaton state: one node per formula node ([`Node::Not`]
+/// shares its operand's state).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+enum CState {
+    Tri(Tri),
+    EqV(EqVState),
+    EqE(EqEState),
+    Adj(AdjState),
+    Inc(IncState),
+    Pair(Box<(CState, CState)>),
+    Runs(Vec<Run>),
+    /// The node's verdict is fixed under every further operation and
+    /// under union with any co-state (see
+    /// [`CompiledProperty::normalize`]).
+    Done(bool),
+}
+
+/// The state type of a [`CompiledProperty`]: the current interface
+/// arity, the marked adjacency matrix over live slots (`adj[s]` = slots
+/// whose vertex is marked-adjacent to slot `s`'s vertex — graph
+/// structure, identical across runs, needed so a glue can hand the
+/// merged vertex's full neighbour set to the `adj` leaves), and the
+/// recursive per-node automaton state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CompiledState {
+    arity: u8,
+    adj: Vec<SlotSet>,
+    root: CState,
+}
+
+/// A structural operation as seen by the per-node transition functions
+/// (`add_edge` is pre-filtered: unmarked edges never reach the
+/// recursion).
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    AddVertex {
+        label: u32,
+        slot: usize,
+    },
+    AddEdge {
+        a: usize,
+        b: usize,
+    },
+    /// `row` is the merged vertex's marked-neighbour set *after* the
+    /// merge and slot shift — a variable glued into the pair inherits
+    /// it wholesale (its own incremental mask misses the other side's
+    /// edges).
+    Glue {
+        keep: usize,
+        drop: usize,
+        row: SlotSet,
+    },
+    Forget {
+        slot: usize,
+    },
+    Swap {
+        a: usize,
+        b: usize,
+    },
+}
+
+/// An MSO₂ formula compiled to a homomorphism algebra over terminal
+/// graphs. Build with [`compile`]; use via
+/// [`lanecert_algebra::Algebra::shared`] like any other property.
+pub struct CompiledProperty {
+    plan: Node,
+    name: String,
+    enumerable: bool,
+}
+
+impl CompiledProperty {
+    /// Opts the property out of the freeze pass's exhaustive enumeration
+    /// (it will run sealed). Useful for differential tests of formulas
+    /// whose reachable state space overruns the freeze budgets.
+    #[must_use]
+    pub fn sealed(mut self) -> Self {
+        self.enumerable = false;
+        self
+    }
+}
+
+/// Compiles a closed, well-sorted formula.
+///
+/// # Errors
+///
+/// [`CompileError`] on open formulas, sort mismatches, or more than
+/// [`MAX_QUANTIFIERS`] quantifier occurrences.
+pub fn compile(formula: &Formula) -> Result<CompiledProperty, CompileError> {
+    let mut scopes: Vec<(Var, Sort, u8)> = Vec::new();
+    let mut next_bit = 0usize;
+    let plan = lower(formula, &mut scopes, &mut next_bit)?;
+    Ok(CompiledProperty {
+        plan,
+        name: format!("compiled{}", crate::sexpr::canonical(formula)),
+        enumerable: true,
+    })
+}
+
+fn resolve(scopes: &[(Var, Sort, u8)], var: Var, used: Sort) -> Result<u8, CompileError> {
+    let (_, bound, idx) = scopes
+        .iter()
+        .rev()
+        .find(|(v, _, _)| *v == var)
+        .ok_or(CompileError::UnboundVariable(var))?;
+    if *bound != used {
+        return Err(CompileError::SortMismatch {
+            var,
+            bound: *bound,
+            used,
+        });
+    }
+    Ok(*idx)
+}
+
+fn lower(
+    f: &Formula,
+    scopes: &mut Vec<(Var, Sort, u8)>,
+    next_bit: &mut usize,
+) -> Result<Node, CompileError> {
+    use Formula as F;
+    Ok(match f {
+        F::True => Node::Const(true),
+        F::False => Node::Const(false),
+        F::InVSet(v, s) => Node::InVSet {
+            v: resolve(scopes, *v, Sort::Vertex)?,
+            set: resolve(scopes, *s, Sort::VertexSet)?,
+        },
+        F::InESet(e, s) => Node::InESet {
+            e: resolve(scopes, *e, Sort::Edge)?,
+            set: resolve(scopes, *s, Sort::EdgeSet)?,
+        },
+        F::Inc(e, v) => Node::Inc {
+            e: resolve(scopes, *e, Sort::Edge)?,
+            v: resolve(scopes, *v, Sort::Vertex)?,
+        },
+        F::Adj(u, v) => Node::Adj {
+            u: resolve(scopes, *u, Sort::Vertex)?,
+            v: resolve(scopes, *v, Sort::Vertex)?,
+        },
+        F::EqV(u, v) => Node::EqV {
+            u: resolve(scopes, *u, Sort::Vertex)?,
+            v: resolve(scopes, *v, Sort::Vertex)?,
+        },
+        F::EqE(a, b) => Node::EqE {
+            a: resolve(scopes, *a, Sort::Edge)?,
+            b: resolve(scopes, *b, Sort::Edge)?,
+        },
+        F::VLabelIs(v, c) => Node::VLabelIs {
+            v: resolve(scopes, *v, Sort::Vertex)?,
+            label: *c,
+        },
+        F::ELabelIs(e, c) => Node::ELabelIs {
+            e: resolve(scopes, *e, Sort::Edge)?,
+            label: *c,
+        },
+        F::Not(a) => Node::Not(Box::new(lower(a, scopes, next_bit)?)),
+        F::And(a, b) => bin(BinOp::And, a, b, scopes, next_bit)?,
+        F::Or(a, b) => bin(BinOp::Or, a, b, scopes, next_bit)?,
+        F::Implies(a, b) => bin(BinOp::Implies, a, b, scopes, next_bit)?,
+        F::Iff(a, b) => bin(BinOp::Iff, a, b, scopes, next_bit)?,
+        F::Exists(sort, var, body) => quant(*sort, *var, body, false, scopes, next_bit)?,
+        F::Forall(sort, var, body) => quant(*sort, *var, body, true, scopes, next_bit)?,
+    })
+}
+
+fn bin(
+    op: BinOp,
+    a: &Formula,
+    b: &Formula,
+    scopes: &mut Vec<(Var, Sort, u8)>,
+    next_bit: &mut usize,
+) -> Result<Node, CompileError> {
+    let a = lower(a, scopes, next_bit)?;
+    let b = lower(b, scopes, next_bit)?;
+    Ok(Node::Bin(op, Box::new(a), Box::new(b)))
+}
+
+fn quant(
+    sort: Sort,
+    var: Var,
+    body: &Formula,
+    forall: bool,
+    scopes: &mut Vec<(Var, Sort, u8)>,
+    next_bit: &mut usize,
+) -> Result<Node, CompileError> {
+    if *next_bit >= MAX_QUANTIFIERS {
+        return Err(CompileError::TooManyQuantifiers {
+            count: *next_bit + 1,
+        });
+    }
+    let bit = *next_bit as u8;
+    *next_bit += 1;
+    scopes.push((var, sort, bit));
+    let body = lower(body, scopes, next_bit);
+    scopes.pop();
+    Ok(Node::Quant {
+        sort,
+        forall,
+        bit,
+        body: Box::new(body?),
+    })
+}
+
+fn deco_has(deco: u64, idx: u8) -> bool {
+    deco & (1u64 << idx) != 0
+}
+
+impl CompiledProperty {
+    /// The initial (empty-graph) state of one plan node.
+    fn init(node: &Node) -> CState {
+        let raw = Self::init_raw(node);
+        Self::normalize(node, raw)
+    }
+
+    fn init_raw(node: &Node) -> CState {
+        match node {
+            Node::Const(b) => CState::Done(*b),
+            Node::InVSet { .. }
+            | Node::InESet { .. }
+            | Node::VLabelIs { .. }
+            | Node::ELabelIs { .. } => CState::Tri(Tri::Undecided),
+            Node::EqV { .. } => CState::EqV(EqVState::Pending {
+                u: Place::Unplaced,
+                v: Place::Unplaced,
+            }),
+            Node::EqE { .. } => CState::EqE(EqEState::Neither),
+            Node::Adj { .. } => CState::Adj(AdjState::Pending {
+                u: Place::Unplaced,
+                v: Place::Unplaced,
+                u_adj: 0,
+                v_adj: 0,
+            }),
+            Node::Inc { .. } => CState::Inc(IncState::Pending {
+                v: Place::Unplaced,
+                ends: None,
+            }),
+            Node::Not(a) => Self::init(a),
+            Node::Bin(_, a, b) => CState::Pair(Box::new((Self::init(a), Self::init(b)))),
+            Node::Quant { sort, body, .. } => CState::Runs(vec![Run {
+                data: RunData::initial(*sort),
+                body: Self::init(body),
+            }]),
+        }
+    }
+
+    /// One structural operation applied to one node's state under the
+    /// enclosing decoration mask. Total and deterministic for every
+    /// well-formed `(node, state)` pair.
+    fn step(node: &Node, s: &CState, op: Op, deco: u64) -> CState {
+        if let CState::Done(b) = s {
+            return CState::Done(*b);
+        }
+        let raw = Self::step_raw(node, s, op, deco);
+        Self::normalize(node, raw)
+    }
+
+    fn step_raw(node: &Node, s: &CState, op: Op, deco: u64) -> CState {
+        match (node, s) {
+            (Node::InVSet { v, set }, CState::Tri(t)) => CState::Tri(match op {
+                Op::AddVertex { .. } if *t == Tri::Undecided && deco_has(deco, *v) => {
+                    Tri::of(deco_has(deco, *set))
+                }
+                _ => *t,
+            }),
+            (Node::InESet { e, set }, CState::Tri(t)) => CState::Tri(match op {
+                Op::AddEdge { .. } if *t == Tri::Undecided && deco_has(deco, *e) => {
+                    Tri::of(deco_has(deco, *set))
+                }
+                _ => *t,
+            }),
+            (Node::VLabelIs { v, label }, CState::Tri(t)) => CState::Tri(match op {
+                Op::AddVertex { label: l, .. } if *t == Tri::Undecided && deco_has(deco, *v) => {
+                    Tri::of(l == *label)
+                }
+                _ => *t,
+            }),
+            // Pipeline edges are uniformly unlabeled (label 0), so the
+            // verdict is fixed by the target label the moment the edge
+            // variable lands on a marked edge.
+            (Node::ELabelIs { e, label }, CState::Tri(t)) => CState::Tri(match op {
+                Op::AddEdge { .. } if *t == Tri::Undecided && deco_has(deco, *e) => {
+                    Tri::of(*label == 0)
+                }
+                _ => *t,
+            }),
+            (Node::EqV { u, v }, CState::EqV(st)) => CState::EqV(step_eqv(*st, op, deco, *u, *v)),
+            (Node::EqE { a, b }, CState::EqE(st)) => CState::EqE(step_eqe(*st, op, deco, *a, *b)),
+            (Node::Adj { u, v }, CState::Adj(st)) => CState::Adj(step_adj(*st, op, deco, *u, *v)),
+            (Node::Inc { e, v }, CState::Inc(st)) => CState::Inc(step_inc(*st, op, deco, *e, *v)),
+            (Node::Not(a), _) => Self::step(a, s, op, deco),
+            (Node::Bin(_, a, b), CState::Pair(p)) => CState::Pair(Box::new((
+                Self::step(a, &p.0, op, deco),
+                Self::step(b, &p.1, op, deco),
+            ))),
+            (
+                Node::Quant {
+                    sort, bit, body, ..
+                },
+                CState::Runs(runs),
+            ) => CState::Runs(step_runs(runs, *sort, *bit, body, op, deco)),
+            _ => panic!("compiled state does not match its plan node"),
+        }
+    }
+
+    /// Disjoint union of two states of the same node (`shift` = arity of
+    /// the left operand; right-operand slots are renumbered up by it).
+    fn union_state(node: &Node, s1: &CState, s2: &CState, shift: usize) -> CState {
+        // A decided verdict absorbs (two contradictory decided sides
+        // cannot arise: each side's verdict quantifies over all
+        // extensions, including their common union).
+        if let CState::Done(b) = s1 {
+            return CState::Done(*b);
+        }
+        if let CState::Done(b) = s2 {
+            return CState::Done(*b);
+        }
+        let raw = Self::union_raw(node, s1, s2, shift);
+        Self::normalize(node, raw)
+    }
+
+    fn union_raw(node: &Node, s1: &CState, s2: &CState, shift: usize) -> CState {
+        match (node, s1, s2) {
+            (
+                Node::InVSet { .. }
+                | Node::InESet { .. }
+                | Node::VLabelIs { .. }
+                | Node::ELabelIs { .. },
+                CState::Tri(a),
+                CState::Tri(b),
+            ) => CState::Tri(a.union(*b)),
+            (Node::EqV { .. }, CState::EqV(a), CState::EqV(b)) => {
+                CState::EqV(union_eqv(*a, *b, shift))
+            }
+            (Node::EqE { .. }, CState::EqE(a), CState::EqE(b)) => CState::EqE(union_eqe(*a, *b)),
+            (Node::Adj { .. }, CState::Adj(a), CState::Adj(b)) => {
+                CState::Adj(union_adj(*a, *b, shift))
+            }
+            (Node::Inc { .. }, CState::Inc(a), CState::Inc(b)) => {
+                CState::Inc(union_inc(*a, *b, shift))
+            }
+            (Node::Not(n), _, _) => Self::union_state(n, s1, s2, shift),
+            (Node::Bin(_, na, nb), CState::Pair(p1), CState::Pair(p2)) => CState::Pair(Box::new((
+                Self::union_state(na, &p1.0, &p2.0, shift),
+                Self::union_state(nb, &p1.1, &p2.1, shift),
+            ))),
+            (Node::Quant { body, .. }, CState::Runs(r1), CState::Runs(r2)) => {
+                let mut out = Vec::with_capacity(r1.len() * r2.len());
+                for a in r1 {
+                    for b in r2 {
+                        let Some(data) = a.data.union(&b.data, shift) else {
+                            continue;
+                        };
+                        out.push(Run {
+                            data,
+                            body: Self::union_state(body, &a.body, &b.body, shift),
+                        });
+                    }
+                }
+                CState::Runs(canonical_runs(out))
+            }
+            _ => panic!("compiled state does not match its plan node"),
+        }
+    }
+
+    /// Acceptance of the summarized (decorated) graph at one node.
+    fn accept_state(node: &Node, s: &CState) -> bool {
+        match (node, s) {
+            (
+                Node::InVSet { .. }
+                | Node::InESet { .. }
+                | Node::VLabelIs { .. }
+                | Node::ELabelIs { .. },
+                CState::Tri(t),
+            ) => *t == Tri::Yes,
+            (Node::EqV { .. }, CState::EqV(st)) => *st == EqVState::True,
+            (Node::EqE { .. }, CState::EqE(st)) => *st == EqEState::True,
+            (Node::Adj { .. }, CState::Adj(st)) => *st == AdjState::True,
+            (Node::Inc { .. }, CState::Inc(st)) => *st == IncState::True,
+            (Node::Not(a), _) => !Self::accept_state(a, s),
+            (Node::Bin(op, a, b), CState::Pair(p)) => {
+                let (x, y) = (Self::accept_state(a, &p.0), Self::accept_state(b, &p.1));
+                match op {
+                    BinOp::And => x && y,
+                    BinOp::Or => x || y,
+                    BinOp::Implies => !x || y,
+                    BinOp::Iff => x == y,
+                }
+            }
+            (
+                Node::Quant {
+                    sort, forall, body, ..
+                },
+                CState::Runs(runs),
+            ) => {
+                // Individual quantifiers range over *placed* runs only
+                // (an unplaced run is the no-candidate branch); set
+                // quantifiers range over every run.
+                let relevant = runs.iter().filter(|r| match (&r.data, sort) {
+                    (RunData::Individual { placed }, _) => *placed,
+                    _ => true,
+                });
+                let mut accepts = relevant.map(|r| Self::accept_state(body, &r.body));
+                if *forall {
+                    accepts.all(|a| a)
+                } else {
+                    accepts.any(|a| a)
+                }
+            }
+            (_, CState::Done(b)) => *b,
+            _ => panic!("compiled state does not match its plan node"),
+        }
+    }
+
+    /// The node's verdict when it is already fixed (`Not` unwraps to its
+    /// child, whose state it shares).
+    fn decided(node: &Node, s: &CState) -> Option<bool> {
+        match (node, s) {
+            (Node::Not(a), _) => Self::decided(a, s).map(|b| !b),
+            (_, CState::Done(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Collapses a state whose verdict is fixed in *every completion* of
+    /// the current partial graph to [`CState::Done`]. `Done` is then
+    /// absorbing under all operations — including union, because every
+    /// completion of `union(s, t)` is in particular a completion of `s`
+    /// (the other side's structure is just part of the extension).
+    ///
+    /// The collapse is sound by structural induction: a leaf decides only
+    /// once its variables are resolved and its verdict witnessed or
+    /// foreclosed; products short-circuit; for quantifiers, a *counting*
+    /// run (placed individual, or any set run) with a decided body of the
+    /// witnessing polarity (`∃`: true, `∀`: false) is a standing
+    /// witness/counterexample in every completion and decides the node,
+    /// while runs of the neutral polarity can never affect acceptance
+    /// again — their forks (future candidate choices) inherit the decided
+    /// body — and are dropped; an emptied run set is itself decided. This
+    /// collapse is what keeps compiled state spaces small enough for the
+    /// freeze pass.
+    fn normalize(node: &Node, s: CState) -> CState {
+        match (node, &s) {
+            // A `Not` node shares its child's (already normalized) state.
+            (Node::Not(_), _) => s,
+            (_, CState::Tri(Tri::Yes))
+            | (_, CState::EqV(EqVState::True))
+            | (_, CState::EqE(EqEState::True))
+            | (_, CState::Adj(AdjState::True))
+            | (_, CState::Inc(IncState::True)) => CState::Done(true),
+            (_, CState::Tri(Tri::No))
+            | (_, CState::EqV(EqVState::False))
+            | (_, CState::EqE(EqEState::False))
+            | (_, CState::Adj(AdjState::False))
+            | (_, CState::Inc(IncState::False)) => CState::Done(false),
+            (Node::Bin(op, na, nb), CState::Pair(p)) => {
+                let l = Self::decided(na, &p.0);
+                let r = Self::decided(nb, &p.1);
+                match (op, l, r) {
+                    (BinOp::And, Some(a), Some(b)) => CState::Done(a && b),
+                    (BinOp::Or, Some(a), Some(b)) => CState::Done(a || b),
+                    (BinOp::Implies, Some(a), Some(b)) => CState::Done(!a || b),
+                    (BinOp::Iff, Some(a), Some(b)) => CState::Done(a == b),
+                    (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => {
+                        CState::Done(false)
+                    }
+                    (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => CState::Done(true),
+                    (BinOp::Implies, Some(false), _) | (BinOp::Implies, _, Some(true)) => {
+                        CState::Done(true)
+                    }
+                    _ => s,
+                }
+            }
+            (
+                Node::Quant {
+                    sort: _,
+                    forall,
+                    body,
+                    ..
+                },
+                CState::Runs(runs),
+            ) => {
+                let witness = !*forall;
+                let mut kept = Vec::with_capacity(runs.len());
+                for r in runs {
+                    let counts = match &r.data {
+                        RunData::Individual { placed } => *placed,
+                        _ => true,
+                    };
+                    match Self::decided(body, &r.body) {
+                        Some(b) if b == witness && counts => return CState::Done(witness),
+                        // Neutral polarity: the run, its forks, and its
+                        // union pairings can never affect acceptance.
+                        Some(b) if b != witness => {}
+                        // Undecided, or an unplaced run of witnessing
+                        // polarity (future forks place it).
+                        _ => kept.push(r.clone()),
+                    }
+                }
+                if kept.is_empty() {
+                    // Every run was neutral: `∃` has no candidate left,
+                    // `∀` no counterexample source.
+                    CState::Done(*forall)
+                } else if kept.len() == runs.len() {
+                    s
+                } else {
+                    CState::Runs(kept)
+                }
+            }
+            _ => s,
+        }
+    }
+}
+
+impl RunData {
+    fn initial(sort: Sort) -> Self {
+        match sort {
+            Sort::Vertex | Sort::Edge => Self::Individual { placed: false },
+            Sort::VertexSet => Self::VSet { bits: 0 },
+            Sort::EdgeSet => Self::ESet,
+        }
+    }
+
+    /// Combines the decoration data of two runs being unioned; `None`
+    /// when the pair is inconsistent (an individual variable placed on
+    /// both sides).
+    fn union(&self, other: &Self, shift: usize) -> Option<Self> {
+        match (self, other) {
+            (Self::Individual { placed: a }, Self::Individual { placed: b }) => {
+                if *a && *b {
+                    None
+                } else {
+                    Some(Self::Individual { placed: *a || *b })
+                }
+            }
+            (Self::VSet { bits: a }, Self::VSet { bits: b }) => Some(Self::VSet {
+                bits: a | if shift < 64 { b << shift } else { 0 },
+            }),
+            (Self::ESet, Self::ESet) => Some(Self::ESet),
+            _ => panic!("mismatched run data in union"),
+        }
+    }
+}
+
+/// Sorts and deduplicates a run set (the canonical powerset value).
+fn canonical_runs(mut runs: Vec<Run>) -> Vec<Run> {
+    runs.sort_unstable();
+    runs.dedup();
+    runs
+}
+
+/// One quantifier node's transition: fork runs on the ops that decorate
+/// this variable's sort, filter runs whose decoration a glue
+/// contradicts, and keep the set canonical.
+fn step_runs(runs: &[Run], sort: Sort, qbit: u8, body: &Node, op: Op, deco: u64) -> Vec<Run> {
+    let mut out = Vec::with_capacity(runs.len() * 2);
+    let bitmask = 1u64 << qbit;
+    for run in runs {
+        match (&run.data, op, sort) {
+            (RunData::Individual { placed }, Op::AddVertex { .. }, Sort::Vertex)
+            | (RunData::Individual { placed }, Op::AddEdge { .. }, Sort::Edge) => {
+                out.push(Run {
+                    data: run.data.clone(),
+                    body: CompiledProperty::step(body, &run.body, op, deco),
+                });
+                if !placed {
+                    out.push(Run {
+                        data: RunData::Individual { placed: true },
+                        body: CompiledProperty::step(body, &run.body, op, deco | bitmask),
+                    });
+                }
+            }
+            (RunData::VSet { bits }, Op::AddVertex { slot, .. }, Sort::VertexSet) => {
+                out.push(Run {
+                    data: RunData::VSet { bits: *bits },
+                    body: CompiledProperty::step(body, &run.body, op, deco),
+                });
+                out.push(Run {
+                    data: RunData::VSet {
+                        bits: bits | bit(slot),
+                    },
+                    body: CompiledProperty::step(body, &run.body, op, deco | bitmask),
+                });
+            }
+            (RunData::ESet, Op::AddEdge { .. }, Sort::EdgeSet) => {
+                out.push(Run {
+                    data: RunData::ESet,
+                    body: CompiledProperty::step(body, &run.body, op, deco),
+                });
+                out.push(Run {
+                    data: RunData::ESet,
+                    body: CompiledProperty::step(body, &run.body, op, deco | bitmask),
+                });
+            }
+            (RunData::VSet { bits }, Op::Glue { keep, drop, .. }, _) => {
+                if has(*bits, keep) != has(*bits, drop) {
+                    // This run decorated the two vertices inconsistently;
+                    // no decoration of the glued graph corresponds to it.
+                    continue;
+                }
+                out.push(Run {
+                    data: RunData::VSet {
+                        bits: set_shift_down(*bits, drop),
+                    },
+                    body: CompiledProperty::step(body, &run.body, op, deco),
+                });
+            }
+            (RunData::VSet { bits }, Op::Forget { slot }, _) => {
+                out.push(Run {
+                    data: RunData::VSet {
+                        bits: set_shift_down(*bits, slot),
+                    },
+                    body: CompiledProperty::step(body, &run.body, op, deco),
+                });
+            }
+            (RunData::VSet { bits }, Op::Swap { a, b }, _) => {
+                out.push(Run {
+                    data: RunData::VSet {
+                        bits: set_swap(*bits, a, b),
+                    },
+                    body: CompiledProperty::step(body, &run.body, op, deco),
+                });
+            }
+            _ => {
+                out.push(Run {
+                    data: run.data.clone(),
+                    body: CompiledProperty::step(body, &run.body, op, deco),
+                });
+            }
+        }
+    }
+    canonical_runs(out)
+}
+
+fn step_eqv(st: EqVState, op: Op, deco: u64, ub: u8, vb: u8) -> EqVState {
+    let EqVState::Pending { u, v } = st else {
+        return st;
+    };
+    match op {
+        Op::AddVertex { slot, .. } => {
+            let pu = deco_has(deco, ub) && u == Place::Unplaced;
+            let pv = deco_has(deco, vb) && v == Place::Unplaced;
+            if pu && pv {
+                return EqVState::True;
+            }
+            let u = if pu { Place::At(slot as u8) } else { u };
+            let v = if pv { Place::At(slot as u8) } else { v };
+            EqVState::Pending { u, v }
+        }
+        Op::AddEdge { .. } => st,
+        Op::Glue { keep, drop, .. } => {
+            let at = |p: Place, s: usize| p == Place::At(s as u8);
+            if (at(u, keep) && at(v, drop)) || (at(u, drop) && at(v, keep)) {
+                return EqVState::True;
+            }
+            EqVState::Pending {
+                u: glue_place(u, keep, drop),
+                v: glue_place(v, keep, drop),
+            }
+        }
+        Op::Forget { slot } => {
+            if u == Place::At(slot as u8) || v == Place::At(slot as u8) {
+                // The forgotten vertex can never be glued with anything,
+                // so the two variables can never coincide.
+                EqVState::False
+            } else {
+                EqVState::Pending {
+                    u: u.shift_down(slot),
+                    v: v.shift_down(slot),
+                }
+            }
+        }
+        Op::Swap { a, b } => EqVState::Pending {
+            u: u.swap(a, b),
+            v: v.swap(a, b),
+        },
+    }
+}
+
+fn glue_place(p: Place, keep: usize, drop: usize) -> Place {
+    if p == Place::At(drop as u8) {
+        Place::At(keep as u8).shift_down(drop)
+    } else {
+        p.shift_down(drop)
+    }
+}
+
+fn union_eqv(a: EqVState, b: EqVState, shift: usize) -> EqVState {
+    match (a, b) {
+        (EqVState::False, _) | (_, EqVState::False) => EqVState::False,
+        (EqVState::True, _) | (_, EqVState::True) => EqVState::True,
+        (EqVState::Pending { u: u1, v: v1 }, EqVState::Pending { u: u2, v: v2 }) => {
+            EqVState::Pending {
+                u: merge_place(u1, u2, shift),
+                v: merge_place(v1, v2, shift),
+            }
+        }
+    }
+}
+
+/// An individual variable is placed on at most one side of a union
+/// (inconsistent pairs are dropped by the quantifier); the combined
+/// placement is whichever side has it, right-side slots shifted up.
+fn merge_place(left: Place, right: Place, shift: usize) -> Place {
+    match (left, right) {
+        (Place::Unplaced, r) => r.shift_up(shift),
+        (l, _) => l,
+    }
+}
+
+fn step_eqe(st: EqEState, op: Op, deco: u64, ab: u8, bb: u8) -> EqEState {
+    let Op::AddEdge { .. } = op else {
+        return st;
+    };
+    let pa = deco_has(deco, ab);
+    let pb = deco_has(deco, bb);
+    match st {
+        EqEState::Neither => match (pa, pb) {
+            (true, true) => EqEState::True,
+            (true, false) => EqEState::AOnly,
+            (false, true) => EqEState::BOnly,
+            (false, false) => EqEState::Neither,
+        },
+        EqEState::AOnly if pb => EqEState::False,
+        EqEState::BOnly if pa => EqEState::False,
+        other => other,
+    }
+}
+
+fn union_eqe(a: EqEState, b: EqEState) -> EqEState {
+    use EqEState::*;
+    match (a, b) {
+        (False, _) | (_, False) => False,
+        (True, _) | (_, True) => True,
+        (Neither, x) | (x, Neither) => x,
+        (AOnly, BOnly) | (BOnly, AOnly) => False,
+        (AOnly, AOnly) | (BOnly, BOnly) => a,
+    }
+}
+
+/// Collapses an `adj` pending state whose verdict can no longer change:
+/// a forgotten vertex gets no new edges, so once it is adjacent to no
+/// live slot — in particular once both endpoints are internal — no
+/// future placement or merge can connect it to the other endpoint.
+fn pending_or_false_adj(u: Place, v: Place, u_adj: SlotSet, v_adj: SlotSet) -> AdjState {
+    let u_stuck = u == Place::Inside && u_adj == 0;
+    let v_stuck = v == Place::Inside && v_adj == 0;
+    let both_inside = u == Place::Inside && v == Place::Inside;
+    if both_inside || u_stuck || v_stuck {
+        return AdjState::False;
+    }
+    AdjState::Pending { u, v, u_adj, v_adj }
+}
+
+fn step_adj(st: AdjState, op: Op, deco: u64, ub: u8, vb: u8) -> AdjState {
+    let AdjState::Pending { u, v, u_adj, v_adj } = st else {
+        return st;
+    };
+    let at = |p: Place, s: usize| p == Place::At(s as u8);
+    match op {
+        Op::AddVertex { slot, .. } => {
+            let pu = deco_has(deco, ub) && u == Place::Unplaced;
+            let pv = deco_has(deco, vb) && v == Place::Unplaced;
+            if pu && pv {
+                // Both variables on the same (simple-graph) vertex:
+                // adj(x, x) never holds.
+                return AdjState::False;
+            }
+            AdjState::Pending {
+                u: if pu { Place::At(slot as u8) } else { u },
+                v: if pv { Place::At(slot as u8) } else { v },
+                u_adj,
+                v_adj,
+            }
+        }
+        Op::AddEdge { a, b } => {
+            if (at(u, a) && at(v, b)) || (at(u, b) && at(v, a)) {
+                return AdjState::True;
+            }
+            let mut u_adj = u_adj;
+            let mut v_adj = v_adj;
+            if at(u, a) {
+                u_adj |= bit(b);
+            }
+            if at(u, b) {
+                u_adj |= bit(a);
+            }
+            if at(v, a) {
+                v_adj |= bit(b);
+            }
+            if at(v, b) {
+                v_adj |= bit(a);
+            }
+            AdjState::Pending { u, v, u_adj, v_adj }
+        }
+        Op::Glue { keep, drop, row } => {
+            let at_merge = |p: Place| at(p, keep) || at(p, drop);
+            if at_merge(u) && at_merge(v) {
+                // Merged into one vertex: never self-adjacent.
+                return AdjState::False;
+            }
+            let merge = |adj: SlotSet| {
+                let mut a = adj;
+                if has(a, drop) {
+                    a |= bit(keep);
+                }
+                set_shift_down(a, drop)
+            };
+            // A variable sitting on the glued pair inherits the merged
+            // vertex's full neighbour set; anyone else just remaps.
+            let u_adj = if at_merge(u) { row } else { merge(u_adj) };
+            let v_adj = if at_merge(v) { row } else { merge(v_adj) };
+            let u = glue_place(u, keep, drop);
+            let v = glue_place(v, keep, drop);
+            if let Place::At(s) = u {
+                if has(v_adj, usize::from(s)) {
+                    return AdjState::True;
+                }
+            }
+            if let Place::At(t) = v {
+                if has(u_adj, usize::from(t)) {
+                    return AdjState::True;
+                }
+            }
+            pending_or_false_adj(u, v, u_adj, v_adj)
+        }
+        Op::Forget { slot } => {
+            let u = if at(u, slot) {
+                Place::Inside
+            } else {
+                u.shift_down(slot)
+            };
+            let v = if at(v, slot) {
+                Place::Inside
+            } else {
+                v.shift_down(slot)
+            };
+            pending_or_false_adj(
+                u,
+                v,
+                set_shift_down(u_adj, slot),
+                set_shift_down(v_adj, slot),
+            )
+        }
+        Op::Swap { a, b } => AdjState::Pending {
+            u: u.swap(a, b),
+            v: v.swap(a, b),
+            u_adj: set_swap(u_adj, a, b),
+            v_adj: set_swap(v_adj, a, b),
+        },
+    }
+}
+
+fn union_adj(a: AdjState, b: AdjState, shift: usize) -> AdjState {
+    match (a, b) {
+        (AdjState::False, _) | (_, AdjState::False) => AdjState::False,
+        (AdjState::True, _) | (_, AdjState::True) => AdjState::True,
+        (
+            AdjState::Pending {
+                u: u1,
+                v: v1,
+                u_adj: ua1,
+                v_adj: va1,
+            },
+            AdjState::Pending {
+                u: u2,
+                v: v2,
+                u_adj: ua2,
+                v_adj: va2,
+            },
+        ) => {
+            let up = |s: SlotSet| if shift < 64 { s << shift } else { 0 };
+            pending_or_false_adj(
+                merge_place(u1, u2, shift),
+                merge_place(v1, v2, shift),
+                ua1 | up(ua2),
+                va1 | up(va2),
+            )
+        }
+    }
+}
+
+fn step_inc(st: IncState, op: Op, deco: u64, eb: u8, vb: u8) -> IncState {
+    let IncState::Pending { v, ends } = st else {
+        return st;
+    };
+    let at = |p: Place, s: usize| p == Place::At(s as u8);
+    match op {
+        Op::AddVertex { slot, .. } => {
+            if deco_has(deco, vb) && v == Place::Unplaced {
+                // A fresh vertex is not an endpoint of an existing edge.
+                IncState::Pending {
+                    v: Place::At(slot as u8),
+                    ends,
+                }
+            } else {
+                IncState::Pending { v, ends }
+            }
+        }
+        Op::AddEdge { a, b } => {
+            if deco_has(deco, eb) && ends.is_none() {
+                if at(v, a) || at(v, b) {
+                    return IncState::True;
+                }
+                if v == Place::Inside {
+                    // The edge's endpoints are live slots; a forgotten
+                    // vertex is neither, and never will be.
+                    return IncState::False;
+                }
+                return IncState::Pending {
+                    v,
+                    ends: Some(bit(a) | bit(b)),
+                };
+            }
+            IncState::Pending { v, ends }
+        }
+        Op::Glue { keep, drop, .. } => {
+            if let Some(e) = ends {
+                let hit = (at(v, keep) && has(e, drop)) || (at(v, drop) && has(e, keep));
+                if hit {
+                    return IncState::True;
+                }
+                let mut e2 = e;
+                if has(e2, drop) {
+                    e2 |= bit(keep);
+                }
+                let e2 = set_shift_down(e2, drop);
+                pending_or_false(glue_place(v, keep, drop), Some(e2))
+            } else {
+                pending_or_false(glue_place(v, keep, drop), None)
+            }
+        }
+        Op::Forget { slot } => {
+            let v2 = if at(v, slot) {
+                Place::Inside
+            } else {
+                v.shift_down(slot)
+            };
+            let ends2 = ends.map(|e| set_shift_down(e, slot));
+            pending_or_false(v2, ends2)
+        }
+        Op::Swap { a, b } => IncState::Pending {
+            v: v.swap(a, b),
+            ends: ends.map(|e| set_swap(e, a, b)),
+        },
+    }
+}
+
+/// Collapses an `inc` pending state whose verdict can no longer change.
+fn pending_or_false(v: Place, ends: Option<SlotSet>) -> IncState {
+    match (v, ends) {
+        // Vertex fixed internally: live endpoints can only merge with
+        // live slots, a future edge placement lands on live slots.
+        (Place::Inside, _) => IncState::False,
+        // Edge placed but every endpoint retired: the vertex (current or
+        // future) can never coincide with one.
+        (_, Some(0)) => IncState::False,
+        _ => IncState::Pending { v, ends },
+    }
+}
+
+fn union_inc(a: IncState, b: IncState, shift: usize) -> IncState {
+    match (a, b) {
+        (IncState::False, _) | (_, IncState::False) => IncState::False,
+        (IncState::True, _) | (_, IncState::True) => IncState::True,
+        (IncState::Pending { v: v1, ends: e1 }, IncState::Pending { v: v2, ends: e2 }) => {
+            let up = |s: SlotSet| if shift < 64 { s << shift } else { 0 };
+            let ends = match (e1, e2) {
+                (Some(e), _) => Some(e),
+                (None, Some(e)) => Some(up(e)),
+                (None, None) => None,
+            };
+            pending_or_false(merge_place(v1, v2, shift), ends)
+        }
+    }
+}
+
+impl Property for CompiledProperty {
+    type State = CompiledState;
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn empty(&self) -> CompiledState {
+        CompiledState {
+            arity: 0,
+            adj: Vec::new(),
+            root: Self::init(&self.plan),
+        }
+    }
+
+    fn add_vertex(&self, s: &CompiledState, label: u32) -> CompiledState {
+        let op = Op::AddVertex {
+            label,
+            slot: usize::from(s.arity),
+        };
+        let mut adj = s.adj.clone();
+        adj.push(0);
+        CompiledState {
+            arity: s.arity + 1,
+            adj,
+            root: Self::step(&self.plan, &s.root, op, 0),
+        }
+    }
+
+    fn add_edge(&self, s: &CompiledState, a: Slot, b: Slot, marked: bool) -> CompiledState {
+        if !marked {
+            // Completion-only structure: invisible to the property.
+            return s.clone();
+        }
+        let mut adj = s.adj.clone();
+        adj[a] |= bit(b);
+        adj[b] |= bit(a);
+        CompiledState {
+            arity: s.arity,
+            adj,
+            root: Self::step(&self.plan, &s.root, Op::AddEdge { a, b }, 0),
+        }
+    }
+
+    fn glue(&self, s: &CompiledState, a: Slot, b: Slot) -> CompiledState {
+        let (keep, drop) = glue_order(a, b);
+        let mut adj = s.adj.clone();
+        let merged = (adj[keep] | adj[drop]) & !(bit(keep) | bit(drop));
+        adj[keep] = merged;
+        adj.remove(drop);
+        for r in adj.iter_mut() {
+            if has(*r, drop) {
+                *r |= bit(keep);
+            }
+            *r = set_shift_down(*r, drop);
+        }
+        let row = adj[keep];
+        CompiledState {
+            arity: s.arity.saturating_sub(1),
+            adj,
+            root: Self::step(&self.plan, &s.root, Op::Glue { keep, drop, row }, 0),
+        }
+    }
+
+    fn forget(&self, s: &CompiledState, a: Slot) -> CompiledState {
+        let mut adj = s.adj.clone();
+        adj.remove(a);
+        for r in adj.iter_mut() {
+            *r = set_shift_down(*r, a);
+        }
+        CompiledState {
+            arity: s.arity.saturating_sub(1),
+            adj,
+            root: Self::step(&self.plan, &s.root, Op::Forget { slot: a }, 0),
+        }
+    }
+
+    fn union(&self, s1: &CompiledState, s2: &CompiledState) -> CompiledState {
+        let shift = usize::from(s1.arity);
+        let mut adj = s1.adj.clone();
+        adj.extend(
+            s2.adj
+                .iter()
+                .map(|r| if shift < 64 { r << shift } else { 0 }),
+        );
+        CompiledState {
+            arity: s1.arity + s2.arity,
+            adj,
+            root: Self::union_state(&self.plan, &s1.root, &s2.root, shift),
+        }
+    }
+
+    fn swap(&self, s: &CompiledState, a: Slot, b: Slot) -> CompiledState {
+        let mut adj = s.adj.clone();
+        adj.swap(a, b);
+        for r in adj.iter_mut() {
+            *r = set_swap(*r, a, b);
+        }
+        CompiledState {
+            arity: s.arity,
+            adj,
+            root: Self::step(&self.plan, &s.root, Op::Swap { a, b }, 0),
+        }
+    }
+
+    fn accept(&self, s: &CompiledState) -> bool {
+        Self::accept_state(&self.plan, &s.root)
+    }
+
+    fn enumerable(&self) -> bool {
+        self.enumerable
+    }
+}
+
+impl fmt::Debug for CompiledProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledProperty")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval, props};
+    use lanecert_algebra::mirror::{self, Mirror, Program, TraceStep};
+    use lanecert_algebra::Algebra;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn alg(f: &Formula) -> Algebra {
+        Algebra::new(compile(f).expect("formula compiles"))
+    }
+
+    /// Trace-size budgets for the generator. `cap` bounds *live* slots
+    /// (run sets grow as 2^arity per vertex-set quantifier); `vmax` and
+    /// `emax` bound *cumulative* vertices and marked edges (edge-set
+    /// quantifier run sets grow with every marked edge until dedup
+    /// collapses them, so dev-profile tests need both knobs).
+    #[derive(Copy, Clone)]
+    struct Budget {
+        cap: usize,
+        vmax: usize,
+        emax: usize,
+    }
+
+    /// Random op-trace generator honouring a [`Budget`] (the stock
+    /// mirror generator's 12-slot traces are too wide for nested-set
+    /// formulas in dev profile).
+    fn gen_steps(
+        rng: &mut StdRng,
+        m: &mut Mirror,
+        count: usize,
+        cap: usize,
+        budget: &mut Budget,
+        out: &mut Vec<TraceStep>,
+    ) {
+        for _ in 0..count {
+            let k = m.slot_count();
+            let step = match rng.random_range(0..12u32) {
+                0..=3 => {
+                    if k >= cap || budget.vmax == 0 {
+                        continue;
+                    }
+                    budget.vmax -= 1;
+                    TraceStep::Vertex(0)
+                }
+                4..=8 => {
+                    if k < 2 {
+                        continue;
+                    }
+                    let a = rng.random_range(0..k);
+                    let b = rng.random_range(0..k);
+                    if a == b || m.same_vertex(a, b) {
+                        continue;
+                    }
+                    let marked = rng.random_range(0..6u32) != 0;
+                    if marked && (budget.emax == 0 || m.marked_adjacent(a, b)) {
+                        continue;
+                    }
+                    if marked {
+                        budget.emax -= 1;
+                    }
+                    TraceStep::Edge(a, b, marked)
+                }
+                9..=10 => {
+                    if k < 3 {
+                        continue;
+                    }
+                    let a = rng.random_range(0..k);
+                    let b = rng.random_range(0..k);
+                    if a == b
+                        || m.same_vertex(a, b)
+                        || m.marked_adjacent(a, b)
+                        || m.share_marked_neighbor(a, b)
+                    {
+                        continue;
+                    }
+                    TraceStep::Glue(a, b)
+                }
+                _ => {
+                    if k < 2 {
+                        continue;
+                    }
+                    TraceStep::Forget(rng.random_range(0..k))
+                }
+            };
+            m.apply(step);
+            out.push(step);
+        }
+    }
+
+    fn random_capped_program(rng: &mut StdRng, mut budget: Budget, count: usize) -> Program {
+        let segs = if rng.random_range(0..3u32) == 0 { 2 } else { 1 };
+        let cap = budget.cap;
+        let mut prog = Program::default();
+        let mut combined = Mirror::default();
+        for _ in 0..segs {
+            let mut m = Mirror::default();
+            let mut steps = Vec::new();
+            gen_steps(rng, &mut m, count / segs, cap, &mut budget, &mut steps);
+            combined.union(&m);
+            prog.segments.push(steps);
+        }
+        gen_steps(
+            rng,
+            &mut combined,
+            count / 2,
+            cap + 1,
+            &mut budget,
+            &mut prog.tail,
+        );
+        prog
+    }
+
+    /// Differentially checks one compiled formula against the naive
+    /// evaluator on random primitive-op traces (glue/forget/union
+    /// included), via the trace mirror.
+    fn check(f: &Formula, seed: u64, trials: usize, budget: Budget) {
+        let a = alg(f);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in 0..trials {
+            let prog = random_capped_program(&mut rng, budget, 32);
+            let got = a.accept(&mirror::run_program(&a, &prog));
+            let mut m = mirror::mirror_program(&prog);
+            let g = m.marked_graph();
+            let want = eval::check(&g, f);
+            assert_eq!(
+                got,
+                want,
+                "{}: trial {t} disagrees (graph n={} m={}): {prog:?}",
+                a.name(),
+                g.vertex_count(),
+                g.edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn compile_rejects_open_and_ill_sorted_formulas() {
+        assert_eq!(
+            compile(&Formula::Adj(0, 1)).err(),
+            Some(CompileError::UnboundVariable(0))
+        );
+        // x bound as a vertex but used as an edge.
+        let f = Formula::Exists(Sort::Vertex, 0, Box::new(Formula::ELabelIs(0, 0)));
+        assert_eq!(
+            compile(&f).err(),
+            Some(CompileError::SortMismatch {
+                var: 0,
+                bound: Sort::Vertex,
+                used: Sort::Edge
+            })
+        );
+    }
+
+    #[test]
+    fn compile_rejects_too_many_quantifiers() {
+        let mut f = Formula::True;
+        for v in 0..=MAX_QUANTIFIERS as Var {
+            f = Formula::Exists(Sort::Vertex, v, Box::new(f));
+        }
+        assert!(matches!(
+            compile(&f),
+            Err(CompileError::TooManyQuantifiers { .. })
+        ));
+    }
+
+    #[test]
+    fn adjacent_pair_accepts_exactly_on_an_edge() {
+        // ∃u ∃v adj(u, v)
+        let f = Formula::Exists(
+            Sort::Vertex,
+            0,
+            Box::new(Formula::Exists(
+                Sort::Vertex,
+                1,
+                Box::new(Formula::Adj(0, 1)),
+            )),
+        );
+        let a = alg(&f);
+        let mut s = a.empty();
+        assert!(!a.accept(&s));
+        s = a.add_vertex(s, 0);
+        s = a.add_vertex(s, 0);
+        assert!(!a.accept(&s));
+        let with_unmarked = a.add_edge(s.clone(), 0, 1, false);
+        assert!(!a.accept(&with_unmarked), "unmarked edges are invisible");
+        s = a.add_edge(s, 0, 1, true);
+        assert!(a.accept(&s));
+    }
+
+    #[test]
+    fn verdict_survives_forgetting_endpoints() {
+        let f = Formula::Exists(
+            Sort::Vertex,
+            0,
+            Box::new(Formula::Exists(
+                Sort::Vertex,
+                1,
+                Box::new(Formula::Adj(0, 1)),
+            )),
+        );
+        let a = alg(&f);
+        let prog = Program {
+            segments: vec![vec![
+                TraceStep::Vertex(0),
+                TraceStep::Vertex(0),
+                TraceStep::Edge(0, 1, true),
+                TraceStep::Forget(0),
+                TraceStep::Forget(0),
+            ]],
+            tail: vec![],
+        };
+        assert!(a.accept(&mirror::run_program(&a, &prog)));
+    }
+
+    #[test]
+    fn glue_makes_adjacency_across_union() {
+        // Two disjoint marked edges; gluing an endpoint of each yields a
+        // path of three — still satisfies ∃u∃v adj(u,v), and satisfies
+        // connectivity only after the glue.
+        let conn = props::connected();
+        let a = alg(&conn);
+        let seg = vec![
+            TraceStep::Vertex(0),
+            TraceStep::Vertex(0),
+            TraceStep::Edge(0, 1, true),
+        ];
+        let split = Program {
+            segments: vec![seg.clone(), seg.clone()],
+            tail: vec![],
+        };
+        assert!(!a.accept(&mirror::run_program(&a, &split)));
+        let joined = Program {
+            segments: vec![seg.clone(), seg],
+            tail: vec![TraceStep::Glue(1, 2)],
+        };
+        assert!(a.accept(&mirror::run_program(&a, &joined)));
+    }
+
+    #[test]
+    fn labels_reach_the_vertex_label_leaf() {
+        // ∀v label(v) = 0 holds on unlabeled traces; = 7 fails once any
+        // vertex exists.
+        let all0 = Formula::Forall(Sort::Vertex, 0, Box::new(Formula::VLabelIs(0, 0)));
+        let all7 = Formula::Forall(Sort::Vertex, 0, Box::new(Formula::VLabelIs(0, 7)));
+        let (a0, a7) = (alg(&all0), alg(&all7));
+        let mut s0 = a0.empty();
+        let mut s7 = a7.empty();
+        assert!(a0.accept(&s0), "vacuously true on the empty graph");
+        assert!(a7.accept(&s7), "vacuously true on the empty graph");
+        s0 = a0.add_vertex(s0, 0);
+        s7 = a7.add_vertex(s7, 0);
+        assert!(a0.accept(&s0));
+        assert!(!a7.accept(&s7));
+    }
+
+    #[test]
+    fn differential_first_order_formulas() {
+        let b = Budget {
+            cap: 6,
+            vmax: 12,
+            emax: 20,
+        };
+        check(&props::triangle_free(), 11, 40, b);
+        check(&props::max_degree_at_most(2), 12, 40, b);
+        check(&props::dominating_set_at_most(2), 13, 40, b);
+        check(&props::vertex_cover_at_most(2), 14, 40, b);
+        check(&props::independent_set_at_least(3), 15, 40, b);
+    }
+
+    #[test]
+    fn differential_set_quantifier_formulas() {
+        let b = Budget {
+            cap: 4,
+            vmax: 8,
+            emax: 9,
+        };
+        check(&props::bipartite(), 21, 16, b);
+        check(&props::connected(), 22, 16, b);
+        check(&props::acyclic(), 23, 12, b);
+        check(
+            &props::colorable(2),
+            24,
+            8,
+            Budget {
+                cap: 3,
+                vmax: 6,
+                emax: 7,
+            },
+        );
+    }
+
+    #[test]
+    fn differential_matching_and_hamiltonicity() {
+        let b = Budget {
+            cap: 4,
+            vmax: 6,
+            emax: 8,
+        };
+        check(&props::perfect_matching(), 31, 8, b);
+        check(&props::hamiltonian_cycle(), 32, 6, b);
+    }
+
+    #[test]
+    fn compiled_name_is_alpha_invariant() {
+        let f1 = props::bipartite();
+        // Same formula with shifted variable numbers.
+        let g = Formula::Exists(
+            Sort::VertexSet,
+            40,
+            Box::new(Formula::Forall(
+                Sort::Vertex,
+                41,
+                Box::new(Formula::Forall(
+                    Sort::Vertex,
+                    42,
+                    Box::new(
+                        Formula::Adj(41, 42)
+                            .implies(Formula::InVSet(41, 40).iff(Formula::InVSet(42, 40)).not()),
+                    ),
+                )),
+            )),
+        );
+        assert_eq!(compile(&f1).unwrap().name(), compile(&g).unwrap().name());
+    }
+}

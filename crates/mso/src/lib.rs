@@ -12,6 +12,11 @@
 //! * [`props`] — a library of MSO₂ formulas for the paper's headline
 //!   properties (k-colourability, Hamiltonicity, perfect matching, vertex
 //!   cover, …).
+//! * [`compile`] — a Courcelle-style compiler lowering any closed formula
+//!   to a [`lanecert_algebra::Property`], turning the hand-written scheme
+//!   catalogue into an open-ended family.
+//! * [`sexpr`] — an s-expression surface syntax plus the canonical
+//!   renderer that gives compiled schemes their identity.
 //!
 //! # Example
 //!
@@ -27,5 +32,7 @@
 mod ast;
 pub use ast::{Formula, Sort, Var, VarGen};
 
+pub mod compile;
 pub mod eval;
 pub mod props;
+pub mod sexpr;

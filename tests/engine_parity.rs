@@ -1,4 +1,5 @@
-//! Sequential-vs-parallel parity: for every registered scheme family, the
+//! Sequential-vs-parallel parity: for every registered scheme family
+//! (compiler-lowered formula schemes included), the
 //! engine — proving **on the pool** (the default since canonical algebra
 //! interning) — at 1, 2, and 8 workers produces a `BatchReport`
 //! **bit-identical** to the sequential `BatchRunner`: same names, same
@@ -13,9 +14,9 @@
 use proptest::prelude::*;
 
 use lanecert_suite::algebra::{props, Algebra, FreezeOptions, FrozenAlgebra, StateId};
-use lanecert_suite::engine::{CorpusFamily, CorpusSpec};
+use lanecert_suite::engine::{CorpusFamily, CorpusSpec, FormulaCorpus};
 use lanecert_suite::graph::generators;
-use lanecert_suite::pls::registry;
+use lanecert_suite::pls::{compiled, registry};
 use lanecert_suite::{BatchJob, BatchRunner, Certifier, Configuration, Engine};
 
 /// A named, rebuildable certifier constructor.
@@ -56,13 +57,59 @@ fn scheme_factories() -> Vec<Factory> {
                 .build()
                 .unwrap()
         }),
+        // Compiler-lowered schemes ride the same parity contract. Only
+        // the cheap-to-freeze catalog entries run here — the heavyweight
+        // freezes are exercised (once, memoized) in `compile_parity`.
+        ("compiled:max-degree-1", || compiled_factory("max-degree-1")),
+        ("compiled:vertex-cover-1", || {
+            compiled_factory("vertex-cover-1")
+        }),
     ]
+}
+
+/// Builds a compiled certifier for a standard catalog formula.
+fn compiled_factory(name: &str) -> Certifier {
+    let entry = compiled::standard_formula(name).expect("catalog formula");
+    Certifier::builder()
+        .compiled(entry.formula())
+        .build()
+        .expect("catalog formulas compile and freeze")
 }
 
 /// A mixed corpus for one scheme: accepting instances, refusing instances
 /// (odd cycles for the 1-bit scheme, disconnected unions elsewhere), and
 /// both hinted and hintless jobs.
 fn jobs_for(scheme: &str, seed: u64, small: usize, large: usize) -> Vec<BatchJob> {
+    if let Some(name) = scheme.strip_prefix("compiled:") {
+        // Compiled schemes: certifying witness instances at both sizes,
+        // plus both refusal kinds — the lane bound (cycles have
+        // pathwidth 2 > DEFAULT_MAX_LANES − 1) and connectivity.
+        return vec![
+            BatchJob::new(Configuration::with_random_ids(
+                FormulaCorpus::witness(name, small),
+                seed,
+            ))
+            .named("witness-small"),
+            BatchJob::new(Configuration::with_random_ids(
+                FormulaCorpus::witness(name, large),
+                seed ^ 1,
+            ))
+            .named("witness-large"),
+            BatchJob::new(Configuration::with_random_ids(
+                generators::cycle_graph(small.max(4)),
+                seed ^ 2,
+            ))
+            .named("cycle-refuses-lanes"),
+            BatchJob::new(Configuration::with_random_ids(
+                generators::disjoint_union(
+                    &generators::path_graph(small),
+                    &generators::path_graph(small),
+                ),
+                seed ^ 3,
+            ))
+            .named("disconnected-refuses"),
+        ];
+    }
     if scheme == registry::BIPARTITE_1BIT {
         // Structure-free 1-bit scheme: parity of the cycle decides.
         return vec![
